@@ -1,0 +1,64 @@
+// Regenerates Figure 3d: nested sequences SEQn(n), n = 2..6.
+//
+// The pattern grows by one event type per step, drawing from QnV- and
+// AQ-Data (Q, V, PM10, PM2.5, Temp, Hum). Expected shape: FCEP drops
+// sharply as more source streams join the union (the single operator
+// pays for every unioned event), while FASP decomposes the pattern into
+// n-1 consecutive joins and holds its throughput.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/bench_util.h"
+#include "harness/paper_patterns.h"
+#include "workload/presets.h"
+
+namespace cep2asp {
+namespace {
+
+constexpr Timestamp kMin = kMillisPerMinute;
+
+int Main(int argc, char** argv) {
+  int scale = 1;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--scale") scale = std::atoi(argv[i + 1]);
+  }
+  const int rounds = 600 * scale;
+  const Timestamp window = 15 * kMin;
+  const double sel = 0.015;
+
+  PaperPatterns patterns;
+  PresetOptions preset;
+  preset.num_sensors = 48;
+  preset.events_per_sensor = rounds;
+  Workload w = MakeCombinedWorkload(preset);
+
+  ResultTable table("Figure 3d: nested sequence SEQn(n), n = 2..6",
+                    {"n", "approach", "throughput", "matches", "status"});
+
+  for (int n = 2; n <= 6; ++n) {
+    Pattern p = patterns.SeqN(n, sel, window, kMin).ValueOrDie();
+    std::vector<ApproachResult> results;
+    results.push_back(MeasureFcep(p, w));
+    results.push_back(MeasureFasp(p, w, {}, "FASP"));
+    TranslatorOptions o1;
+    o1.use_interval_join = true;
+    results.push_back(MeasureFasp(p, w, o1, "FASP-O1"));
+    for (const ApproachResult& r : results) {
+      table.AddRow({std::to_string(n), r.approach,
+                    r.ok ? FormatTps(r.throughput_tps) : "-",
+                    std::to_string(r.matches),
+                    r.ok ? "ok" : ("FAIL: " + r.error)});
+    }
+  }
+
+  table.Print();
+  CEP2ASP_CHECK_OK(table.WriteCsv("fig3d_pattern_length"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace cep2asp
+
+int main(int argc, char** argv) { return cep2asp::Main(argc, argv); }

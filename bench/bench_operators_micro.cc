@@ -1,0 +1,167 @@
+// Micro-benchmarks of the engine operators on google-benchmark: the raw
+// costs the cluster simulator's CostProfile abstracts (per-tuple filter
+// work, per-pair join work, per-run NFA work). Useful for regression
+// tracking and for sanity-checking calibration constants.
+
+#include <benchmark/benchmark.h>
+
+#include "asp/sliding_window_join.h"
+#include "asp/interval_join.h"
+#include "asp/stateless.h"
+#include "cep/cep_operator.h"
+#include "runtime/executor.h"
+#include "runtime/vector_source.h"
+#include "sea/pattern.h"
+
+namespace cep2asp {
+namespace {
+
+std::vector<SimpleEvent> MakeEvents(EventTypeId type, int count,
+                                    Timestamp step) {
+  std::vector<SimpleEvent> events;
+  events.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    SimpleEvent e;
+    e.type = type;
+    e.id = 1;
+    e.ts = static_cast<Timestamp>(i) * step;
+    e.value = static_cast<double>(i % 100);
+    events.push_back(e);
+  }
+  return events;
+}
+
+EventTypeId TypeA() {
+  static EventTypeId type = EventTypeRegistry::Global()->RegisterOrGet("uA");
+  return type;
+}
+EventTypeId TypeB() {
+  static EventTypeId type = EventTypeRegistry::Global()->RegisterOrGet("uB");
+  return type;
+}
+
+void BM_FilterThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    JobGraph graph;
+    NodeId src = graph.AddSource(
+        std::make_unique<VectorSource>("s", MakeEvents(TypeA(), n, 10)));
+    NodeId filter = graph.AddOperatorAfter(
+        src, std::make_unique<FilterOperator>(
+                 [](const Tuple& t) { return t.event(0).value < 50; }));
+    auto sink_op = std::make_unique<CollectSink>(false);
+    CollectSink* sink = sink_op.get();
+    graph.AddOperatorAfter(filter, std::move(sink_op));
+    ExecutionResult result = RunJob(&graph, sink);
+    benchmark::DoNotOptimize(result.matches_emitted);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FilterThroughput)->Arg(100000);
+
+void BM_SlidingWindowJoin(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    JobGraph graph;
+    NodeId l = graph.AddSource(
+        std::make_unique<VectorSource>("l", MakeEvents(TypeA(), n, 100)));
+    NodeId r = graph.AddSource(
+        std::make_unique<VectorSource>("r", MakeEvents(TypeB(), n, 100)));
+    Predicate seq;
+    seq.Add(Comparison::AttrAttr({0, Attribute::kTs}, CmpOp::kLt,
+                                 {1, Attribute::kTs}));
+    NodeId join = graph.AddOperator(std::make_unique<SlidingWindowJoinOperator>(
+        SlidingWindowSpec{10000, 1000}, seq, TimestampMode::kMax));
+    CEP2ASP_CHECK_OK(graph.Connect(l, join, 0));
+    CEP2ASP_CHECK_OK(graph.Connect(r, join, 1));
+    auto sink_op = std::make_unique<CollectSink>(false);
+    CollectSink* sink = sink_op.get();
+    graph.AddOperatorAfter(join, std::move(sink_op));
+    ExecutionResult result = RunJob(&graph, sink);
+    benchmark::DoNotOptimize(result.matches_emitted);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_SlidingWindowJoin)->Arg(20000);
+
+void BM_IntervalJoin(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    JobGraph graph;
+    NodeId l = graph.AddSource(
+        std::make_unique<VectorSource>("l", MakeEvents(TypeA(), n, 100)));
+    NodeId r = graph.AddSource(
+        std::make_unique<VectorSource>("r", MakeEvents(TypeB(), n, 100)));
+    NodeId join = graph.AddOperator(std::make_unique<IntervalJoinOperator>(
+        IntervalBounds::ForSequence(10000), Predicate(), TimestampMode::kMax));
+    CEP2ASP_CHECK_OK(graph.Connect(l, join, 0));
+    CEP2ASP_CHECK_OK(graph.Connect(r, join, 1));
+    auto sink_op = std::make_unique<CollectSink>(false);
+    CollectSink* sink = sink_op.get();
+    graph.AddOperatorAfter(join, std::move(sink_op));
+    ExecutionResult result = RunJob(&graph, sink);
+    benchmark::DoNotOptimize(result.matches_emitted);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_IntervalJoin)->Arg(20000);
+
+void BM_CepOperatorLowSelectivity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Pattern pattern = PatternBuilder()
+                        .Seq(PatternBuilder::Atom(TypeA(), "e1"),
+                             PatternBuilder::Atom(TypeB(), "e2"))
+                        .Within(10000)
+                        .SlideBy(1000)
+                        .Build()
+                        .ValueOrDie();
+  // Interleave A and B sparsely: few runs alive at a time.
+  std::vector<SimpleEvent> events;
+  for (int i = 0; i < n; ++i) {
+    SimpleEvent e;
+    e.type = (i % 64 == 0) ? TypeA() : TypeB();
+    e.id = 1;
+    e.ts = static_cast<Timestamp>(i) * 500;
+    events.push_back(e);
+  }
+  for (auto _ : state) {
+    JobGraph graph;
+    NodeId src = graph.AddSource(std::make_unique<VectorSource>("s", events));
+    NodeId cep = graph.AddOperatorAfter(
+        src, CepOperator::FromPattern(pattern).ValueOrDie());
+    auto sink_op = std::make_unique<CollectSink>(false);
+    CollectSink* sink = sink_op.get();
+    graph.AddOperatorAfter(cep, std::move(sink_op));
+    ExecutionResult result = RunJob(&graph, sink);
+    benchmark::DoNotOptimize(result.matches_emitted);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CepOperatorLowSelectivity)->Arg(100000);
+
+void BM_CepOperatorRunHeavy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Pattern pattern = PatternBuilder()
+                        .Seq(PatternBuilder::Atom(TypeA(), "e1"),
+                             PatternBuilder::Atom(TypeB(), "e2"))
+                        .Within(60 * kMillisPerMinute)
+                        .Build()
+                        .ValueOrDie();
+  std::vector<SimpleEvent> events = MakeEvents(TypeA(), n, 10);  // runs pile up
+  for (auto _ : state) {
+    JobGraph graph;
+    NodeId src = graph.AddSource(std::make_unique<VectorSource>("s", events));
+    NodeId cep = graph.AddOperatorAfter(
+        src, CepOperator::FromPattern(pattern).ValueOrDie());
+    auto sink_op = std::make_unique<CollectSink>(false);
+    CollectSink* sink = sink_op.get();
+    graph.AddOperatorAfter(cep, std::move(sink_op));
+    ExecutionResult result = RunJob(&graph, sink);
+    benchmark::DoNotOptimize(result.matches_emitted);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CepOperatorRunHeavy)->Arg(3000);
+
+}  // namespace
+}  // namespace cep2asp

@@ -1,0 +1,62 @@
+// Capacity planning with the cluster simulator: how many workers does a
+// deployment need to sustain a target ingestion rate for a given pattern,
+// and what does choosing the single-operator CEP approach cost?
+//
+// Demonstrates: cost-profile calibration against the real engine, the
+// discrete-time cluster simulator, and max-sustainable-throughput search.
+//
+//   $ ./examples/cluster_planning
+
+#include <cstdio>
+
+#include "cluster/calibration.h"
+#include "cluster/sim.h"
+
+using namespace cep2asp;  // NOLINT: example brevity
+
+int main() {
+  std::printf("calibrating operator costs against this machine...\n");
+  CostProfile costs = CalibrateCostProfile();
+  std::printf("  %s\n\n", costs.ToString().c_str());
+
+  // Workload: keyed 3-type sequence over 256 sensors, 15-minute window.
+  SimJobSpec job;
+  job.pattern_length = 3;
+  job.num_streams = 3;
+  job.filter_selectivity = 0.2;
+  job.step_selectivity = 0.05;
+  job.window_ms = 15 * kMillisPerMinute;
+  job.slide_ms = kMillisPerMinute;
+  job.num_keys = 256;
+
+  const double target_tps = 8e6;
+  std::printf("target: sustain %.0fM tuples/s on SEQ(3), 256 keys\n\n",
+              target_tps / 1e6);
+
+  for (SimApproach approach :
+       {SimApproach::kFcep, SimApproach::kFaspSliding,
+        SimApproach::kFaspInterval}) {
+    job.approach = approach;
+    std::printf("%s:\n", SimApproachToString(approach));
+    bool satisfied = false;
+    for (int workers = 1; workers <= 16; workers *= 2) {
+      ClusterSpec cluster;
+      cluster.num_workers = workers;
+      cluster.slots_per_worker = 16;
+      cluster.memory_per_worker_bytes = 128.0 * 1024 * 1024 * 1024;
+      ClusterSimulator sim(cluster, costs);
+      double max_tps = sim.FindMaxSustainableTps(job, 256e6);
+      std::printf("  %2d worker(s): max sustainable %8.2fM tpl/s%s\n", workers,
+                  max_tps / 1e6, max_tps >= target_tps ? "  <- meets target" : "");
+      if (max_tps >= target_tps) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) {
+      std::printf("  target not reachable within 16 workers\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+#ifndef CEP2ASP_ASP_DEDUP_H_
+#define CEP2ASP_ASP_DEDUP_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "event/event.h"
+#include "runtime/operator.h"
+
+namespace cep2asp {
+
+/// \brief Removes duplicate matches produced by overlapping sliding
+/// windows (paper §3.1.4: duplicates "need to be maintained ... e.g. by
+/// the operator state" when actions are not idempotent).
+///
+/// Keeps one state entry per distinct match, evicted once the watermark
+/// passes the match's end timestamp by `horizon` (a duplicate of a match
+/// can only be produced while some window still covers it, i.e. within
+/// one window length).
+class DedupOperator : public Operator {
+ public:
+  explicit DedupOperator(Timestamp horizon) : horizon_(horizon) {}
+
+  std::string name() const override { return "dedup"; }
+
+  Status Process(int input, Tuple tuple, Collector* out) override {
+    (void)input;
+    std::string key = MatchKey(tuple);
+    Timestamp tse = tuple.tse();
+    auto [it, inserted] = seen_.emplace(std::move(key), tse);
+    (void)it;
+    if (inserted) out->Emit(std::move(tuple));
+    return Status::OK();
+  }
+
+  Status OnWatermark(Timestamp watermark, Collector* out) override {
+    (void)out;
+    if (watermark == kMaxTimestamp) {
+      seen_.clear();
+      return Status::OK();
+    }
+    for (auto it = seen_.begin(); it != seen_.end();) {
+      if (it->second + horizon_ < watermark) {
+        it = seen_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return Status::OK();
+  }
+
+  size_t StateBytes() const override {
+    return seen_.size() * (sizeof(Timestamp) + 48);  // key strings are short
+  }
+
+ private:
+  Timestamp horizon_;
+  std::unordered_map<std::string, Timestamp> seen_;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_ASP_DEDUP_H_

@@ -1,0 +1,94 @@
+#ifndef CEP2ASP_ASP_INTERVAL_JOIN_H_
+#define CEP2ASP_ASP_INTERVAL_JOIN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asp/sliding_window_join.h"
+#include "event/predicate.h"
+#include "runtime/operator.h"
+
+namespace cep2asp {
+
+/// \brief Relative time bounds of an interval join (optimization O1,
+/// paper §4.3.1).
+///
+/// A left event e1 joins right events e2 with
+///   e1.ts + lower < e2.ts < e1.ts + upper   (strict bounds)
+/// or the <= variants when the corresponding *_strict flag is false.
+/// The conjunction uses (-W, +W); all other operators use (0, +W),
+/// encoding the sequence order constraint directly in the bound.
+struct IntervalBounds {
+  Timestamp lower = 0;
+  Timestamp upper = 0;
+  bool lower_strict = true;
+  bool upper_strict = true;
+
+  static IntervalBounds ForConjunction(Timestamp w) {
+    return IntervalBounds{-w, w, true, true};
+  }
+  static IntervalBounds ForSequence(Timestamp w) {
+    return IntervalBounds{0, w, true, true};
+  }
+
+  bool Contains(Timestamp left_ts, Timestamp right_ts) const {
+    Timestamp lo = left_ts + lower;
+    Timestamp hi = left_ts + upper;
+    bool above = lower_strict ? right_ts > lo : right_ts >= lo;
+    bool below = upper_strict ? right_ts < hi : right_ts <= hi;
+    return above && below;
+  }
+};
+
+/// \brief Keyed interval join: content-based windows anchored at left
+/// events (optimization O1).
+///
+/// Each left event defines its own window, so (a) no slide parameter is
+/// needed, (b) every qualifying pair is emitted exactly once — no
+/// duplicates from overlapping windows — and (c) no window is materialized
+/// when no left event occurs, which is where the performance advantage
+/// over sliding windows comes from when the left stream is the less
+/// frequent one (§4.3.1, §5.2.3).
+class IntervalJoinOperator : public Operator {
+ public:
+  IntervalJoinOperator(IntervalBounds bounds, Predicate condition,
+                       TimestampMode ts_mode, std::string label = "interval-join");
+
+  std::string name() const override { return label_; }
+  int num_inputs() const override { return 2; }
+
+  Status Open() override;
+  Status Process(int input, Tuple tuple, Collector* out) override;
+  Status OnWatermark(Timestamp watermark, Collector* out) override;
+  size_t StateBytes() const override { return state_bytes_; }
+
+  int64_t pairs_evaluated() const { return pairs_evaluated_; }
+  /// Windows materialized = completed left events (content-based creation).
+  int64_t windows_created() const { return windows_created_; }
+
+ private:
+  struct KeyState {
+    std::vector<Tuple> left;   // pending left events (windows not yet closed)
+    std::vector<Tuple> right;  // right events, retained while reachable
+    bool left_sorted = true;
+    bool right_sorted = true;
+  };
+
+  void Flush(Timestamp watermark, Collector* out);
+
+  IntervalBounds bounds_;
+  Predicate condition_;
+  TimestampMode ts_mode_;
+  std::string label_;
+
+  std::unordered_map<int64_t, KeyState> keys_;
+  size_t state_bytes_ = 0;
+  int64_t pairs_evaluated_ = 0;
+  int64_t windows_created_ = 0;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_ASP_INTERVAL_JOIN_H_

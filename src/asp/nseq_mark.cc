@@ -1,0 +1,119 @@
+#include "asp/nseq_mark.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cep2asp {
+
+namespace {
+void SortByTs(std::vector<SimpleEvent>* events, bool* sorted) {
+  if (!*sorted) {
+    std::sort(events->begin(), events->end(),
+              [](const SimpleEvent& a, const SimpleEvent& b) {
+                return a.ts < b.ts;
+              });
+    *sorted = true;
+  }
+}
+}  // namespace
+
+NseqMarkOperator::NseqMarkOperator(EventTypeId positive_type,
+                                   EventTypeId negated_type,
+                                   Timestamp window_size, std::string label)
+    : positive_type_(positive_type),
+      negated_type_(negated_type),
+      window_size_(window_size),
+      label_(std::move(label)) {}
+
+Status NseqMarkOperator::Process(int input, Tuple tuple, Collector*) {
+  (void)input;
+  const SimpleEvent& event = tuple.event(0);
+  KeyState& key_state = keys_[tuple.key()];
+  if (event.type == positive_type_) {
+    if (!key_state.pending_t1.empty() && event.ts < key_state.pending_t1.back().ts) {
+      key_state.t1_sorted = false;
+    }
+    key_state.pending_t1.push_back(event);
+    state_bytes_ += sizeof(SimpleEvent);
+  } else if (event.type == negated_type_) {
+    if (!key_state.seen_t2.empty() && event.ts < key_state.seen_t2.back().ts) {
+      key_state.t2_sorted = false;
+    }
+    key_state.seen_t2.push_back(event);
+    state_bytes_ += sizeof(SimpleEvent);
+  }
+  // Events of other types are irrelevant to the mark and dropped; the
+  // translator routes only T1 and T2 here.
+  return Status::OK();
+}
+
+Status NseqMarkOperator::OnWatermark(Timestamp watermark, Collector* out) {
+  Flush(watermark, out);
+  return Status::OK();
+}
+
+void NseqMarkOperator::Flush(Timestamp watermark, Collector* out) {
+  for (auto it = keys_.begin(); it != keys_.end();) {
+    KeyState& key_state = it->second;
+    SortByTs(&key_state.pending_t1, &key_state.t1_sorted);
+    SortByTs(&key_state.seen_t2, &key_state.t2_sorted);
+
+    // An e1 can be marked once its full lookahead (e1.ts, e1.ts + W) is
+    // covered: e1.ts + W < watermark (conservative).
+    size_t completed = 0;
+    for (const SimpleEvent& e1 : key_state.pending_t1) {
+      // Non-strict bound: all T2 with ts < e1.ts + W have arrived once
+      // wm >= e1.ts + W. Emitting at exactly that watermark also keeps e1
+      // ahead of any downstream window that closes at e1.ts + W (the
+      // executor delivers an operator's watermark-triggered emissions
+      // before forwarding the watermark itself).
+      bool complete =
+          watermark == kMaxTimestamp || e1.ts <= watermark - window_size_;
+      if (!complete) break;
+      // First T2 strictly after e1 within the window.
+      auto first_after = std::upper_bound(
+          key_state.seen_t2.begin(), key_state.seen_t2.end(), e1.ts,
+          [](Timestamp ts, const SimpleEvent& e) { return ts < e.ts; });
+      SimpleEvent marked = e1;
+      if (first_after != key_state.seen_t2.end() &&
+          first_after->ts < e1.ts + window_size_) {
+        marked.aux_ts = first_after->ts;
+      } else {
+        marked.aux_ts = e1.ts + window_size_;
+      }
+      Tuple out_tuple(marked);
+      out_tuple.set_key(it->first);
+      out->Emit(std::move(out_tuple));
+      ++completed;
+    }
+    state_bytes_ -= sizeof(SimpleEvent) * completed;
+    key_state.pending_t1.erase(key_state.pending_t1.begin(),
+                               key_state.pending_t1.begin() +
+                                   static_cast<long>(completed));
+
+    // A T2 event is dead once no pending or future T1's lookahead can
+    // reach it: pending/future T1 have ts >= watermark - W, so keep T2
+    // with ts > watermark - W.
+    if (watermark != kMaxTimestamp && watermark != kMinTimestamp) {
+      Timestamp keep_above = watermark - window_size_;
+      auto keep_from = std::lower_bound(
+          key_state.seen_t2.begin(), key_state.seen_t2.end(), keep_above,
+          [](const SimpleEvent& e, Timestamp ts) { return e.ts <= ts; });
+      state_bytes_ -= sizeof(SimpleEvent) *
+                      static_cast<size_t>(keep_from - key_state.seen_t2.begin());
+      key_state.seen_t2.erase(key_state.seen_t2.begin(), keep_from);
+    } else if (watermark == kMaxTimestamp) {
+      state_bytes_ -= sizeof(SimpleEvent) * key_state.seen_t2.size();
+      key_state.seen_t2.clear();
+    }
+
+    if (key_state.pending_t1.empty() && key_state.seen_t2.empty()) {
+      it = keys_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace cep2asp

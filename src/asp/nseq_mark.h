@@ -1,0 +1,60 @@
+#ifndef CEP2ASP_ASP_NSEQ_MARK_H_
+#define CEP2ASP_ASP_NSEQ_MARK_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "event/event.h"
+#include "runtime/operator.h"
+
+namespace cep2asp {
+
+/// \brief The NSEQ marking UDF of the paper's negated-sequence mapping
+/// (§4.1, Discussion): consumes the union of T1 and T2 and, for every
+/// e1 ∈ T1, emits e1 with the additional attribute
+///
+///   ats = ts of the first e2 ∈ T2 in (e1.ts, e1.ts + W), or
+///   ats = e1.ts + W when no such e2 occurred.
+///
+/// A downstream SEQ join with T3 plus the selection ats > e3.ts then
+/// guarantees that no e2 occurred in (e1.ts, e3.ts) — without the
+/// buffering and retrospective pruning of partial matches that the NFA
+/// approach needs.
+///
+/// This operator is keyed: marking happens per partition key, matching the
+/// keyed joins it feeds. For unkeyed plans all tuples carry the same key.
+class NseqMarkOperator : public Operator {
+ public:
+  NseqMarkOperator(EventTypeId positive_type, EventTypeId negated_type,
+                   Timestamp window_size, std::string label = "nseq-mark");
+
+  std::string name() const override { return label_; }
+
+  Status Process(int input, Tuple tuple, Collector* out) override;
+  Status OnWatermark(Timestamp watermark, Collector* out) override;
+  size_t StateBytes() const override { return state_bytes_; }
+
+ private:
+  struct KeyState {
+    std::vector<SimpleEvent> pending_t1;  // ordered by ts (sorted lazily)
+    std::vector<SimpleEvent> seen_t2;     // ordered by ts (sorted lazily)
+    bool t1_sorted = true;
+    bool t2_sorted = true;
+  };
+
+  void Flush(Timestamp watermark, Collector* out);
+
+  EventTypeId positive_type_;
+  EventTypeId negated_type_;
+  Timestamp window_size_;
+  std::string label_;
+
+  std::unordered_map<int64_t, KeyState> keys_;
+  size_t state_bytes_ = 0;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_ASP_NSEQ_MARK_H_

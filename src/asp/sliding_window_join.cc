@@ -1,0 +1,170 @@
+#include "asp/sliding_window_join.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cep2asp {
+
+namespace {
+
+bool TupleTsLess(const Tuple& a, const Tuple& b) {
+  return a.event_time() < b.event_time();
+}
+
+void SortIfNeeded(std::vector<Tuple>* tuples, bool* sorted) {
+  if (!*sorted) {
+    std::stable_sort(tuples->begin(), tuples->end(), TupleTsLess);
+    *sorted = true;
+  }
+}
+
+}  // namespace
+
+SlidingWindowJoinOperator::SlidingWindowJoinOperator(SlidingWindowSpec window,
+                                                     Predicate condition,
+                                                     TimestampMode ts_mode,
+                                                     std::string label,
+                                                     bool dedup_pairs)
+    : window_(window),
+      condition_(std::move(condition)),
+      ts_mode_(ts_mode),
+      label_(std::move(label)),
+      dedup_pairs_(dedup_pairs) {}
+
+Status SlidingWindowJoinOperator::Open() {
+  if (!window_.valid()) {
+    return Status::InvalidArgument("invalid sliding window spec");
+  }
+  return Status::OK();
+}
+
+Status SlidingWindowJoinOperator::Process(int input, Tuple tuple, Collector*) {
+  CEP2ASP_DCHECK(input == 0 || input == 1);
+  KeyState& key_state = keys_[tuple.key()];
+  SideBuffer& side = key_state.sides[input];
+  state_bytes_ += tuple.MemoryBytes();
+  if (!side.tuples.empty() &&
+      tuple.event_time() < side.tuples.back().event_time()) {
+    side.sorted = false;
+  }
+  if (!have_window_cursor_) {
+    // Skip the (possibly long) run of empty windows preceding the first
+    // event: start firing at the first window that contains it.
+    next_window_ = window_.FirstWindow(tuple.event_time());
+    have_window_cursor_ = true;
+  }
+  side.tuples.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Status SlidingWindowJoinOperator::OnWatermark(Timestamp watermark,
+                                              Collector* out) {
+  FireWindows(watermark, out);
+  return Status::OK();
+}
+
+void SlidingWindowJoinOperator::FireWindows(Timestamp watermark,
+                                            Collector* out) {
+  if (!have_window_cursor_) return;
+  while (window_.CanFire(next_window_, watermark)) {
+    // Skip empty stretches: jump to the first window containing any
+    // buffered tuple.
+    Timestamp min_ts = MinBufferedTs();
+    if (min_ts == kMaxTimestamp) {
+      // Nothing buffered; the cursor stays where it is (monotone — resuming
+      // at a later event's first window happens via the max() below) so a
+      // window can never fire twice.
+      return;
+    }
+    next_window_ = std::max(next_window_, window_.FirstWindow(min_ts));
+    if (!window_.CanFire(next_window_, watermark)) break;
+    FireWindow(next_window_, out);
+    ++next_window_;
+    EvictBefore(window_.WindowStart(next_window_));
+  }
+}
+
+void SlidingWindowJoinOperator::FireWindow(int64_t k, Collector* out) {
+  const Timestamp begin = window_.WindowStart(k);
+  const Timestamp end = window_.WindowEnd(k);
+  for (auto& [key, key_state] : keys_) {
+    (void)key;
+    SideBuffer& left = key_state.sides[0];
+    SideBuffer& right = key_state.sides[1];
+    if (left.tuples.empty() || right.tuples.empty()) continue;
+    SortIfNeeded(&left.tuples, &left.sorted);
+    SortIfNeeded(&right.tuples, &right.sorted);
+
+    auto range = [begin, end](std::vector<Tuple>& tuples) {
+      auto lo = std::lower_bound(tuples.begin(), tuples.end(), begin,
+                                 [](const Tuple& t, Timestamp ts) {
+                                   return t.event_time() < ts;
+                                 });
+      auto hi = std::lower_bound(tuples.begin(), tuples.end(), end,
+                                 [](const Tuple& t, Timestamp ts) {
+                                   return t.event_time() < ts;
+                                 });
+      return std::pair(lo, hi);
+    };
+    auto [l_lo, l_hi] = range(left.tuples);
+    auto [r_lo, r_hi] = range(right.tuples);
+    for (auto l = l_lo; l != l_hi; ++l) {
+      for (auto r = r_lo; r != r_hi; ++r) {
+        ++pairs_evaluated_;
+        if (dedup_pairs_) {
+          // First window containing both sides; skip re-emissions from
+          // later overlapping windows.
+          int64_t first_common = std::max(window_.FirstWindow(l->event_time()),
+                                          window_.FirstWindow(r->event_time()));
+          if (first_common != k) continue;
+        }
+        Tuple joined = Tuple::Concat(*l, *r);
+        if (!condition_.IsTrue() && !condition_.EvalOnTuple(joined)) continue;
+        joined.set_event_time(ts_mode_ == TimestampMode::kMax ? joined.tse()
+                                                              : joined.tsb());
+        out->Emit(std::move(joined));
+      }
+    }
+  }
+}
+
+void SlidingWindowJoinOperator::EvictBefore(Timestamp min_keep_ts) {
+  for (auto it = keys_.begin(); it != keys_.end();) {
+    KeyState& key_state = it->second;
+    bool all_empty = true;
+    for (SideBuffer& side : key_state.sides) {
+      SortIfNeeded(&side.tuples, &side.sorted);
+      auto keep_from = std::lower_bound(
+          side.tuples.begin(), side.tuples.end(), min_keep_ts,
+          [](const Tuple& t, Timestamp ts) { return t.event_time() < ts; });
+      for (auto e = side.tuples.begin(); e != keep_from; ++e) {
+        state_bytes_ -= e->MemoryBytes();
+      }
+      side.tuples.erase(side.tuples.begin(), keep_from);
+      if (!side.tuples.empty()) all_empty = false;
+    }
+    if (all_empty) {
+      it = keys_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Timestamp SlidingWindowJoinOperator::MinBufferedTs() const {
+  Timestamp min_ts = kMaxTimestamp;
+  for (const auto& [key, key_state] : keys_) {
+    (void)key;
+    for (const SideBuffer& side : key_state.sides) {
+      for (const Tuple& t : side.tuples) {
+        min_ts = std::min(min_ts, t.event_time());
+        if (side.sorted) break;  // first element is the minimum
+      }
+    }
+  }
+  return min_ts;
+}
+
+}  // namespace cep2asp

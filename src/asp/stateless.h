@@ -1,0 +1,126 @@
+#ifndef CEP2ASP_ASP_STATELESS_H_
+#define CEP2ASP_ASP_STATELESS_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "event/predicate.h"
+#include "runtime/operator.h"
+
+namespace cep2asp {
+
+/// \brief Selection: forwards tuples satisfying a predicate (paper §2,
+/// operator (1); ASP "filter").
+class FilterOperator : public Operator {
+ public:
+  using Fn = std::function<bool(const Tuple&)>;
+
+  explicit FilterOperator(Fn fn, std::string label = "filter")
+      : fn_(std::move(fn)), label_(std::move(label)) {}
+
+  /// Filter from a single-variable predicate applied to the head event.
+  static std::unique_ptr<FilterOperator> FromPredicate(Predicate predicate,
+                                                       std::string label = "filter") {
+    auto pred = std::make_shared<Predicate>(std::move(predicate));
+    return std::make_unique<FilterOperator>(
+        [pred](const Tuple& t) { return pred->EvalOnEvent(t.event(0)); },
+        std::move(label));
+  }
+
+  /// Filter evaluating a predicate over the whole composed tuple
+  /// (variable indices = event positions).
+  static std::unique_ptr<FilterOperator> FromTuplePredicate(
+      Predicate predicate, std::string label = "filter") {
+    auto pred = std::make_shared<Predicate>(std::move(predicate));
+    return std::make_unique<FilterOperator>(
+        [pred](const Tuple& t) { return pred->EvalOnTuple(t); },
+        std::move(label));
+  }
+
+  std::string name() const override { return label_; }
+
+  Status Process(int input, Tuple tuple, Collector* out) override {
+    (void)input;
+    if (fn_(tuple)) out->Emit(std::move(tuple));
+    return Status::OK();
+  }
+
+ private:
+  Fn fn_;
+  std::string label_;
+};
+
+/// \brief Projection: transforms each tuple (paper §2, operator (2); ASP
+/// "map"). Used by the translator to achieve union compatibility, assign
+/// join keys, and redefine event time.
+class MapOperator : public Operator {
+ public:
+  using Fn = std::function<Tuple(Tuple)>;
+
+  explicit MapOperator(Fn fn, std::string label = "map")
+      : fn_(std::move(fn)), label_(std::move(label)) {}
+
+  /// Map assigning a constant partition key: the paper's workaround for
+  /// missing Cartesian-product support (§4.2.1) — a precedent map
+  /// operation that assigns a uniform key to each event.
+  static std::unique_ptr<MapOperator> AssignConstantKey(int64_t key) {
+    return std::make_unique<MapOperator>(
+        [key](Tuple t) {
+          t.set_key(key);
+          return t;
+        },
+        "map(key:=const)");
+  }
+
+  /// Map assigning the key from an attribute of one constituent event
+  /// (enables Equi-Join partitioning, O3).
+  static std::unique_ptr<MapOperator> KeyByAttribute(size_t event_index,
+                                                     Attribute attr) {
+    return std::make_unique<MapOperator>(
+        [event_index, attr](Tuple t) {
+          t.set_key(static_cast<int64_t>(GetAttribute(t.event(event_index), attr)));
+          return t;
+        },
+        "map(key:=attr)");
+  }
+
+  std::string name() const override { return label_; }
+
+  Status Process(int input, Tuple tuple, Collector* out) override {
+    (void)input;
+    out->Emit(fn_(std::move(tuple)));
+    return Status::OK();
+  }
+
+ private:
+  Fn fn_;
+  std::string label_;
+};
+
+/// \brief Set union of n input streams (paper Eq. 11 target). Streams
+/// share the common schema, so union compatibility holds by construction;
+/// heterogeneous schemas would be aligned by a preceding MapOperator.
+class UnionOperator : public Operator {
+ public:
+  explicit UnionOperator(int num_inputs) : num_inputs_(num_inputs) {}
+
+  std::string name() const override {
+    return "union" + std::to_string(num_inputs_);
+  }
+
+  int num_inputs() const override { return num_inputs_; }
+
+  Status Process(int input, Tuple tuple, Collector* out) override {
+    (void)input;
+    out->Emit(std::move(tuple));
+    return Status::OK();
+  }
+
+ private:
+  int num_inputs_;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_ASP_STATELESS_H_

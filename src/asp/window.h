@@ -1,0 +1,52 @@
+#ifndef CEP2ASP_ASP_WINDOW_H_
+#define CEP2ASP_ASP_WINDOW_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace cep2asp {
+
+/// Floor division for possibly negative numerators (window indices near
+/// stream start).
+inline int64_t FloorDiv(int64_t a, int64_t b) {
+  CEP2ASP_DCHECK(b > 0);
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// \brief Time-based sliding window specification (paper §3.1.2).
+///
+/// Window k covers the interval [k*slide, k*slide + size). The
+/// intra-window semantic (Eq. 4) assigns event ts to every window whose
+/// interval contains it; the inter-window semantic (Eq. 5) advances starts
+/// by `slide`. Theorem 2 requires slide <= the smallest inter-arrival gap
+/// (slide-by-one) for lossless detection; the translator defaults to the
+/// paper's one-minute slide for minute-resolution streams.
+struct SlidingWindowSpec {
+  Timestamp size = 0;
+  Timestamp slide = 0;
+
+  bool valid() const { return size > 0 && slide > 0 && slide <= size; }
+
+  /// First window index containing `ts`.
+  int64_t FirstWindow(Timestamp ts) const { return FloorDiv(ts - size, slide) + 1; }
+
+  /// Last window index containing `ts`.
+  int64_t LastWindow(Timestamp ts) const { return FloorDiv(ts, slide); }
+
+  Timestamp WindowStart(int64_t k) const { return k * slide; }
+  Timestamp WindowEnd(int64_t k) const { return k * slide + size; }
+
+  /// True when window k may fire: every event with ts < WindowEnd(k) has
+  /// been observed (watermark semantics: future events have ts >= wm).
+  bool CanFire(int64_t k, Timestamp watermark) const {
+    return WindowEnd(k) <= watermark;
+  }
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_ASP_WINDOW_H_

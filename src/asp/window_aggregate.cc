@@ -1,0 +1,175 @@
+#include "asp/window_aggregate.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cep2asp {
+
+const char* AggregateFnToString(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return "count";
+    case AggregateFn::kSum:
+      return "sum";
+    case AggregateFn::kAvg:
+      return "avg";
+    case AggregateFn::kMin:
+      return "min";
+    case AggregateFn::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+WindowAggregateOperator::WindowAggregateOperator(SlidingWindowSpec window,
+                                                 AggregateFn fn,
+                                                 Attribute attribute,
+                                                 int64_t min_count,
+                                                 std::string label)
+    : window_(window),
+      fn_(fn),
+      attribute_(attribute),
+      min_count_(min_count),
+      label_(std::move(label)) {}
+
+Status WindowAggregateOperator::Open() {
+  if (!window_.valid()) {
+    return Status::InvalidArgument("invalid sliding window spec");
+  }
+  return Status::OK();
+}
+
+Status WindowAggregateOperator::Process(int input, Tuple tuple, Collector*) {
+  (void)input;
+  CEP2ASP_DCHECK(tuple.size() >= 1);
+  KeyState& key_state = keys_[tuple.key()];
+  const SimpleEvent& event = tuple.event(0);
+  if (!key_state.events.empty() && event.ts < key_state.events.back().ts) {
+    key_state.sorted = false;
+  }
+  if (!have_window_cursor_) {
+    next_window_ = window_.FirstWindow(event.ts);
+    have_window_cursor_ = true;
+  }
+  key_state.events.push_back(event);
+  state_bytes_ += sizeof(SimpleEvent);
+  return Status::OK();
+}
+
+Status WindowAggregateOperator::OnWatermark(Timestamp watermark,
+                                            Collector* out) {
+  FireWindows(watermark, out);
+  return Status::OK();
+}
+
+void WindowAggregateOperator::FireWindows(Timestamp watermark, Collector* out) {
+  if (!have_window_cursor_) return;
+  while (window_.CanFire(next_window_, watermark)) {
+    Timestamp min_ts = MinBufferedTs();
+    if (min_ts == kMaxTimestamp) {
+      return;  // nothing buffered; cursor stays monotone
+    }
+    next_window_ = std::max(next_window_, window_.FirstWindow(min_ts));
+    if (!window_.CanFire(next_window_, watermark)) break;
+    FireWindow(next_window_, out);
+    ++next_window_;
+    // Evict events no longer covered by any future window.
+    Timestamp min_keep = window_.WindowStart(next_window_);
+    for (auto it = keys_.begin(); it != keys_.end();) {
+      KeyState& key_state = it->second;
+      if (!key_state.sorted) {
+        std::sort(key_state.events.begin(), key_state.events.end(),
+                  [](const SimpleEvent& a, const SimpleEvent& b) {
+                    return a.ts < b.ts;
+                  });
+        key_state.sorted = true;
+      }
+      auto keep_from = std::lower_bound(
+          key_state.events.begin(), key_state.events.end(), min_keep,
+          [](const SimpleEvent& e, Timestamp ts) { return e.ts < ts; });
+      state_bytes_ -= sizeof(SimpleEvent) *
+                      static_cast<size_t>(keep_from - key_state.events.begin());
+      key_state.events.erase(key_state.events.begin(), keep_from);
+      if (key_state.events.empty()) {
+        it = keys_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void WindowAggregateOperator::FireWindow(int64_t k, Collector* out) {
+  const Timestamp begin = window_.WindowStart(k);
+  const Timestamp end = window_.WindowEnd(k);
+  for (auto& [key, key_state] : keys_) {
+    if (!key_state.sorted) {
+      std::sort(key_state.events.begin(), key_state.events.end(),
+                [](const SimpleEvent& a, const SimpleEvent& b) {
+                  return a.ts < b.ts;
+                });
+      key_state.sorted = true;
+    }
+    auto lo = std::lower_bound(
+        key_state.events.begin(), key_state.events.end(), begin,
+        [](const SimpleEvent& e, Timestamp ts) { return e.ts < ts; });
+    auto hi = std::lower_bound(
+        key_state.events.begin(), key_state.events.end(), end,
+        [](const SimpleEvent& e, Timestamp ts) { return e.ts < ts; });
+    int64_t count = hi - lo;
+    if (count == 0 || count < min_count_) continue;
+
+    double sum = 0, min_v = 0, max_v = 0;
+    bool first = true;
+    for (auto e = lo; e != hi; ++e) {
+      double v = GetAttribute(*e, attribute_);
+      sum += v;
+      if (first) {
+        min_v = max_v = v;
+        first = false;
+      } else {
+        min_v = std::min(min_v, v);
+        max_v = std::max(max_v, v);
+      }
+    }
+    double result = 0;
+    switch (fn_) {
+      case AggregateFn::kCount:
+        result = static_cast<double>(count);
+        break;
+      case AggregateFn::kSum:
+        result = sum;
+        break;
+      case AggregateFn::kAvg:
+        result = sum / static_cast<double>(count);
+        break;
+      case AggregateFn::kMin:
+        result = min_v;
+        break;
+      case AggregateFn::kMax:
+        result = max_v;
+        break;
+    }
+
+    SimpleEvent agg = *(hi - 1);  // inherit type/id/location of last event
+    agg.value = result;
+    Tuple out_tuple(agg);
+    out_tuple.set_key(key);
+    out->Emit(std::move(out_tuple));
+  }
+}
+
+Timestamp WindowAggregateOperator::MinBufferedTs() const {
+  Timestamp min_ts = kMaxTimestamp;
+  for (const auto& [key, key_state] : keys_) {
+    (void)key;
+    for (const SimpleEvent& e : key_state.events) {
+      min_ts = std::min(min_ts, e.ts);
+      if (key_state.sorted) break;
+    }
+  }
+  return min_ts;
+}
+
+}  // namespace cep2asp

@@ -1,0 +1,69 @@
+#ifndef CEP2ASP_ASP_WINDOW_AGGREGATE_H_
+#define CEP2ASP_ASP_WINDOW_AGGREGATE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asp/window.h"
+#include "event/event.h"
+#include "event/predicate.h"
+#include "runtime/operator.h"
+
+namespace cep2asp {
+
+enum class AggregateFn : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggregateFnToString(AggregateFn fn);
+
+/// \brief Keyed sliding-window aggregation (optimization O2, §4.3.2).
+///
+/// Emits one tuple per non-empty (key, window): the aggregate of
+/// `attribute` over the window content, carried in the output event's
+/// value. The output event keeps the input event type and key; its ts is
+/// the window's last contained event time so downstream operators relate
+/// it correctly in event time.
+///
+/// For the ITER^m mapping the translator appends `min_count = m`: the
+/// window only fires if it holds at least m qualifying events — the
+/// paper's Kleene+-style "n >= m" check under skip-till-any-match. Empty
+/// windows never fire, which is why O2 cannot express Kleene*.
+class WindowAggregateOperator : public Operator {
+ public:
+  WindowAggregateOperator(SlidingWindowSpec window, AggregateFn fn,
+                          Attribute attribute, int64_t min_count = 0,
+                          std::string label = "win-agg");
+
+  std::string name() const override { return label_; }
+
+  Status Open() override;
+  Status Process(int input, Tuple tuple, Collector* out) override;
+  Status OnWatermark(Timestamp watermark, Collector* out) override;
+  size_t StateBytes() const override { return state_bytes_; }
+
+ private:
+  struct KeyState {
+    std::vector<SimpleEvent> events;  // head events, kept sorted lazily
+    bool sorted = true;
+  };
+
+  void FireWindows(Timestamp watermark, Collector* out);
+  void FireWindow(int64_t k, Collector* out);
+  Timestamp MinBufferedTs() const;
+
+  SlidingWindowSpec window_;
+  AggregateFn fn_;
+  Attribute attribute_;
+  int64_t min_count_;
+  std::string label_;
+
+  std::unordered_map<int64_t, KeyState> keys_;
+  int64_t next_window_ = 0;
+  bool have_window_cursor_ = false;
+  size_t state_bytes_ = 0;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_ASP_WINDOW_AGGREGATE_H_

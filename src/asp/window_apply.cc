@@ -1,0 +1,110 @@
+#include "asp/window_apply.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cep2asp {
+
+WindowApplyOperator::WindowApplyOperator(SlidingWindowSpec window, Fn fn,
+                                         std::string label)
+    : window_(window), fn_(std::move(fn)), label_(std::move(label)) {}
+
+Status WindowApplyOperator::Open() {
+  if (!window_.valid()) {
+    return Status::InvalidArgument("invalid sliding window spec");
+  }
+  if (!fn_) return Status::InvalidArgument("window apply: no function");
+  return Status::OK();
+}
+
+Status WindowApplyOperator::Process(int input, Tuple tuple, Collector*) {
+  (void)input;
+  KeyState& key_state = keys_[tuple.key()];
+  const SimpleEvent& event = tuple.event(0);
+  if (!key_state.events.empty() && event.ts < key_state.events.back().ts) {
+    key_state.sorted = false;
+  }
+  if (!have_window_cursor_) {
+    next_window_ = window_.FirstWindow(event.ts);
+    have_window_cursor_ = true;
+  }
+  key_state.events.push_back(event);
+  state_bytes_ += sizeof(SimpleEvent);
+  return Status::OK();
+}
+
+Status WindowApplyOperator::OnWatermark(Timestamp watermark, Collector* out) {
+  FireWindows(watermark, out);
+  return Status::OK();
+}
+
+void WindowApplyOperator::SortKey(KeyState* key_state) {
+  if (!key_state->sorted) {
+    std::sort(key_state->events.begin(), key_state->events.end(),
+              [](const SimpleEvent& a, const SimpleEvent& b) {
+                return a.ts < b.ts;
+              });
+    key_state->sorted = true;
+  }
+}
+
+void WindowApplyOperator::FireWindows(Timestamp watermark, Collector* out) {
+  if (!have_window_cursor_) return;
+  while (window_.CanFire(next_window_, watermark)) {
+    Timestamp min_ts = MinBufferedTs();
+    if (min_ts == kMaxTimestamp) {
+      return;  // nothing buffered; cursor stays monotone
+    }
+    next_window_ = std::max(next_window_, window_.FirstWindow(min_ts));
+    if (!window_.CanFire(next_window_, watermark)) break;
+
+    const Timestamp begin = window_.WindowStart(next_window_);
+    const Timestamp end = window_.WindowEnd(next_window_);
+    std::vector<SimpleEvent> content;
+    for (auto& [key, key_state] : keys_) {
+      SortKey(&key_state);
+      auto lo = std::lower_bound(
+          key_state.events.begin(), key_state.events.end(), begin,
+          [](const SimpleEvent& e, Timestamp ts) { return e.ts < ts; });
+      auto hi = std::lower_bound(
+          key_state.events.begin(), key_state.events.end(), end,
+          [](const SimpleEvent& e, Timestamp ts) { return e.ts < ts; });
+      if (lo == hi) continue;
+      content.assign(lo, hi);
+      fn_(key, begin, end, content, out);
+    }
+
+    ++next_window_;
+    Timestamp min_keep = window_.WindowStart(next_window_);
+    for (auto it = keys_.begin(); it != keys_.end();) {
+      KeyState& key_state = it->second;
+      SortKey(&key_state);
+      auto keep_from = std::lower_bound(
+          key_state.events.begin(), key_state.events.end(), min_keep,
+          [](const SimpleEvent& e, Timestamp ts) { return e.ts < ts; });
+      state_bytes_ -= sizeof(SimpleEvent) *
+                      static_cast<size_t>(keep_from - key_state.events.begin());
+      key_state.events.erase(key_state.events.begin(), keep_from);
+      if (key_state.events.empty()) {
+        it = keys_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+Timestamp WindowApplyOperator::MinBufferedTs() const {
+  Timestamp min_ts = kMaxTimestamp;
+  for (const auto& [key, key_state] : keys_) {
+    (void)key;
+    for (const SimpleEvent& e : key_state.events) {
+      min_ts = std::min(min_ts, e.ts);
+      if (key_state.sorted) break;
+    }
+  }
+  return min_ts;
+}
+
+}  // namespace cep2asp

@@ -1,0 +1,62 @@
+#ifndef CEP2ASP_ASP_WINDOW_APPLY_H_
+#define CEP2ASP_ASP_WINDOW_APPLY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asp/window.h"
+#include "event/event.h"
+#include "runtime/operator.h"
+
+namespace cep2asp {
+
+/// \brief Keyed sliding-window UDF operator (the "UDF window function" of
+/// the paper's O2 discussion): the user function receives the window's
+/// events sorted by timestamp and may emit any number of output tuples.
+///
+/// The function also receives the window bounds so it can implement
+/// semantics anchored at the window start (e.g. per-window Kleene+ with
+/// conditions between contributing events, or custom selection policies).
+class WindowApplyOperator : public Operator {
+ public:
+  /// (key, window_start, window_end, sorted events) -> emissions via `out`.
+  using Fn = std::function<void(int64_t key, Timestamp begin, Timestamp end,
+                                const std::vector<SimpleEvent>& events,
+                                Collector* out)>;
+
+  WindowApplyOperator(SlidingWindowSpec window, Fn fn,
+                      std::string label = "win-apply");
+
+  std::string name() const override { return label_; }
+
+  Status Open() override;
+  Status Process(int input, Tuple tuple, Collector* out) override;
+  Status OnWatermark(Timestamp watermark, Collector* out) override;
+  size_t StateBytes() const override { return state_bytes_; }
+
+ private:
+  struct KeyState {
+    std::vector<SimpleEvent> events;
+    bool sorted = true;
+  };
+
+  void FireWindows(Timestamp watermark, Collector* out);
+  Timestamp MinBufferedTs() const;
+  void SortKey(KeyState* key_state);
+
+  SlidingWindowSpec window_;
+  Fn fn_;
+  std::string label_;
+
+  std::unordered_map<int64_t, KeyState> keys_;
+  int64_t next_window_ = 0;
+  bool have_window_cursor_ = false;
+  size_t state_bytes_ = 0;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_ASP_WINDOW_APPLY_H_

@@ -1,0 +1,237 @@
+#include "cep/cep_operator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cep2asp {
+
+CepOperator::CepOperator(NfaSpec spec, CepOperatorOptions options,
+                         std::string label)
+    : spec_(std::move(spec)), options_(options), label_(std::move(label)) {}
+
+Result<std::unique_ptr<CepOperator>> CepOperator::FromPattern(
+    const Pattern& pattern, CepOperatorOptions options) {
+  CEP2ASP_ASSIGN_OR_RETURN(NfaSpec spec, CompileNfa(pattern));
+  return std::make_unique<CepOperator>(std::move(spec), options);
+}
+
+Status CepOperator::Process(int input, Tuple tuple, Collector*) {
+  (void)input;
+  CEP2ASP_DCHECK(tuple.size() == 1) << "CEP operator consumes simple events";
+  int64_t key = options_.keyed ? tuple.key() : 0;
+  pending_.emplace_back(key, tuple.event(0));
+  return Status::OK();
+}
+
+Status CepOperator::OnWatermark(Timestamp watermark, Collector* out) {
+  // Release and process, in event-time order, everything that can no
+  // longer be reordered by late arrivals.
+  auto ready_end = std::stable_partition(
+      pending_.begin(), pending_.end(),
+      [watermark](const std::pair<int64_t, SimpleEvent>& p) {
+        return watermark == kMaxTimestamp || p.second.ts < watermark;
+      });
+  std::stable_sort(pending_.begin(), ready_end,
+                   [](const auto& a, const auto& b) {
+                     return a.second.ts < b.second.ts;
+                   });
+  for (auto it = pending_.begin(); it != ready_end; ++it) {
+    ProcessOrderedEvent(it->first, it->second, out);
+  }
+  pending_.erase(pending_.begin(), ready_end);
+  return Status::OK();
+}
+
+bool CepOperator::Accepts(const KeyState& state, const Run& run,
+                          const SimpleEvent& event) const {
+  const int stage_idx = run.length;
+  const NfaStage& stage = spec_.stages[static_cast<size_t>(stage_idx)];
+  if (event.type != stage.type) return false;
+  if (!stage.filter.IsTrue() && !stage.filter.EvalOnEvent(event)) return false;
+  if (run.length > 0) {
+    // Temporal order between accepted positions (sequence semantics).
+    if (!(run.last_ts < event.ts)) return false;
+    // Implicit windowing: the window constraint as a predicate.
+    if (event.ts - run.first_ts >= spec_.window_size) return false;
+    if (stage.consecutive.has_value()) {
+      const ConsecutiveConstraint& c = *stage.consecutive;
+      const SimpleEvent& last = state.buffer.EventAt(run.last_entry);
+      if (!EvalCmp(GetAttribute(last, c.attr), c.op, GetAttribute(event, c.attr))) {
+        return false;
+      }
+    }
+  }
+  // Cross-variable predicates that become evaluable at this stage fetch
+  // earlier positions lazily from the shared buffer (as FlinkCEP's
+  // iterative conditions do).
+  for (const Comparison& cmp :
+       spec_.stage_predicates[static_cast<size_t>(stage_idx)]) {
+    bool ok = cmp.Eval([&](int var) -> const SimpleEvent& {
+      if (var == stage_idx) return event;
+      return state.buffer.EventAtPosition(run.last_entry, run.length, var);
+    });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool CepOperator::PassesNegations(
+    const KeyState& state, const std::vector<SimpleEvent>& path) const {
+  for (size_t i = 0; i < spec_.negations.size(); ++i) {
+    const NfaNegation& negation = spec_.negations[i];
+    const SimpleEvent& before =
+        path[static_cast<size_t>(negation.after_position)];
+    const SimpleEvent& after =
+        path[static_cast<size_t>(negation.after_position) + 1];
+    for (const SimpleEvent& e2 : state.negation_buffers[i]) {
+      if (before.ts < e2.ts && e2.ts < after.ts) return false;
+    }
+  }
+  return true;
+}
+
+void CepOperator::EmitPath(int64_t key, const std::vector<SimpleEvent>& path,
+                           Collector* out) const {
+  Tuple match;
+  for (const SimpleEvent& e : path) match.AppendEvent(e);
+  match.set_event_time(match.tse());
+  match.set_key(key);
+  out->Emit(std::move(match));
+}
+
+void CepOperator::ProcessOrderedEvent(int64_t key, const SimpleEvent& event,
+                                      Collector* out) {
+  KeyState& state = keys_[key];
+  if (state.negation_buffers.size() != spec_.negations.size()) {
+    state.negation_buffers.resize(spec_.negations.size());
+  }
+
+  // Retrospective negation support: buffer qualifying events of every
+  // negated type.
+  for (size_t i = 0; i < spec_.negations.size(); ++i) {
+    const NfaNegation& negation = spec_.negations[i];
+    if (event.type == negation.type &&
+        (negation.filter.IsTrue() || negation.filter.EvalOnEvent(event))) {
+      state.negation_buffers[i].push_back(event);
+      ++negation_buffer_events_;
+    }
+  }
+
+  const int final_length = spec_.num_positions();
+  std::vector<Run> spawned;  // stam branches created this event
+
+  size_t existing = state.runs.size();
+  size_t write = 0;
+  for (size_t i = 0; i < existing; ++i) {
+    Run& run = state.runs[i];
+    // Implicit-window pruning: the run can never complete once the current
+    // event time is >= first_ts + W (all future events are at least as
+    // late). Dropping a run releases its shared-buffer chain.
+    if (event.ts - run.first_ts >= spec_.window_size) {
+      state.buffer.Release(run.last_entry);
+      --live_runs_;
+      continue;
+    }
+    bool keep = true;
+    if (Accepts(state, run, event)) {
+      switch (options_.policy) {
+        case SelectionPolicy::kSkipTillAnyMatch: {
+          SharedBuffer::EntryId extended =
+              state.buffer.Append(event, run.last_entry);
+          if (run.length + 1 == final_length) {
+            std::vector<SimpleEvent> path = state.buffer.ExtractPath(extended);
+            if (PassesNegations(state, path)) EmitPath(key, path, out);
+            state.buffer.Release(extended);
+          } else {
+            Run branch;
+            branch.last_entry = extended;
+            branch.length = run.length + 1;
+            branch.first_ts = run.first_ts;
+            branch.last_ts = event.ts;
+            spawned.push_back(branch);
+            ++live_runs_;
+          }
+          break;  // original run stays alive (branching)
+        }
+        case SelectionPolicy::kSkipTillNextMatch:
+        case SelectionPolicy::kStrictContiguity: {
+          SharedBuffer::EntryId extended =
+              state.buffer.Append(event, run.last_entry);
+          // The run's ownership moves from the old tip to the new one.
+          state.buffer.Release(run.last_entry);
+          run.last_entry = extended;
+          run.length += 1;
+          run.last_ts = event.ts;
+          if (run.length == final_length) {
+            std::vector<SimpleEvent> path = state.buffer.ExtractPath(extended);
+            if (PassesNegations(state, path)) EmitPath(key, path, out);
+            state.buffer.Release(extended);
+            --live_runs_;
+            keep = false;
+          }
+          break;
+        }
+      }
+    } else if (options_.policy == SelectionPolicy::kStrictContiguity) {
+      // Any non-matching event between accepted positions kills the run.
+      state.buffer.Release(run.last_entry);
+      --live_runs_;
+      keep = false;
+    }
+    if (keep) {
+      if (write != i) state.runs[write] = state.runs[i];
+      ++write;
+    }
+  }
+  state.runs.resize(write);
+  for (const Run& run : spawned) state.runs.push_back(run);
+
+  // The event may also start a fresh run at the initial state.
+  {
+    Run empty;
+    if (Accepts(state, empty, event)) {
+      SharedBuffer::EntryId entry =
+          state.buffer.Append(event, SharedBuffer::kNoEntry);
+      if (final_length == 1) {
+        std::vector<SimpleEvent> path = state.buffer.ExtractPath(entry);
+        if (PassesNegations(state, path)) EmitPath(key, path, out);
+        state.buffer.Release(entry);
+      } else {
+        Run started;
+        started.last_entry = entry;
+        started.length = 1;
+        started.first_ts = event.ts;
+        started.last_ts = event.ts;
+        state.runs.push_back(started);
+        ++live_runs_;
+      }
+    }
+  }
+  peak_runs_ = std::max(peak_runs_, live_runs_);
+
+  // Prune negation buffers: a buffered e2 only matters while some live or
+  // future run can hold an accepted event older than e2; those events are
+  // younger than event.ts - W.
+  for (std::vector<SimpleEvent>& buffer : state.negation_buffers) {
+    size_t before = buffer.size();
+    auto keep_from = std::lower_bound(
+        buffer.begin(), buffer.end(), event.ts - spec_.window_size,
+        [](const SimpleEvent& e, Timestamp ts) { return e.ts <= ts; });
+    buffer.erase(buffer.begin(), keep_from);
+    negation_buffer_events_ -= before - buffer.size();
+  }
+}
+
+size_t CepOperator::StateBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, state] : keys_) {
+    (void)key;
+    bytes += state.buffer.StateBytes();
+    bytes += state.runs.capacity() * sizeof(Run);
+  }
+  return bytes + negation_buffer_events_ * sizeof(SimpleEvent) +
+         pending_.size() * sizeof(std::pair<int64_t, SimpleEvent>);
+}
+
+}  // namespace cep2asp

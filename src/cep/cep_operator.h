@@ -1,0 +1,105 @@
+#ifndef CEP2ASP_CEP_CEP_OPERATOR_H_
+#define CEP2ASP_CEP_CEP_OPERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cep/nfa.h"
+#include "cep/shared_buffer.h"
+#include "runtime/operator.h"
+
+namespace cep2asp {
+
+/// \brief Options of the unary CEP operator.
+struct CepOperatorOptions {
+  SelectionPolicy policy = SelectionPolicy::kSkipTillAnyMatch;
+  /// Partition partial matches by the tuple key (FCEP "can leverage
+  /// partitioning by key and otherwise runs on a single thread", §5.1.2).
+  bool keyed = false;
+};
+
+/// \brief The single-operator CEP approach (FlinkCEP analog, §5.1.2).
+///
+/// A unary stateful operator over the union of all input streams. It
+/// maintains an order-based NFA whose partial matches (runs) store their
+/// accepted prefixes in a versioned SharedBuffer, exactly like FlinkCEP:
+/// branching runs share prefixes; every accept allocates a buffer entry
+/// and bumps reference counts; match emission materializes the path;
+/// expiry cascades releases. Negated sequences are handled
+/// retrospectively: SEQ(T1,T3) matches are detected first, then the
+/// absence constraint is evaluated against a buffer of T2 events. Implicit
+/// windowing turns the WITHIN constraint into run-lifetime predicates.
+///
+/// The operator processes events in event-time order; input is staged in
+/// an ordering buffer released by watermarks (FlinkCEP's event-time
+/// buffering).
+///
+/// Its costs are the paper's measured pathologies: per-event work is
+/// linear in live runs, skip-till-any-match branches runs combinatorially
+/// with selectivity, and run/buffer state grows with the window — the
+/// sources of FCEP's throughput collapse and memory exhaustion.
+class CepOperator : public Operator {
+ public:
+  CepOperator(NfaSpec spec, CepOperatorOptions options,
+              std::string label = "cep");
+
+  /// Compiles `pattern` and builds the operator. Returns Unimplemented for
+  /// patterns outside the FCEP-supported subset (AND, OR, unbounded ITER).
+  static Result<std::unique_ptr<CepOperator>> FromPattern(
+      const Pattern& pattern, CepOperatorOptions options = {});
+
+  std::string name() const override { return label_; }
+
+  Status Process(int input, Tuple tuple, Collector* out) override;
+  Status OnWatermark(Timestamp watermark, Collector* out) override;
+  size_t StateBytes() const override;
+
+  /// Live partial matches across all keys (observability for benchmarks).
+  int64_t live_runs() const { return live_runs_; }
+  int64_t peak_runs() const { return peak_runs_; }
+
+ private:
+  /// A partial match: its accepted prefix lives in the shared buffer; the
+  /// run holds the last entry plus the scalars every transition needs.
+  struct Run {
+    SharedBuffer::EntryId last_entry = SharedBuffer::kNoEntry;
+    int32_t length = 0;
+    Timestamp first_ts = 0;
+    Timestamp last_ts = 0;
+  };
+
+  struct KeyState {
+    SharedBuffer buffer;
+    std::vector<Run> runs;
+    /// One buffer per negation constraint, ordered by ts.
+    std::vector<std::vector<SimpleEvent>> negation_buffers;
+  };
+
+  void ProcessOrderedEvent(int64_t key, const SimpleEvent& event,
+                           Collector* out);
+  bool Accepts(const KeyState& state, const Run& run,
+               const SimpleEvent& event) const;
+  bool PassesNegations(const KeyState& state,
+                       const std::vector<SimpleEvent>& path) const;
+  void EmitPath(int64_t key, const std::vector<SimpleEvent>& path,
+                Collector* out) const;
+
+  NfaSpec spec_;
+  CepOperatorOptions options_;
+  std::string label_;
+
+  std::unordered_map<int64_t, KeyState> keys_;
+  /// Event-time ordering stage: (key, event) pairs awaiting the watermark.
+  std::vector<std::pair<int64_t, SimpleEvent>> pending_;
+  int64_t live_runs_ = 0;
+  int64_t peak_runs_ = 0;
+  size_t negation_buffer_events_ = 0;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_CEP_CEP_OPERATOR_H_

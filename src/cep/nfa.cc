@@ -1,0 +1,100 @@
+#include "cep/nfa.h"
+
+#include "common/logging.h"
+
+namespace cep2asp {
+
+const char* SelectionPolicyToString(SelectionPolicy policy) {
+  switch (policy) {
+    case SelectionPolicy::kSkipTillAnyMatch:
+      return "skip-till-any-match";
+    case SelectionPolicy::kSkipTillNextMatch:
+      return "skip-till-next-match";
+    case SelectionPolicy::kStrictContiguity:
+      return "strict-contiguity";
+  }
+  return "?";
+}
+
+namespace {
+
+Status AppendNode(const PatternNode& node, NfaSpec* spec) {
+  switch (node.op) {
+    case PatternOp::kAtom: {
+      NfaStage stage;
+      stage.type = node.atom.type;
+      stage.filter = node.atom.filter;
+      spec->stages.push_back(std::move(stage));
+      return Status::OK();
+    }
+    case PatternOp::kIter: {
+      if (node.iter_unbounded) {
+        return Status::Unimplemented(
+            "FCEP path: unbounded iteration (Kleene+) is not part of the "
+            "SEA ITER^m operator");
+      }
+      for (int i = 0; i < node.iter_count; ++i) {
+        NfaStage stage;
+        stage.type = node.atom.type;
+        stage.filter = node.atom.filter;
+        if (i > 0) stage.consecutive = node.iter_constraint;
+        spec->stages.push_back(std::move(stage));
+      }
+      return Status::OK();
+    }
+    case PatternOp::kNseq: {
+      NfaStage first;
+      first.type = node.nseq_atoms[0].type;
+      first.filter = node.nseq_atoms[0].filter;
+      spec->stages.push_back(std::move(first));
+
+      NfaNegation negation;
+      negation.type = node.nseq_atoms[1].type;
+      negation.filter = node.nseq_atoms[1].filter;
+      negation.after_position = static_cast<int>(spec->stages.size()) - 1;
+      spec->negations.push_back(std::move(negation));
+
+      NfaStage third;
+      third.type = node.nseq_atoms[2].type;
+      third.filter = node.nseq_atoms[2].filter;
+      spec->stages.push_back(std::move(third));
+      return Status::OK();
+    }
+    case PatternOp::kSeq: {
+      for (const auto& child : node.children) {
+        if (child->op == PatternOp::kSeq) {
+          return Status::Internal("SEQ children should be pre-flattened");
+        }
+        CEP2ASP_RETURN_IF_ERROR(AppendNode(*child, spec));
+      }
+      return Status::OK();
+    }
+    case PatternOp::kAnd:
+      return Status::Unimplemented(
+          "FCEP does not support the conjunction operator (Table 2)");
+    case PatternOp::kOr:
+      return Status::Unimplemented(
+          "FCEP does not support the disjunction operator (Table 2)");
+  }
+  return Status::Internal("unknown pattern op");
+}
+
+}  // namespace
+
+Result<NfaSpec> CompileNfa(const Pattern& pattern) {
+  CEP2ASP_RETURN_IF_ERROR(pattern.Validate());
+  NfaSpec spec;
+  spec.window_size = pattern.window_size();
+  CEP2ASP_RETURN_IF_ERROR(AppendNode(pattern.root(), &spec));
+
+  spec.stage_predicates.resize(spec.stages.size());
+  for (const Comparison& c : pattern.cross_predicates().terms()) {
+    int stage = c.MaxVar();
+    CEP2ASP_CHECK(stage >= 0 &&
+                  stage < static_cast<int>(spec.stage_predicates.size()));
+    spec.stage_predicates[static_cast<size_t>(stage)].push_back(c);
+  }
+  return spec;
+}
+
+}  // namespace cep2asp

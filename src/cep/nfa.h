@@ -1,0 +1,72 @@
+#ifndef CEP2ASP_CEP_NFA_H_
+#define CEP2ASP_CEP_NFA_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "sea/pattern.h"
+
+namespace cep2asp {
+
+/// \brief Event selection policies of order-based CEP engines
+/// (paper §3.1.4 and Table 2).
+enum class SelectionPolicy : uint8_t {
+  /// skip-till-any-match: any combination of relevant events, branching
+  /// partial matches (FlinkCEP followedByAny / allowCombinations).
+  kSkipTillAnyMatch,
+  /// skip-till-next-match: each partial match extends with the next
+  /// relevant event only (FlinkCEP followedBy).
+  kSkipTillNextMatch,
+  /// strict contiguity: matching events must be adjacent in the input
+  /// stream (FlinkCEP next).
+  kStrictContiguity,
+};
+
+const char* SelectionPolicyToString(SelectionPolicy policy);
+
+/// \brief One accepting state transition of the compiled NFA: the event
+/// type expected at this match position, its pushed-down filter, and the
+/// optional constraint against the previous accepted event (iterations).
+struct NfaStage {
+  EventTypeId type = kInvalidEventType;
+  Predicate filter;  // single-variable, var index 0 = the candidate event
+  /// Set when this stage and the previous one belong to the same ITER
+  /// block and the pattern constrains consecutive events.
+  std::optional<ConsecutiveConstraint> consecutive;
+};
+
+/// \brief Absence constraint between two adjacent match positions
+/// (negated sequence): no qualifying event of `type` may occur strictly
+/// between the events accepted at `after_position` and after_position+1.
+struct NfaNegation {
+  EventTypeId type = kInvalidEventType;
+  Predicate filter;
+  int after_position = 0;
+};
+
+/// \brief Compiled order-based pattern: the linear prefix automaton used
+/// by FlinkCEP-style engines (paper §2.3).
+///
+/// State q_n represents a partial match holding the first n positions;
+/// the final state is reached after `stages.size()` accepted events.
+struct NfaSpec {
+  std::vector<NfaStage> stages;
+  std::vector<NfaNegation> negations;
+  /// Cross-variable comparisons, grouped by the stage at which they first
+  /// become evaluable (index = max variable referenced).
+  std::vector<std::vector<Comparison>> stage_predicates;
+  Timestamp window_size = 0;
+
+  int num_positions() const { return static_cast<int>(stages.size()); }
+};
+
+/// Compiles a pattern into the order-based NFA. Returns Unimplemented for
+/// patterns outside the FCEP-supported subset: conjunction, disjunction,
+/// and unbounded iterations are not expressible (paper Table 2 — FCEP
+/// supports SEQ, ITER, NSEQ only).
+Result<NfaSpec> CompileNfa(const Pattern& pattern);
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_CEP_NFA_H_

@@ -1,0 +1,68 @@
+#include "cep/shared_buffer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cep2asp {
+
+SharedBuffer::EntryId SharedBuffer::Append(const SimpleEvent& event,
+                                           EntryId previous) {
+  EntryId id = next_id_++;
+  Entry entry;
+  entry.event = event;
+  entry.previous = previous;
+  entry.ref_count = 1;  // the owning run
+  if (previous != kNoEntry) AddRef(previous);
+  entries_.emplace(id, std::move(entry));
+  return id;
+}
+
+void SharedBuffer::AddRef(EntryId entry) {
+  auto it = entries_.find(entry);
+  CEP2ASP_DCHECK(it != entries_.end());
+  it->second.ref_count++;
+}
+
+void SharedBuffer::Release(EntryId entry) {
+  while (entry != kNoEntry) {
+    auto it = entries_.find(entry);
+    CEP2ASP_DCHECK(it != entries_.end());
+    if (--it->second.ref_count > 0) return;
+    EntryId previous = it->second.previous;
+    entries_.erase(it);
+    entry = previous;
+  }
+}
+
+std::vector<SimpleEvent> SharedBuffer::ExtractPath(EntryId entry) const {
+  std::vector<SimpleEvent> path;
+  while (entry != kNoEntry) {
+    auto it = entries_.find(entry);
+    CEP2ASP_DCHECK(it != entries_.end());
+    path.push_back(it->second.event);
+    entry = it->second.previous;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+const SimpleEvent& SharedBuffer::EventAt(EntryId entry) const {
+  auto it = entries_.find(entry);
+  CEP2ASP_CHECK(it != entries_.end()) << "dangling shared buffer entry";
+  return it->second.event;
+}
+
+const SimpleEvent& SharedBuffer::EventAtPosition(EntryId entry, int length,
+                                                 int position) const {
+  CEP2ASP_DCHECK(position >= 0 && position < length);
+  int hops = length - 1 - position;
+  while (hops-- > 0) {
+    auto it = entries_.find(entry);
+    CEP2ASP_CHECK(it != entries_.end()) << "dangling shared buffer entry";
+    entry = it->second.previous;
+  }
+  return EventAt(entry);
+}
+
+}  // namespace cep2asp

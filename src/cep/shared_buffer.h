@@ -1,0 +1,80 @@
+#ifndef CEP2ASP_CEP_SHARED_BUFFER_H_
+#define CEP2ASP_CEP_SHARED_BUFFER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "event/event.h"
+
+namespace cep2asp {
+
+/// \brief Versioned, reference-counted storage for the events of partial
+/// matches — the SharedBuffer of order-based CEP engines (FlinkCEP's NFA
+/// keeps accepted events exactly like this).
+///
+/// Runs do not copy their accepted prefixes; they hold the id of their
+/// last buffer entry, and entries chain backwards to their predecessor.
+/// Branching runs (skip-till-any-match) share prefixes, which keeps
+/// memory sub-combinatorial, at the price of per-accept bookkeeping
+/// (entry allocation, reference counting) and per-match path extraction —
+/// the "cumbersome maintenance process" whose cost the paper observes
+/// (§5.2.4).
+class SharedBuffer {
+ public:
+  using EntryId = int64_t;
+  static constexpr EntryId kNoEntry = 0;
+
+  SharedBuffer() = default;
+
+  SharedBuffer(const SharedBuffer&) = delete;
+  SharedBuffer& operator=(const SharedBuffer&) = delete;
+
+  /// Appends `event` after `previous` (kNoEntry for a run start). The new
+  /// entry starts with one reference (the owning run); `previous` gains a
+  /// reference from the new entry.
+  EntryId Append(const SimpleEvent& event, EntryId previous);
+
+  /// Registers an additional owner of `entry` (a branching run).
+  void AddRef(EntryId entry);
+
+  /// Drops one owner of `entry`; unreferenced entries are removed and
+  /// release their predecessors transitively.
+  void Release(EntryId entry);
+
+  /// Reconstructs the accepted event sequence ending at `entry`, oldest
+  /// first (match materialization; linear in run length, one hash lookup
+  /// per position).
+  std::vector<SimpleEvent> ExtractPath(EntryId entry) const;
+
+  /// The event stored at `entry`.
+  const SimpleEvent& EventAt(EntryId entry) const;
+
+  /// The event at `position` (0-based from the run start) of the path
+  /// ending at `entry`, of a run of `length` events. Lazily walks the
+  /// chain — the cost a cross-variable predicate pays in this
+  /// architecture.
+  const SimpleEvent& EventAtPosition(EntryId entry, int length,
+                                     int position) const;
+
+  size_t num_entries() const { return entries_.size(); }
+
+  size_t StateBytes() const {
+    return entries_.size() *
+           (sizeof(Entry) + sizeof(EntryId) + 32 /* hash node overhead */);
+  }
+
+ private:
+  struct Entry {
+    SimpleEvent event;
+    EntryId previous = kNoEntry;
+    int32_t ref_count = 0;
+  };
+
+  std::unordered_map<EntryId, Entry> entries_;
+  EntryId next_id_ = 1;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_CEP_SHARED_BUFFER_H_

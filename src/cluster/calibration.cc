@@ -1,0 +1,178 @@
+#include "cluster/calibration.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "asp/sliding_window_join.h"
+#include "asp/stateless.h"
+#include "asp/window_aggregate.h"
+#include "cep/cep_operator.h"
+#include "common/clock.h"
+#include "runtime/executor.h"
+#include "runtime/vector_source.h"
+#include "sea/pattern.h"
+
+namespace cep2asp {
+
+namespace {
+
+std::vector<SimpleEvent> MakeEvents(EventTypeId type, int count,
+                                    Timestamp step_ms) {
+  std::vector<SimpleEvent> events;
+  events.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    SimpleEvent e;
+    e.type = type;
+    e.id = 1;
+    e.ts = static_cast<Timestamp>(i) * step_ms;
+    e.value = static_cast<double>(i % 100);
+    events.push_back(e);
+  }
+  return events;
+}
+
+/// Runs the graph and returns elapsed nanoseconds.
+double TimeRun(JobGraph* graph, CollectSink* sink) {
+  ExecutorOptions options;
+  options.watermark_interval = 512;
+  options.state_sample_interval = 0;
+  SystemClock* clock = SystemClock::Get();
+  int64_t begin = clock->NowNanos();
+  ExecutionResult result = RunJob(graph, sink, options);
+  CEP2ASP_CHECK(result.ok) << result.error;
+  return static_cast<double>(clock->NowNanos() - begin);
+}
+
+}  // namespace
+
+CostProfile CalibrateCostProfile() {
+  CostProfile profile;
+  EventTypeRegistry* registry = EventTypeRegistry::Global();
+  const EventTypeId ca = registry->RegisterOrGet("CalibA");
+  const EventTypeId cb = registry->RegisterOrGet("CalibB");
+  const int kN = 200000;
+
+  // --- stateless_ns: source -> filter -> sink -------------------------------
+  {
+    JobGraph graph;
+    NodeId src = graph.AddSource(std::make_unique<VectorSource>(
+        "s", MakeEvents(ca, kN, 10)));
+    NodeId filter = graph.AddOperatorAfter(
+        src, std::make_unique<FilterOperator>(
+                 [](const Tuple& t) { return t.event(0).value < 0; }));
+    auto sink_op = std::make_unique<CollectSink>(/*store_tuples=*/false);
+    CollectSink* sink = sink_op.get();
+    graph.AddOperatorAfter(filter, std::move(sink_op));
+    profile.stateless_ns = std::max(5.0, TimeRun(&graph, sink) / kN);
+  }
+
+  // --- buffer_insert_ns: join whose sides never share a key -----------------
+  {
+    std::vector<SimpleEvent> left = MakeEvents(ca, kN / 2, 10);
+    std::vector<SimpleEvent> right = MakeEvents(cb, kN / 2, 10);
+    for (SimpleEvent& e : right) e.id = 2;  // disjoint key: no pairs
+    JobGraph graph;
+    NodeId l = graph.AddSource(std::make_unique<VectorSource>("l", left));
+    NodeId r = graph.AddSource(std::make_unique<VectorSource>("r", right));
+    NodeId join = graph.AddOperator(std::make_unique<SlidingWindowJoinOperator>(
+        SlidingWindowSpec{10000, 10000}, Predicate(), TimestampMode::kMax));
+    CEP2ASP_CHECK_OK(graph.Connect(l, join, 0));
+    CEP2ASP_CHECK_OK(graph.Connect(r, join, 1));
+    auto sink_op = std::make_unique<CollectSink>(/*store_tuples=*/false);
+    CollectSink* sink = sink_op.get();
+    graph.AddOperatorAfter(join, std::move(sink_op));
+    profile.buffer_insert_ns =
+        std::max(10.0, TimeRun(&graph, sink) / kN - profile.stateless_ns);
+  }
+
+  // --- join_pair_ns: dense cross join, pair count dominates -----------------
+  {
+    const int kSide = 3000;
+    std::vector<SimpleEvent> left = MakeEvents(ca, kSide, 10);
+    std::vector<SimpleEvent> right = MakeEvents(cb, kSide, 10);
+    JobGraph graph;
+    NodeId l = graph.AddSource(std::make_unique<VectorSource>("l", left));
+    NodeId r = graph.AddSource(std::make_unique<VectorSource>("r", right));
+    auto join_op = std::make_unique<SlidingWindowJoinOperator>(
+        SlidingWindowSpec{10000, 10000}, Predicate(), TimestampMode::kMax);
+    SlidingWindowJoinOperator* join_ptr = join_op.get();
+    NodeId join = graph.AddOperator(std::move(join_op));
+    CEP2ASP_CHECK_OK(graph.Connect(l, join, 0));
+    CEP2ASP_CHECK_OK(graph.Connect(r, join, 1));
+    auto sink_op = std::make_unique<CollectSink>(/*store_tuples=*/false);
+    CollectSink* sink = sink_op.get();
+    graph.AddOperatorAfter(join, std::move(sink_op));
+    double elapsed = TimeRun(&graph, sink);
+    int64_t pairs = std::max<int64_t>(1, join_ptr->pairs_evaluated());
+    profile.join_pair_ns = std::max(
+        5.0, (elapsed - 2.0 * kSide * profile.buffer_insert_ns) /
+                 static_cast<double>(pairs));
+  }
+
+  // --- aggregate_event_ns ----------------------------------------------------
+  {
+    JobGraph graph;
+    NodeId src = graph.AddSource(std::make_unique<VectorSource>(
+        "s", MakeEvents(ca, kN, 10)));
+    // Sliding windows with 10x overlap: each event scanned ~10 times.
+    NodeId agg = graph.AddOperatorAfter(
+        src, std::make_unique<WindowAggregateOperator>(
+                 SlidingWindowSpec{10000, 1000}, AggregateFn::kCount,
+                 Attribute::kValue));
+    auto sink_op = std::make_unique<CollectSink>(/*store_tuples=*/false);
+    CollectSink* sink = sink_op.get();
+    graph.AddOperatorAfter(agg, std::move(sink_op));
+    double per_scan_events = 10.0;  // overlap factor
+    profile.aggregate_event_ns = std::max(
+        1.0, (TimeRun(&graph, sink) / kN - profile.buffer_insert_ns) /
+                 per_scan_events);
+  }
+
+  // --- cep_event_ns: CEP with a never-starting pattern ------------------------
+  Pattern seq = PatternBuilder()
+                    .Seq(PatternBuilder::Atom(cb, "e1"),
+                         PatternBuilder::Atom(cb, "e2"))
+                    .Within(10 * kMillisPerMinute)
+                    .Build()
+                    .ValueOrDie();
+  {
+    JobGraph graph;
+    NodeId src = graph.AddSource(std::make_unique<VectorSource>(
+        "s", MakeEvents(ca, kN, 10)));  // wrong type: zero runs
+    NodeId cep = graph.AddOperatorAfter(
+        src, CepOperator::FromPattern(seq).ValueOrDie());
+    auto sink_op = std::make_unique<CollectSink>(/*store_tuples=*/false);
+    CollectSink* sink = sink_op.get();
+    graph.AddOperatorAfter(cep, std::move(sink_op));
+    profile.cep_event_ns = std::max(10.0, TimeRun(&graph, sink) / kN);
+  }
+
+  // --- cep_run_check_ns: run-heavy CEP ---------------------------------------
+  {
+    const int kEvents = 4000;
+    JobGraph graph;
+    // All events are of the accepting type with a wide window: the run
+    // list grows linearly, so total checks ~ kEvents^2 / 2.
+    NodeId src = graph.AddSource(std::make_unique<VectorSource>(
+        "s", MakeEvents(cb, kEvents, 1)));
+    Pattern blocked = PatternBuilder()
+                          .Seq(PatternBuilder::Atom(cb, "e1"),
+                               PatternBuilder::Atom(ca, "e2"))
+                          .Within(60 * kMillisPerMinute)
+                          .Build()
+                          .ValueOrDie();
+    NodeId cep = graph.AddOperatorAfter(
+        src, CepOperator::FromPattern(blocked).ValueOrDie());
+    auto sink_op = std::make_unique<CollectSink>(/*store_tuples=*/false);
+    CollectSink* sink = sink_op.get();
+    graph.AddOperatorAfter(cep, std::move(sink_op));
+    double elapsed = TimeRun(&graph, sink);
+    double checks = 0.5 * static_cast<double>(kEvents) * kEvents;
+    profile.cep_run_check_ns =
+        std::max(2.0, (elapsed - kEvents * profile.cep_event_ns) / checks);
+  }
+
+  return profile;
+}
+
+}  // namespace cep2asp

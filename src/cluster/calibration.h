@@ -1,0 +1,18 @@
+#ifndef CEP2ASP_CLUSTER_CALIBRATION_H_
+#define CEP2ASP_CLUSTER_CALIBRATION_H_
+
+#include "cluster/cost_model.h"
+
+namespace cep2asp {
+
+/// \brief Fits the CostProfile constants by running micro-workloads on the
+/// real single-threaded engine of this repository.
+///
+/// The cluster simulator then extrapolates distributed behaviour from
+/// costs this machine actually exhibits, rather than from guessed
+/// constants. Takes a few hundred milliseconds.
+CostProfile CalibrateCostProfile();
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_CLUSTER_CALIBRATION_H_

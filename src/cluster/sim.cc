@@ -1,0 +1,269 @@
+#include "cluster/sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cep2asp {
+
+const char* SimApproachToString(SimApproach approach) {
+  switch (approach) {
+    case SimApproach::kFcep:
+      return "FCEP";
+    case SimApproach::kFaspSliding:
+      return "FASP-O3";
+    case SimApproach::kFaspInterval:
+      return "FASP-O1+O3";
+    case SimApproach::kFaspAggregate:
+      return "FASP-O2+O3";
+  }
+  return "?";
+}
+
+std::string CostProfile::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "stateless=%.0fns insert=%.0fns pair=%.0fns agg=%.0fns "
+                "cep_event=%.0fns run_check=%.0fns shuffle=%.0fns",
+                stateless_ns, buffer_insert_ns, join_pair_ns,
+                aggregate_event_ns, cep_event_ns, cep_run_check_ns, shuffle_ns);
+  return buf;
+}
+
+namespace {
+
+/// Deterministic 64-bit mix for hashing keys onto subtasks.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+/// Steady-state demand derived from the workload's *event-time*
+/// characteristics: sensors report once per minute per stream, so window
+/// contents (and thus state and per-event work) are fixed by W and the
+/// filter selectivity, independent of how fast the data is replayed. The
+/// processing (ingestion) rate only scales how many events per wall-clock
+/// second each subtask must push through that per-event cost — and how
+/// fast allocation garbage accrues.
+struct ClusterSimulator::LoadModel {
+  double cost_ns_per_event = 0;   // CPU work per raw ingested event
+  double state_bytes_per_key = 0; // steady window/run state of one key
+  double garbage_bytes_per_event = 0;
+  int parallelism = 1;
+  std::vector<int> keys_per_subtask;
+  bool fcep_like = false;
+};
+
+ClusterSimulator::LoadModel ClusterSimulator::BuildLoadModel(
+    const SimJobSpec& job, double /*offered_tps*/) const {
+  LoadModel model;
+  const double window_min =
+      static_cast<double>(job.window_ms) / kMillisPerMinute;
+  const double slide_min =
+      std::max(1.0, static_cast<double>(job.slide_ms) / kMillisPerMinute);
+  // Each key contributes one reading per minute per stream (QnV/AQ-style
+  // minute sampling); q = relevant (post-filter) readings/min/key/stream.
+  const double q = job.filter_selectivity;
+  // Relevant events of one stream side alive in a window, per key.
+  const double content = q * window_min;
+  // Raw events per event-time minute per key (all streams).
+  const double raw_per_min = static_cast<double>(job.num_streams);
+
+  const int n = std::max(2, job.pattern_length);
+  double cost_per_min = 0;  // ns of work per event-time minute per key
+  double state = 0;         // bytes per key
+
+  switch (job.approach) {
+    case SimApproach::kFcep: {
+      // Live runs per key: relevant stage-1 events in the window, plus
+      // branches per further stage (skip-till-any-match).
+      double partials = content;
+      double live_runs = partials;
+      for (int s = 2; s < n; ++s) {
+        partials *= std::max(0.0, content * job.step_selectivity);
+        live_runs += partials;
+      }
+      const double event_ns = costs_.cep_event_ns * costs_.flink_cep_overhead;
+      const double run_ns = costs_.cep_run_check_ns * costs_.flink_cep_overhead;
+      cost_per_min = raw_per_min * (event_ns + live_runs * run_ns);
+      state = live_runs * costs_.run_state_bytes * costs_.flink_cep_overhead +
+              raw_per_min * window_min * costs_.tuple_state_bytes;
+      model.garbage_bytes_per_event = costs_.fcep_garbage_bytes_per_event;
+      model.fcep_like = true;
+      break;
+    }
+    case SimApproach::kFaspSliding:
+    case SimApproach::kFaspInterval: {
+      const bool sliding = job.approach == SimApproach::kFaspSliding;
+      // Left-deep chain; intermediate logical match rate per minute.
+      double left_rate = q;  // matches/min entering as the left side
+      for (int j = 1; j < n; ++j) {
+        double left_content = left_rate * window_min;
+        // Fresh pairs appear once (full concat + predicate cost); sliding
+        // windows additionally re-visit every co-resident pair on each of
+        // the W/slide overlapping fires, at scan-iteration cost only
+        // (intermediate joins skip re-emission of known pairs).
+        double fresh_pairs_per_min = left_rate * content + q * left_content;
+        double revisit_pairs_per_min =
+            sliding ? std::max(0.0, (left_content * content) / slide_min -
+                                        fresh_pairs_per_min)
+                    : 0.0;
+        cost_per_min += (left_rate + q) * costs_.buffer_insert_ns +
+                        fresh_pairs_per_min * costs_.join_pair_ns +
+                        revisit_pairs_per_min * costs_.join_pair_repeat_ns;
+        state += (left_content + content) * costs_.tuple_state_bytes;
+        left_rate = left_rate * content * job.step_selectivity;
+      }
+      cost_per_min += raw_per_min * costs_.stateless_ns;
+      model.garbage_bytes_per_event = costs_.fasp_garbage_bytes_per_event;
+      break;
+    }
+    case SimApproach::kFaspAggregate: {
+      // One window scan (`content` events) per slide tick, on top of the
+      // stateless chain and buffer maintenance.
+      cost_per_min = raw_per_min * costs_.stateless_ns +
+                     q * costs_.buffer_insert_ns +
+                     (content / slide_min) * costs_.aggregate_event_ns;
+      state = content * costs_.tuple_state_bytes;
+      model.garbage_bytes_per_event = costs_.fasp_garbage_bytes_per_event * 0.5;
+      break;
+    }
+  }
+
+  cost_per_min += raw_per_min * costs_.shuffle_ns;
+
+  model.cost_ns_per_event = cost_per_min / std::max(1.0, raw_per_min);
+  model.state_bytes_per_key = state;
+  model.parallelism = std::min(job.num_keys, cluster_.total_slots());
+  model.keys_per_subtask.assign(static_cast<size_t>(model.parallelism), 0);
+  for (int key = 0; key < job.num_keys; ++key) {
+    size_t subtask = static_cast<size_t>(
+        Mix(static_cast<uint64_t>(key)) %
+        static_cast<uint64_t>(model.parallelism));
+    model.keys_per_subtask[subtask]++;
+  }
+  return model;
+}
+
+SimResult ClusterSimulator::Run(const SimJobSpec& job, double offered_tps,
+                                double duration_seconds,
+                                double sample_seconds) const {
+  SimResult result;
+  LoadModel model = BuildLoadModel(job, offered_tps);
+
+  int max_keys_on_subtask = 0;
+  for (int keys : model.keys_per_subtask) {
+    max_keys_on_subtask = std::max(max_keys_on_subtask, keys);
+  }
+
+  // Window/run state, spread across workers by subtask placement.
+  std::vector<double> worker_state(static_cast<size_t>(cluster_.num_workers), 0);
+  for (int s = 0; s < model.parallelism; ++s) {
+    int worker = s % cluster_.num_workers;
+    worker_state[static_cast<size_t>(worker)] +=
+        model.keys_per_subtask[static_cast<size_t>(s)] *
+        model.state_bytes_per_key;
+  }
+
+  // Heap pressure from allocation churn grows with the per-worker
+  // ingestion share.
+  const double per_worker_tps = offered_tps / cluster_.num_workers;
+  const double garbage_bytes =
+      per_worker_tps * model.garbage_bytes_per_event * costs_.reclaim_lag_seconds;
+
+  const double window_s = static_cast<double>(job.window_ms) / 1000.0;
+
+  // The busiest subtask bounds sustained progress (one slot, one core):
+  // it must process its key share of the offered rate.
+  const double subtask_share =
+      static_cast<double>(max_keys_on_subtask) / std::max(1, job.num_keys);
+  const double base_util =
+      offered_tps * subtask_share * model.cost_ns_per_event * 1e-9;
+
+  double peak_memory = 0;
+  for (double t = 0; t <= duration_seconds; t += sample_seconds) {
+    double ramp = window_s > 0 ? std::min(1.0, t / window_s) : 1.0;
+    // The NFA accretes outdated partial matches reclaimed lazily (§5.2.4):
+    // slow linear creep on top of the steady state.
+    double creep = model.fcep_like ? 1.0 + 0.15 * (t / 600.0) : 1.0;
+
+    double max_worker_mem = 0;
+    double total_mem = 0;
+    for (double base : worker_state) {
+      // FCEP's creep also applies to its reclamation backlog: outdated
+      // partial matches keep accruing while the job runs (§5.2.4).
+      double mem = base * ramp * creep +
+                   garbage_bytes * std::min(1.0, ramp * 4) * creep;
+      max_worker_mem = std::max(max_worker_mem, mem);
+      total_mem += mem;
+    }
+    peak_memory = std::max(peak_memory, total_mem);
+
+    double occupancy =
+        std::min(1.0, max_worker_mem / cluster_.memory_per_worker_bytes);
+    double gc_mult = 1.0 + costs_.gc_factor * occupancy * occupancy;
+    double util = base_util * ramp * gc_mult;
+
+    SimSample sample;
+    sample.time_seconds = t;
+    sample.memory_bytes = total_mem;
+    sample.cpu_fraction = std::min(1.0, util);
+    result.timeline.push_back(sample);
+
+    if (max_worker_mem > cluster_.memory_per_worker_bytes) {
+      result.failed = true;
+      result.failure_reason = "worker memory exhausted";
+      result.achieved_tps = 0;
+      result.peak_memory_bytes = peak_memory;
+      return result;
+    }
+    if (util > 1.0) result.backpressured = true;
+    result.steady_cpu_fraction = std::min(1.0, util);
+  }
+
+  result.peak_memory_bytes = peak_memory;
+  if (result.backpressured) {
+    double occupancy = std::min(
+        1.0, (peak_memory / cluster_.num_workers) /
+                 cluster_.memory_per_worker_bytes);
+    double gc_mult = 1.0 + costs_.gc_factor * occupancy * occupancy;
+    double capacity_util = base_util * gc_mult;
+    result.achieved_tps =
+        capacity_util > 0 ? offered_tps / capacity_util : offered_tps;
+  } else {
+    result.achieved_tps = offered_tps;
+  }
+  return result;
+}
+
+double ClusterSimulator::FindMaxSustainableTps(const SimJobSpec& job,
+                                               double upper_bound_tps,
+                                               double tolerance) const {
+  double lo = 0;
+  double hi = upper_bound_tps;
+  for (int i = 0; i < 8; ++i) {
+    SimResult probe = Run(job, hi, /*duration_seconds=*/1800.0);
+    if (probe.failed || probe.backpressured) break;
+    lo = hi;
+    hi *= 2;
+  }
+  while (hi - lo > tolerance * hi) {
+    double mid = 0.5 * (lo + hi);
+    SimResult probe = Run(job, mid, /*duration_seconds=*/1800.0);
+    if (probe.failed || probe.backpressured) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace cep2asp

@@ -1,0 +1,24 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace cep2asp {
+
+Timestamp SystemClock::NowMillis() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t SystemClock::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+SystemClock* SystemClock::Get() {
+  static SystemClock* const kInstance = new SystemClock();
+  return kInstance;
+}
+
+}  // namespace cep2asp

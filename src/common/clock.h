@@ -1,0 +1,56 @@
+#ifndef CEP2ASP_COMMON_CLOCK_H_
+#define CEP2ASP_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace cep2asp {
+
+/// Event time and processing time are both expressed in milliseconds.
+using Timestamp = int64_t;
+
+/// Sentinel for "no watermark / time unknown".
+inline constexpr Timestamp kMinTimestamp = INT64_MIN;
+/// Watermark value signalling end-of-stream (all windows may fire).
+inline constexpr Timestamp kMaxTimestamp = INT64_MAX;
+
+inline constexpr Timestamp kMillisPerSecond = 1000;
+inline constexpr Timestamp kMillisPerMinute = 60 * kMillisPerSecond;
+
+/// \brief Wall-clock source, virtualizable for deterministic tests.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current processing time in milliseconds.
+  virtual Timestamp NowMillis() const = 0;
+  /// Current time in nanoseconds (for fine-grained cost measurement).
+  virtual int64_t NowNanos() const = 0;
+};
+
+/// Real monotonic clock (offset so values are positive and comparable).
+class SystemClock : public Clock {
+ public:
+  Timestamp NowMillis() const override;
+  int64_t NowNanos() const override;
+
+  /// Shared process-wide instance.
+  static SystemClock* Get();
+};
+
+/// Manually advanced clock for deterministic unit tests.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(Timestamp start_millis = 0) : now_millis_(start_millis) {}
+
+  Timestamp NowMillis() const override { return now_millis_; }
+  int64_t NowNanos() const override { return now_millis_ * 1000000; }
+
+  void AdvanceMillis(Timestamp delta) { now_millis_ += delta; }
+  void SetMillis(Timestamp now) { now_millis_ = now; }
+
+ private:
+  Timestamp now_millis_;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_COMMON_CLOCK_H_

@@ -1,0 +1,77 @@
+#ifndef CEP2ASP_COMMON_LOGGING_H_
+#define CEP2ASP_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cep2asp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Process-wide minimum level below which log statements are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// One log statement; flushes to stderr on destruction. FATAL aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows an entire disabled log statement (used by CEP2ASP_DCHECK in
+/// release builds) without evaluating the streamed expressions' insertion.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace cep2asp
+
+#define CEP2ASP_LOG(level)                                     \
+  ::cep2asp::internal_logging::LogMessage(                     \
+      ::cep2asp::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts with a message when `condition` is false. Active in all builds:
+/// the checked invariants guard correctness of the engines, not hot loops.
+#define CEP2ASP_CHECK(condition)                                        \
+  if (!(condition))                                                     \
+  CEP2ASP_LOG(Fatal) << "Check failed: " #condition " "
+
+#define CEP2ASP_CHECK_OK(expr)                            \
+  do {                                                    \
+    ::cep2asp::Status _st = (expr);                       \
+    if (!_st.ok())                                        \
+      CEP2ASP_LOG(Fatal) << "Status not OK: " << _st;     \
+  } while (0)
+
+#ifndef NDEBUG
+#define CEP2ASP_DCHECK(condition) CEP2ASP_CHECK(condition)
+#else
+#define CEP2ASP_DCHECK(condition) \
+  if (false) ::cep2asp::internal_logging::NullStream()
+#endif
+
+#endif  // CEP2ASP_COMMON_LOGGING_H_

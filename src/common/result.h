@@ -1,0 +1,73 @@
+#ifndef CEP2ASP_COMMON_RESULT_H_
+#define CEP2ASP_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace cep2asp {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// A Result constructed from an OK status is a programming error and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result. Intentionally implicit so functions can
+  /// `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result. Intentionally implicit so functions can
+  /// `return Status::...;`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      std::cerr << "Result constructed from OK status" << std::endl;
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  /// Returns the contained value; aborts if the result holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status_.ToString()
+                << std::endl;
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_COMMON_RESULT_H_

@@ -1,0 +1,159 @@
+#ifndef CEP2ASP_COMMON_SMALL_VECTOR_H_
+#define CEP2ASP_COMMON_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace cep2asp {
+
+/// \brief Vector with inline storage for the first N elements.
+///
+/// Stream tuples carry a handful of constituent events; keeping them inline
+/// avoids one heap allocation per tuple on the hot path. Only supports
+/// trivially copyable T, which covers SimpleEvent.
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector supports trivially copyable types only");
+
+ public:
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) { CopyFrom(other); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      FreeHeap();
+      size_ = 0;
+      capacity_ = N;
+      heap_ = nullptr;
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      FreeHeap();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { FreeHeap(); }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    data()[size_++] = value;
+  }
+
+  void append(const T* values, size_t count) {
+    if (size_ + count > capacity_) {
+      size_t cap = capacity_;
+      while (cap < size_ + count) cap *= 2;
+      Grow(cap);
+    }
+    std::copy(values, values + count, data() + size_);
+    size_ += count;
+  }
+
+  void append(const SmallVector& other) { append(other.data(), other.size()); }
+
+  void clear() { size_ = 0; }
+
+  void resize(size_t new_size) {
+    if (new_size > capacity_) Grow(new_size);
+    if (new_size > size_) std::fill(data() + size_, data() + new_size, T{});
+    size_ = new_size;
+  }
+
+  T* data() { return heap_ ? heap_ : reinterpret_cast<T*>(inline_); }
+  const T* data() const {
+    return heap_ ? heap_ : reinterpret_cast<const T*>(inline_);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  T& operator[](size_t i) {
+    CEP2ASP_DCHECK(i < size_);
+    return data()[i];
+  }
+  const T& operator[](size_t i) const {
+    CEP2ASP_DCHECK(i < size_);
+    return data()[i];
+  }
+
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  void Grow(size_t new_capacity) {
+    T* new_heap = new T[new_capacity];
+    std::copy(data(), data() + size_, new_heap);
+    FreeHeap();
+    heap_ = new_heap;
+    capacity_ = new_capacity;
+  }
+
+  void FreeHeap() {
+    delete[] heap_;
+    heap_ = nullptr;
+  }
+
+  void CopyFrom(const SmallVector& other) {
+    if (other.size_ > N) Grow(other.size_);
+    std::copy(other.data(), other.data() + other.size_, data());
+    size_ = other.size_;
+  }
+
+  void MoveFrom(SmallVector&& other) {
+    if (other.heap_) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      heap_ = nullptr;
+      capacity_ = N;
+      size_ = other.size_;
+      std::copy(other.data(), other.data() + other.size_, data());
+      other.size_ = 0;
+    }
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_COMMON_SMALL_VECTOR_H_

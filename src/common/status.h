@@ -1,0 +1,153 @@
+#ifndef CEP2ASP_COMMON_STATUS_H_
+#define CEP2ASP_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace cep2asp {
+
+/// \brief Machine-readable category of a Status.
+///
+/// The codes loosely follow the Arrow/Abseil canonical set, restricted to the
+/// categories this project actually produces.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed something malformed
+  kNotFound = 2,          // a named entity does not exist
+  kAlreadyExists = 3,     // duplicate registration
+  kOutOfRange = 4,        // index / timestamp outside the valid domain
+  kFailedPrecondition = 5,// object in the wrong state for the call
+  kResourceExhausted = 6, // queue full, memory budget exceeded
+  kUnimplemented = 7,     // feature intentionally not supported
+  kInternal = 8,          // invariant violation inside the library
+  kIoError = 9,           // file / CSV problems
+  kParseError = 10,       // PSL text could not be parsed
+  kCancelled = 11,        // job stopped before completion
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Error-or-success result of an operation, Arrow-style.
+///
+/// The library does not use C++ exceptions; every fallible function returns a
+/// Status (or a Result<T>, see result.h). An OK status carries no allocation.
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_unique<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+
+  /// \brief Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// \brief Prepends context to the message, keeping the code.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code(), context + ": " + message());
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  void CopyFrom(const Status& other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+  }
+
+  std::unique_ptr<Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace cep2asp
+
+/// Propagates a non-OK Status to the caller.
+#define CEP2ASP_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::cep2asp::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#define CEP2ASP_CONCAT_IMPL(x, y) x##y
+#define CEP2ASP_CONCAT(x, y) CEP2ASP_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression yielding Result<T>; on success binds the value to
+/// `lhs`, otherwise returns the error Status to the caller.
+#define CEP2ASP_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto CEP2ASP_CONCAT(_res_, __LINE__) = (rexpr);                       \
+  if (!CEP2ASP_CONCAT(_res_, __LINE__).ok())                            \
+    return CEP2ASP_CONCAT(_res_, __LINE__).status();                    \
+  lhs = std::move(CEP2ASP_CONCAT(_res_, __LINE__)).ValueOrDie()
+
+#endif  // CEP2ASP_COMMON_STATUS_H_

@@ -1,0 +1,43 @@
+#ifndef CEP2ASP_COMMON_STRINGS_H_
+#define CEP2ASP_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cep2asp {
+
+/// Splits `text` at every occurrence of `sep`; adjacent separators yield
+/// empty pieces.
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Uppercases ASCII letters.
+std::string ToUpper(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a double; returns false on trailing garbage or empty input.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Parses a signed 64-bit integer; returns false on trailing garbage.
+bool ParseInt64(std::string_view text, long long* out);
+
+/// Renders a double compactly (up to 6 significant digits, no trailing
+/// zeros), suitable for benchmark tables.
+std::string FormatDouble(double value);
+
+/// Renders a quantity with SI-ish suffix, e.g. 1530000 -> "1.53M".
+std::string HumanCount(double value);
+
+/// Renders bytes as "12.3 MB" style.
+std::string HumanBytes(double bytes);
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_COMMON_STRINGS_H_

@@ -1,0 +1,142 @@
+#ifndef CEP2ASP_EVENT_EVENT_H_
+#define CEP2ASP_EVENT_EVENT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/small_vector.h"
+#include "event/event_type.h"
+
+namespace cep2asp {
+
+/// \brief Attributes of the common sensor schema (paper §5.1.3:
+/// (id, lat, lon, ts, value) shared by all data sources).
+///
+/// kAuxTs is the additional timestamp attribute "ats" introduced by the
+/// NSEQ mapping (paper §4.1, Negated Sequence discussion).
+enum class Attribute : uint8_t {
+  kValue = 0,
+  kLat = 1,
+  kLon = 2,
+  kTs = 3,
+  kId = 4,
+  kAuxTs = 5,
+};
+
+/// Parses an attribute name ("value", "lat", "lon", "ts", "id", "ats").
+/// Returns false for unknown names.
+bool ParseAttribute(const std::string& name, Attribute* out);
+
+const char* AttributeName(Attribute attr);
+
+/// \brief One primitive event: a time-stamped tuple of the common schema.
+///
+/// The paper's data model (§2.1): an event is an ASP tuple with a time
+/// attribute ts; producers emit events with increasing timestamps.
+/// `create_ts` records wall-clock creation time, used to measure detection
+/// latency exactly as the paper does (§5.1.3 Metrics).
+struct SimpleEvent {
+  EventTypeId type = kInvalidEventType;
+  int64_t id = 0;          // producer / sensor identifier
+  Timestamp ts = 0;        // event time (ms)
+  Timestamp create_ts = 0; // processing-time creation stamp (ms)
+  Timestamp aux_ts = 0;    // "ats" scratch attribute for the NSEQ mapping
+  double value = 0.0;
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Returns the attribute value as a double (timestamps are exact in double
+/// for the ranges this library produces).
+double GetAttribute(const SimpleEvent& event, Attribute attr);
+
+/// \brief A stream element: either a single event or a composition
+/// (partial or complete match) of several events.
+///
+/// Matches are tuples ce(e1..en, tsb, tse) per §2.1; tsb/tse are derived
+/// from the constituent events. `event_time` starts as the head event's ts
+/// and is redefined after joins (paper §4.2.2: min ts for partial matches,
+/// max ts for complete matches).
+class Tuple {
+ public:
+  Tuple() = default;
+
+  /// Wraps a single event; event time and key default to the event's own.
+  explicit Tuple(const SimpleEvent& event)
+      : event_time_(event.ts), key_(event.id) {
+    events_.push_back(event);
+  }
+
+  /// Builds the concatenation of two tuples (join output). The caller
+  /// redefines event time afterwards via set_event_time.
+  static Tuple Concat(const Tuple& left, const Tuple& right) {
+    Tuple out;
+    out.events_ = left.events_;
+    out.events_.append(right.events_);
+    out.key_ = left.key_;
+    out.event_time_ = std::max(left.event_time_, right.event_time_);
+    return out;
+  }
+
+  Timestamp event_time() const { return event_time_; }
+  void set_event_time(Timestamp ts) { event_time_ = ts; }
+
+  int64_t key() const { return key_; }
+  void set_key(int64_t key) { key_ = key; }
+
+  size_t size() const { return events_.size(); }
+  const SimpleEvent& event(size_t i) const { return events_[i]; }
+  SimpleEvent& mutable_event(size_t i) { return events_[i]; }
+  const SimpleEvent* begin() const { return events_.begin(); }
+  const SimpleEvent* end() const { return events_.end(); }
+
+  void AppendEvent(const SimpleEvent& event) { events_.push_back(event); }
+
+  /// Timestamp of the first occurred constituent event (ce.tsb).
+  Timestamp tsb() const;
+  /// Timestamp of the last occurred constituent event (ce.tse).
+  Timestamp tse() const;
+  /// Latest wall-clock creation time among constituents (latency basis).
+  Timestamp max_create_ts() const;
+
+  /// Approximate heap + inline footprint, for state accounting.
+  size_t MemoryBytes() const {
+    return sizeof(Tuple) + (events_.size() > 4 ? events_.size() * sizeof(SimpleEvent) : 0);
+  }
+
+  /// Debug rendering "[Q@100 V@160]".
+  std::string ToString() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    if (a.events_.size() != b.events_.size()) return false;
+    for (size_t i = 0; i < a.events_.size(); ++i) {
+      const SimpleEvent& x = a.events_[i];
+      const SimpleEvent& y = b.events_[i];
+      if (x.type != y.type || x.id != y.id || x.ts != y.ts || x.value != y.value) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  Timestamp event_time_ = 0;
+  int64_t key_ = 0;
+  SmallVector<SimpleEvent, 4> events_;
+};
+
+/// \brief Canonical identity of a match for duplicate elimination.
+///
+/// Two queries are semantically equivalent if their outputs agree after
+/// eliminating duplicates (paper §4, Negri et al.). The key identifies the
+/// multiset of constituent events by (type, id, ts) triples. `ordered`
+/// keeps positional order (SEQ/ITER); unordered sorts first (AND/OR where
+/// engines may emit operands in different orders).
+std::string MatchKey(const Tuple& tuple, bool ordered = true);
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_EVENT_EVENT_H_

@@ -1,0 +1,43 @@
+#include "event/event_type.h"
+
+#include "common/logging.h"
+
+namespace cep2asp {
+
+EventTypeId EventTypeRegistry::RegisterOrGet(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  CEP2ASP_CHECK(names_.size() < kInvalidEventType) << "event type space exhausted";
+  EventTypeId id = static_cast<EventTypeId>(names_.size());
+  names_.push_back(name);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+Result<EventTypeId> EventTypeRegistry::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown event type: " + name);
+  }
+  return it->second;
+}
+
+std::string EventTypeRegistry::Name(EventTypeId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < names_.size()) return names_[id];
+  return "type" + std::to_string(id);
+}
+
+size_t EventTypeRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return names_.size();
+}
+
+EventTypeRegistry* EventTypeRegistry::Global() {
+  static EventTypeRegistry* const kRegistry = new EventTypeRegistry();
+  return kRegistry;
+}
+
+}  // namespace cep2asp

@@ -1,0 +1,54 @@
+#ifndef CEP2ASP_EVENT_EVENT_TYPE_H_
+#define CEP2ASP_EVENT_EVENT_TYPE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace cep2asp {
+
+/// Numeric identifier of an event type (paper §2: the universe of event
+/// types epsilon = {T1..Tn}; each event instantiates one Ti).
+using EventTypeId = uint16_t;
+
+inline constexpr EventTypeId kInvalidEventType = 0xFFFF;
+
+/// \brief Maps event type names (e.g. "QnVQ", "PM10") to dense ids.
+///
+/// Thread-safe. A process-global instance backs the PSL parser and the
+/// workload generators; tests may create private registries.
+class EventTypeRegistry {
+ public:
+  EventTypeRegistry() = default;
+
+  EventTypeRegistry(const EventTypeRegistry&) = delete;
+  EventTypeRegistry& operator=(const EventTypeRegistry&) = delete;
+
+  /// Returns the id of `name`, registering it if unseen.
+  EventTypeId RegisterOrGet(const std::string& name);
+
+  /// Returns the id of `name` or NotFound.
+  Result<EventTypeId> Lookup(const std::string& name) const;
+
+  /// Returns the registered name for `id`, or "type<id>" for unknown ids.
+  std::string Name(EventTypeId id) const;
+
+  size_t size() const;
+
+  /// Shared process-wide registry.
+  static EventTypeRegistry* Global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, EventTypeId> by_name_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_EVENT_EVENT_TYPE_H_

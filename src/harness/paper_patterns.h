@@ -1,0 +1,67 @@
+#ifndef CEP2ASP_HARNESS_PAPER_PATTERNS_H_
+#define CEP2ASP_HARNESS_PAPER_PATTERNS_H_
+
+#include "sea/pattern.h"
+#include "workload/presets.h"
+
+namespace cep2asp {
+
+/// \brief The evaluation patterns of paper §5, parameterized by filter
+/// selectivity and window.
+///
+/// Generated values are uniform in [0, 100), so a filter `value < 100*s`
+/// keeps fraction s of a stream; the resulting output selectivity is
+/// reported by the harness.
+class PaperPatterns {
+ public:
+  explicit PaperPatterns(SensorTypes types = SensorTypes::Get())
+      : types_(types) {}
+
+  /// SEQ1(2): SEQ(Q q1, V v1) with per-stream filter selectivity
+  /// (§5.2.1/5.2.2).
+  Result<Pattern> Seq1(double filter_selectivity, Timestamp window,
+                       Timestamp slide) const;
+
+  /// ITER^m_1/ITER^m_3(1): iteration over V with a threshold filter
+  /// (§5.2.1 baseline and Figure 3f).
+  Result<Pattern> IterThreshold(int m, double filter_selectivity,
+                                Timestamp window, Timestamp slide) const;
+
+  /// ITER^m_2(1): iteration over V with the constraint between subsequent
+  /// events v_n.value < v_{n+1}.value (Figure 3e). `filter_selectivity`
+  /// additionally thins the stream to keep enumeration tractable.
+  Result<Pattern> IterConsecutive(int m, double filter_selectivity,
+                                  Timestamp window, Timestamp slide) const;
+
+  /// NSEQ1(3): SEQ(Q, !PM10, V) — traffic pattern negated by an air
+  /// quality event (§5.2.1; the paper's NSEQ draws one stream from
+  /// AQ-Data).
+  Result<Pattern> Nseq1(double filter_selectivity, double negated_selectivity,
+                        Timestamp window, Timestamp slide) const;
+
+  /// SEQn(n): nested sequence over n of the six event types in the fixed
+  /// order Q, V, PM10, PM2.5, Temp, Hum (Figure 3d), n in [2, 6].
+  Result<Pattern> SeqN(int n, double filter_selectivity, Timestamp window,
+                       Timestamp slide) const;
+
+  /// SEQ7(3): keyed sequence SEQ(Q, V, PM10) with Equi-Join predicates on
+  /// the sensor id (Figures 4-6).
+  Result<Pattern> Seq7(double filter_selectivity, Timestamp window,
+                       Timestamp slide) const;
+
+  /// ITER4(1): keyed iteration over V, all events from the same sensor
+  /// (Figures 4-6).
+  Result<Pattern> Iter4(int m, double filter_selectivity, Timestamp window,
+                        Timestamp slide) const;
+
+  const SensorTypes& types() const { return types_; }
+
+ private:
+  Predicate ThresholdFilter(double selectivity) const;
+
+  SensorTypes types_;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_HARNESS_PAPER_PATTERNS_H_

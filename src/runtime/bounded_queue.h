@@ -1,0 +1,73 @@
+#ifndef CEP2ASP_RUNTIME_BOUNDED_QUEUE_H_
+#define CEP2ASP_RUNTIME_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace cep2asp {
+
+/// \brief Blocking bounded multi-producer multi-consumer queue.
+///
+/// The capacity bound is what creates backpressure in the threaded
+/// executor: a slow operator fills its input queue and stalls its
+/// producers, transitively throttling the sources (paper §5.2.4).
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until space is available or the queue is closed. Returns false
+  /// if the queue was closed (item dropped).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Marks the queue closed; pending Pops drain remaining items, then
+  /// receive nullopt. Pushes after Close are rejected.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_RUNTIME_BOUNDED_QUEUE_H_

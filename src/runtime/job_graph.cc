@@ -1,0 +1,131 @@
+#include "runtime/job_graph.h"
+
+#include <queue>
+
+#include "common/logging.h"
+
+namespace cep2asp {
+
+NodeId JobGraph::AddSource(std::unique_ptr<Source> source) {
+  Node node;
+  node.source = std::move(source);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId JobGraph::AddOperator(std::unique_ptr<Operator> op) {
+  Node node;
+  node.op = std::move(op);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId JobGraph::AddOperatorAfter(NodeId from, std::unique_ptr<Operator> op) {
+  NodeId id = AddOperator(std::move(op));
+  CEP2ASP_CHECK_OK(Connect(from, id, 0));
+  return id;
+}
+
+Status JobGraph::Connect(NodeId from, NodeId to, int input_port) {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
+    return Status::InvalidArgument("Connect: node id out of range");
+  }
+  Node& target = nodes_[static_cast<size_t>(to)];
+  if (target.is_source()) {
+    return Status::InvalidArgument("Connect: cannot route into a source");
+  }
+  if (input_port < 0 || input_port >= target.op->num_inputs()) {
+    return Status::InvalidArgument("Connect: bad input port for " +
+                                   target.op->name());
+  }
+  nodes_[static_cast<size_t>(from)].outputs.push_back(Edge{to, input_port});
+  target.num_input_edges++;
+  return Status::OK();
+}
+
+Status JobGraph::Validate() const {
+  // Every operator input port must be fed by exactly one edge.
+  std::vector<std::vector<int>> port_counts(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    if (!node.is_source()) {
+      port_counts[i].assign(static_cast<size_t>(node.op->num_inputs()), 0);
+    }
+  }
+  for (const Node& node : nodes_) {
+    for (const Edge& edge : node.outputs) {
+      port_counts[static_cast<size_t>(edge.to)]
+                 [static_cast<size_t>(edge.input_port)]++;
+    }
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    if (node.is_source()) continue;
+    for (size_t port = 0; port < port_counts[i].size(); ++port) {
+      if (port_counts[i][port] != 1) {
+        return Status::FailedPrecondition(
+            "operator " + node.op->name() + " input port " +
+            std::to_string(port) + " has " +
+            std::to_string(port_counts[i][port]) + " incoming edges");
+      }
+    }
+  }
+  // Cycle check via Kahn's algorithm.
+  if (TopologicalOrder().size() != nodes_.size()) {
+    return Status::FailedPrecondition("job graph contains a cycle");
+  }
+  return Status::OK();
+}
+
+std::vector<NodeId> JobGraph::TopologicalOrder() const {
+  std::vector<int> in_degree(nodes_.size(), 0);
+  for (const Node& node : nodes_) {
+    for (const Edge& edge : node.outputs) {
+      in_degree[static_cast<size_t>(edge.to)]++;
+    }
+  }
+  std::queue<NodeId> ready;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (in_degree[i] == 0) ready.push(static_cast<NodeId>(i));
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    NodeId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    for (const Edge& edge : nodes_[static_cast<size_t>(id)].outputs) {
+      if (--in_degree[static_cast<size_t>(edge.to)] == 0) ready.push(edge.to);
+    }
+  }
+  return order;
+}
+
+size_t JobGraph::TotalStateBytes() const {
+  size_t total = 0;
+  for (const Node& node : nodes_) {
+    if (!node.is_source()) total += node.op->StateBytes();
+  }
+  return total;
+}
+
+std::string JobGraph::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    out += "  [" + std::to_string(i) + "] ";
+    out += node.is_source() ? ("source " + node.source->name())
+                            : node.op->name();
+    if (!node.outputs.empty()) {
+      out += " ->";
+      for (const Edge& edge : node.outputs) {
+        out += " " + std::to_string(edge.to) + ":" +
+               std::to_string(edge.input_port);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace cep2asp

@@ -1,0 +1,82 @@
+#ifndef CEP2ASP_RUNTIME_JOB_GRAPH_H_
+#define CEP2ASP_RUNTIME_JOB_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/operator.h"
+
+namespace cep2asp {
+
+/// Identifies a node (source or operator) within a JobGraph.
+using NodeId = int;
+
+/// \brief Directed acyclic dataflow graph: sources -> operators -> sinks
+/// (paper §2.3: ASPSs use directed graphs as processing model).
+///
+/// Sinks are simply operators without outgoing edges; callers keep a raw
+/// pointer to result-collecting operators they add.
+class JobGraph {
+ public:
+  JobGraph() = default;
+
+  JobGraph(const JobGraph&) = delete;
+  JobGraph& operator=(const JobGraph&) = delete;
+  JobGraph(JobGraph&&) = default;
+  JobGraph& operator=(JobGraph&&) = default;
+
+  /// Adds a source node; returns its id.
+  NodeId AddSource(std::unique_ptr<Source> source);
+
+  /// Adds an operator node; returns its id. The graph owns the operator.
+  NodeId AddOperator(std::unique_ptr<Operator> op);
+
+  /// Convenience: adds `op` and connects `from` to its input port 0.
+  NodeId AddOperatorAfter(NodeId from, std::unique_ptr<Operator> op);
+
+  /// Routes the output of `from` (source or operator) into input port
+  /// `input_port` of operator `to`.
+  Status Connect(NodeId from, NodeId to, int input_port = 0);
+
+  /// Validates the topology: every operator input port has exactly one
+  /// incoming edge, sources have no inputs, graph is acyclic.
+  Status Validate() const;
+
+  // --- Introspection used by executors -----------------------------------
+
+  struct Edge {
+    NodeId to = -1;
+    int input_port = 0;
+  };
+
+  struct Node {
+    std::unique_ptr<Source> source;  // exactly one of source/op is set
+    std::unique_ptr<Operator> op;
+    std::vector<Edge> outputs;
+    int num_input_edges = 0;
+
+    bool is_source() const { return source != nullptr; }
+  };
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  Node& mutable_node(NodeId id) { return nodes_[static_cast<size_t>(id)]; }
+
+  /// Node ids in a topological order (sources first). Requires Validate().
+  std::vector<NodeId> TopologicalOrder() const;
+
+  /// Sum of StateBytes over all operators (job state footprint).
+  size_t TotalStateBytes() const;
+
+  /// Multi-line description of the topology for logging / examples.
+  std::string ToString() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_RUNTIME_JOB_GRAPH_H_

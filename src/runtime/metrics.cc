@@ -1,0 +1,36 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cep2asp {
+
+LatencyStats LatencyStats::FromSamples(std::vector<int64_t> samples) {
+  LatencyStats stats;
+  stats.count = static_cast<int64_t>(samples.size());
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0;
+  for (int64_t s : samples) sum += static_cast<double>(s);
+  stats.mean_ms = sum / static_cast<double>(samples.size());
+  auto percentile = [&samples](double p) {
+    size_t idx = static_cast<size_t>(p * static_cast<double>(samples.size() - 1));
+    return static_cast<double>(samples[idx]);
+  };
+  stats.p50_ms = percentile(0.50);
+  stats.p95_ms = percentile(0.95);
+  stats.p99_ms = percentile(0.99);
+  stats.max_ms = static_cast<double>(samples.back());
+  return stats;
+}
+
+std::string LatencyStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%lld mean=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms",
+                static_cast<long long>(count), mean_ms, p50_ms, p95_ms, p99_ms,
+                max_ms);
+  return buf;
+}
+
+}  // namespace cep2asp

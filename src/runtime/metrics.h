@@ -1,0 +1,56 @@
+#ifndef CEP2ASP_RUNTIME_METRICS_H_
+#define CEP2ASP_RUNTIME_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace cep2asp {
+
+/// \brief Summary statistics over a set of latency samples (milliseconds).
+struct LatencyStats {
+  int64_t count = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+
+  /// Computes stats from raw samples (copies + sorts internally).
+  static LatencyStats FromSamples(std::vector<int64_t> samples);
+
+  std::string ToString() const;
+};
+
+/// One point of the resource-usage timeline (Figure 5).
+struct StateSample {
+  double elapsed_seconds = 0;
+  size_t state_bytes = 0;
+  int64_t tuples_processed = 0;
+};
+
+/// \brief Outcome of executing a job to completion (or failure).
+struct ExecutionResult {
+  bool ok = false;
+  std::string error;          // set when !ok (e.g. simulated memory exhaustion)
+  int64_t tuples_ingested = 0;
+  int64_t matches_emitted = 0;
+  double elapsed_seconds = 0;
+  size_t peak_state_bytes = 0;
+  std::vector<StateSample> state_timeline;
+  LatencyStats latency;
+
+  /// Processed tuples per second over the whole run; the maximum
+  /// sustainable throughput of the pipeline when the run is CPU-bound
+  /// (paper §5.1.3: throughput without backpressure).
+  double throughput_tps() const {
+    return elapsed_seconds > 0 ? static_cast<double>(tuples_ingested) / elapsed_seconds
+                               : 0.0;
+  }
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_RUNTIME_METRICS_H_

@@ -1,0 +1,91 @@
+#ifndef CEP2ASP_RUNTIME_OPERATOR_H_
+#define CEP2ASP_RUNTIME_OPERATOR_H_
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "event/event.h"
+
+namespace cep2asp {
+
+/// \brief Downstream hand-off used by operators to emit output tuples.
+///
+/// Watermarks are not emitted through the Collector: the executor aligns
+/// and forwards watermarks itself, after giving the operator a chance to
+/// flush (Operator::OnWatermark). This keeps per-operator watermark logic
+/// out of the operators entirely.
+class Collector {
+ public:
+  virtual ~Collector() = default;
+  virtual void Emit(Tuple tuple) = 0;
+};
+
+/// Discards everything; useful for cost microbenchmarks.
+class NullCollector : public Collector {
+ public:
+  void Emit(Tuple) override {}
+};
+
+/// \brief A (possibly stateful) dataflow operator, the unit of the ASP
+/// processing model (paper §2.3).
+///
+/// Lifecycle: Open -> {Process | OnWatermark}* -> Finish. The executor
+/// guarantees that OnWatermark is called with strictly increasing values,
+/// already aligned (min) across all input edges, and that Finish is called
+/// exactly once after an OnWatermark(kMaxTimestamp).
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Number of distinct input ports (1 for unary, 2 for joins; union may
+  /// declare more).
+  virtual int num_inputs() const { return 1; }
+
+  virtual Status Open() { return Status::OK(); }
+
+  /// Handles one input tuple arriving on `input`.
+  virtual Status Process(int input, Tuple tuple, Collector* out) = 0;
+
+  /// Called when the aligned watermark advances to `watermark`: event time
+  /// has passed, windows ending at or before it may fire.
+  virtual Status OnWatermark(Timestamp watermark, Collector* out) {
+    (void)watermark;
+    (void)out;
+    return Status::OK();
+  }
+
+  /// Called once after all inputs are exhausted and the final watermark was
+  /// delivered.
+  virtual Status Finish(Collector* out) {
+    (void)out;
+    return Status::OK();
+  }
+
+  /// Current operator state footprint in bytes (buffered windows, partial
+  /// matches, ...). Sampled by the metrics collector.
+  virtual size_t StateBytes() const { return 0; }
+};
+
+/// \brief A stream source: produces tuples in non-decreasing event time
+/// (the paper's data model assumes each producer emits increasing
+/// timestamps, §2.1).
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Produces the next tuple; returns false when the stream is exhausted.
+  virtual bool Next(Tuple* tuple) = 0;
+
+  /// Event time high-water mark of this source: no future tuple will carry
+  /// a smaller timestamp.
+  virtual Timestamp CurrentWatermark() const = 0;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_RUNTIME_OPERATOR_H_

@@ -1,0 +1,57 @@
+#ifndef CEP2ASP_RUNTIME_SINK_H_
+#define CEP2ASP_RUNTIME_SINK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "runtime/operator.h"
+
+namespace cep2asp {
+
+/// \brief Terminal operator that counts matches and records detection
+/// latency: wall-clock arrival time minus the maximum creation time of the
+/// contributing events (paper §5.1.3 Metrics).
+///
+/// Optionally retains the emitted tuples for correctness checks; benchmark
+/// runs keep `store_tuples` off to avoid unbounded memory.
+class CollectSink : public Operator {
+ public:
+  explicit CollectSink(bool store_tuples = true, Clock* clock = nullptr)
+      : store_tuples_(store_tuples),
+        clock_(clock ? clock : SystemClock::Get()) {}
+
+  std::string name() const override { return "sink"; }
+
+  Status Process(int input, Tuple tuple, Collector* out) override {
+    (void)input;
+    (void)out;
+    ++count_;
+    latencies_.push_back(clock_->NowMillis() - tuple.max_create_ts());
+    if (store_tuples_) tuples_.push_back(std::move(tuple));
+    return Status::OK();
+  }
+
+  int64_t count() const { return count_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const std::vector<int64_t>& latencies() const { return latencies_; }
+
+  size_t StateBytes() const override {
+    return tuples_.capacity() * sizeof(Tuple) +
+           latencies_.capacity() * sizeof(int64_t);
+  }
+
+ private:
+  bool store_tuples_;
+  Clock* clock_;
+  int64_t count_ = 0;
+  std::vector<Tuple> tuples_;
+  std::vector<int64_t> latencies_;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_RUNTIME_SINK_H_

@@ -1,0 +1,214 @@
+#include "runtime/threaded_executor.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace cep2asp {
+
+namespace {
+
+enum class MessageKind : uint8_t { kTuple, kWatermark, kEnd };
+
+/// One element flowing over an inter-thread edge.
+struct Message {
+  MessageKind kind = MessageKind::kTuple;
+  int port = 0;
+  Tuple tuple;
+  Timestamp watermark = kMinTimestamp;
+};
+
+struct NodeChannels {
+  std::unique_ptr<BoundedQueue<Message>> input;  // null for sources
+};
+
+/// Collector that forwards an operator's output to all successor queues.
+class QueueCollector : public Collector {
+ public:
+  QueueCollector(const JobGraph* graph, NodeId node,
+                 std::vector<NodeChannels>* channels)
+      : graph_(graph), node_(node), channels_(channels) {}
+
+  void Emit(Tuple tuple) override {
+    const auto& outputs = graph_->node(node_).outputs;
+    for (const JobGraph::Edge& edge : outputs) {
+      Message msg;
+      msg.kind = MessageKind::kTuple;
+      msg.port = edge.input_port;
+      msg.tuple = tuple;  // copy per fan-out edge
+      (*channels_)[static_cast<size_t>(edge.to)].input->Push(std::move(msg));
+    }
+  }
+
+ private:
+  const JobGraph* graph_;
+  NodeId node_;
+  std::vector<NodeChannels>* channels_;
+};
+
+void ForwardControl(const JobGraph* graph, NodeId node,
+                    std::vector<NodeChannels>* channels, MessageKind kind,
+                    Timestamp watermark) {
+  for (const JobGraph::Edge& edge : graph->node(node).outputs) {
+    Message msg;
+    msg.kind = kind;
+    msg.port = edge.input_port;
+    msg.watermark = watermark;
+    (*channels)[static_cast<size_t>(edge.to)].input->Push(std::move(msg));
+  }
+}
+
+}  // namespace
+
+ThreadedExecutor::ThreadedExecutor(JobGraph* graph,
+                                   ThreadedExecutorOptions options)
+    : graph_(graph), options_(options) {}
+
+ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
+  ExecutionResult result;
+  Status validate = graph_->Validate();
+  if (!validate.ok()) {
+    result.error = validate.ToString();
+    return result;
+  }
+  Clock* clock = options_.clock ? options_.clock : SystemClock::Get();
+
+  const int n = graph_->num_nodes();
+  std::vector<NodeChannels> channels(static_cast<size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    if (!graph_->node(id).is_source()) {
+      channels[static_cast<size_t>(id)].input =
+          std::make_unique<BoundedQueue<Message>>(options_.queue_capacity);
+    }
+  }
+
+  std::mutex status_mutex;
+  Status run_status;  // guarded by status_mutex
+  // On error, close every queue so producers blocked on Push and consumers
+  // blocked on Pop unwind instead of deadlocking on an abandoned channel.
+  auto record_error = [&status_mutex, &run_status, &channels](const Status& st) {
+    std::lock_guard<std::mutex> lock(status_mutex);
+    if (run_status.ok()) {
+      run_status = st;
+      for (NodeChannels& ch : channels) {
+        if (ch.input) ch.input->Close();
+      }
+    }
+  };
+
+  std::atomic<int64_t> tuples_ingested{0};
+  int64_t start_nanos = clock->NowNanos();
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+
+  for (NodeId id = 0; id < n; ++id) {
+    JobGraph::Node& node = graph_->mutable_node(id);
+    if (node.is_source()) {
+      Source* source = node.source.get();
+      threads.emplace_back([&, id, source] {
+        Tuple tuple;
+        int since_watermark = 0;
+        while (source->Next(&tuple)) {
+          Timestamp now = clock->NowMillis();
+          for (size_t i = 0; i < tuple.size(); ++i) {
+            tuple.mutable_event(i).create_ts = now;
+          }
+          tuples_ingested.fetch_add(1, std::memory_order_relaxed);
+          for (const JobGraph::Edge& edge : graph_->node(id).outputs) {
+            Message msg;
+            msg.kind = MessageKind::kTuple;
+            msg.port = edge.input_port;
+            msg.tuple = tuple;
+            channels[static_cast<size_t>(edge.to)].input->Push(std::move(msg));
+          }
+          if (++since_watermark >= options_.watermark_interval) {
+            since_watermark = 0;
+            ForwardControl(graph_, id, &channels, MessageKind::kWatermark,
+                           source->CurrentWatermark());
+          }
+        }
+        ForwardControl(graph_, id, &channels, MessageKind::kWatermark,
+                       kMaxTimestamp);
+        ForwardControl(graph_, id, &channels, MessageKind::kEnd, 0);
+      });
+    } else {
+      Operator* op = node.op.get();
+      Status open = op->Open();
+      if (!open.ok()) {
+        record_error(open.WithContext(op->name()));
+        continue;
+      }
+      const int num_ports = op->num_inputs();
+      threads.emplace_back([&, id, op, num_ports] {
+        QueueCollector collector(graph_, id, &channels);
+        std::vector<Timestamp> port_watermarks(static_cast<size_t>(num_ports),
+                                               kMinTimestamp);
+        Timestamp aligned = kMinTimestamp;
+        int ended_ports = 0;
+        BoundedQueue<Message>* input = channels[static_cast<size_t>(id)].input.get();
+        while (ended_ports < num_ports) {
+          std::optional<Message> msg = input->Pop();
+          if (!msg.has_value()) break;  // queue force-closed on error
+          switch (msg->kind) {
+            case MessageKind::kTuple: {
+              Status st = op->Process(msg->port, std::move(msg->tuple), &collector);
+              if (!st.ok()) {
+                record_error(st.WithContext(op->name()));
+                ended_ports = num_ports;
+              }
+              break;
+            }
+            case MessageKind::kWatermark: {
+              Timestamp& slot = port_watermarks[static_cast<size_t>(msg->port)];
+              slot = std::max(slot, msg->watermark);
+              Timestamp new_aligned = *std::min_element(port_watermarks.begin(),
+                                                        port_watermarks.end());
+              if (new_aligned > aligned) {
+                aligned = new_aligned;
+                Status st = op->OnWatermark(aligned, &collector);
+                if (!st.ok()) {
+                  record_error(st.WithContext(op->name()));
+                  ended_ports = num_ports;
+                } else {
+                  ForwardControl(graph_, id, &channels, MessageKind::kWatermark,
+                                 aligned);
+                }
+              }
+              break;
+            }
+            case MessageKind::kEnd: {
+              if (++ended_ports == num_ports) {
+                Status st = op->Finish(&collector);
+                if (!st.ok()) record_error(st.WithContext(op->name()));
+                ForwardControl(graph_, id, &channels, MessageKind::kEnd, 0);
+              }
+              break;
+            }
+          }
+        }
+      });
+    }
+  }
+
+  for (std::thread& t : threads) t.join();
+
+  result.elapsed_seconds =
+      static_cast<double>(clock->NowNanos() - start_nanos) / 1e9;
+  result.tuples_ingested = tuples_ingested.load();
+  result.peak_state_bytes = graph_->TotalStateBytes();
+  if (sink != nullptr) {
+    result.matches_emitted = sink->count();
+    result.latency = LatencyStats::FromSamples(sink->latencies());
+  }
+  {
+    std::lock_guard<std::mutex> lock(status_mutex);
+    result.ok = run_status.ok();
+    if (!result.ok) result.error = run_status.ToString();
+  }
+  return result;
+}
+
+}  // namespace cep2asp

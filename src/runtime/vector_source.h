@@ -1,0 +1,51 @@
+#ifndef CEP2ASP_RUNTIME_VECTOR_SOURCE_H_
+#define CEP2ASP_RUNTIME_VECTOR_SOURCE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "runtime/operator.h"
+
+namespace cep2asp {
+
+/// \brief Source over a pre-materialized, timestamp-ordered event vector.
+///
+/// Mirrors the paper's evaluation setup (§5.1.2): data is extracted as
+/// files and read by a simple source operator, keeping third-party
+/// connectors out of the measurement.
+class VectorSource : public Source {
+ public:
+  VectorSource(std::string name, std::vector<SimpleEvent> events)
+      : name_(std::move(name)), events_(std::move(events)) {
+    for (size_t i = 1; i < events_.size(); ++i) {
+      CEP2ASP_DCHECK(events_[i].ts >= events_[i - 1].ts)
+          << "VectorSource events must be ordered by ts";
+    }
+  }
+
+  std::string name() const override { return name_; }
+
+  bool Next(Tuple* tuple) override {
+    if (pos_ >= events_.size()) return false;
+    watermark_ = events_[pos_].ts;
+    *tuple = Tuple(events_[pos_]);
+    ++pos_;
+    return true;
+  }
+
+  Timestamp CurrentWatermark() const override { return watermark_; }
+
+  size_t remaining() const { return events_.size() - pos_; }
+
+ private:
+  std::string name_;
+  std::vector<SimpleEvent> events_;
+  size_t pos_ = 0;
+  Timestamp watermark_ = kMinTimestamp;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_RUNTIME_VECTOR_SOURCE_H_

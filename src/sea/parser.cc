@@ -1,0 +1,645 @@
+#include "sea/parser.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace cep2asp::sea {
+
+namespace {
+
+enum class TokenKind : uint8_t {
+  kIdent,
+  kNumber,
+  kSymbol,  // ( ) , . ! + *
+  kCompare, // < <= > >= == = !=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0;
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Status Tokenize(std::vector<Token>* out) {
+    size_t i = 0;
+    while (i < text_.size()) {
+      char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Token token;
+      token.offset = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[i])) ||
+                text_[i] == '_')) {
+          ++i;
+        }
+        token.kind = TokenKind::kIdent;
+        token.text = text_.substr(start, i - start);
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && i + 1 < text_.size() &&
+                  std::isdigit(static_cast<unsigned char>(text_[i + 1])))) {
+        size_t start = i;
+        if (c == '-') ++i;
+        while (i < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[i])) ||
+                text_[i] == '.')) {
+          ++i;
+        }
+        token.kind = TokenKind::kNumber;
+        token.text = text_.substr(start, i - start);
+        if (!ParseDouble(token.text, &token.number)) {
+          return Status::ParseError("bad number '" + token.text + "'");
+        }
+      } else if (c == '<' || c == '>' || c == '=' || c == '!') {
+        size_t start = i;
+        ++i;
+        if (i < text_.size() && text_[i] == '=') ++i;
+        token.text = text_.substr(start, i - start);
+        if (token.text == "!") {
+          token.kind = TokenKind::kSymbol;
+        } else {
+          token.kind = TokenKind::kCompare;
+          if (token.text == "=") token.text = "==";
+        }
+      } else if (c == '(' || c == ')' || c == ',' || c == '.' || c == '+' ||
+                 c == '*') {
+        token.kind = TokenKind::kSymbol;
+        token.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                  "' at offset " + std::to_string(i));
+      }
+      out->push_back(std::move(token));
+    }
+    Token end;
+    end.kind = TokenKind::kEnd;
+    end.offset = text_.size();
+    out->push_back(end);
+    return Status::OK();
+  }
+
+ private:
+  const std::string& text_;
+};
+
+/// Variable binding info collected while parsing the structure.
+struct VarInfo {
+  int position = -1;       // first match position; -1 for negated vars
+  bool is_iteration = false;
+  bool is_negated = false;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, EventTypeRegistry* registry)
+      : tokens_(std::move(tokens)), registry_(registry) {}
+
+  Result<Pattern> Parse() {
+    CEP2ASP_RETURN_IF_ERROR(ExpectKeyword("PATTERN"));
+    auto root_result = ParseStructure();
+    if (!root_result.ok()) return root_result.status();
+    std::unique_ptr<PatternNode> root = std::move(root_result).ValueOrDie();
+    AssignPositions(*root, nullptr);
+
+    std::vector<RawComparison> raw_comparisons;
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      CEP2ASP_RETURN_IF_ERROR(ParsePredicates(&raw_comparisons));
+    }
+    CEP2ASP_RETURN_IF_ERROR(ExpectKeyword("WITHIN"));
+    auto window_result = ParseDuration();
+    if (!window_result.ok()) return window_result.status();
+    Timestamp window = *window_result;
+
+    Timestamp slide = kMillisPerMinute;
+    if (PeekKeyword("SLIDE")) {
+      Advance();
+      auto slide_result = ParseDuration();
+      if (!slide_result.ok()) return slide_result.status();
+      slide = *slide_result;
+    }
+    if (slide > window) slide = window;
+    if (PeekKeyword("RETURN")) {
+      Advance();
+      if (Peek().kind == TokenKind::kSymbol && Peek().text == "*") Advance();
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::ParseError("trailing input at offset " +
+                                std::to_string(Peek().offset));
+    }
+
+    // Distribute WHERE comparisons: single-variable terms become atom
+    // filters (pushed down); cross-variable terms become the pattern's
+    // cross predicates over match positions.
+    Predicate cross;
+    for (const RawComparison& raw : raw_comparisons) {
+      Status st = PlaceComparison(raw, *root, &cross);
+      if (!st.ok()) return st;
+    }
+
+    PatternBuilder builder;
+    builder.Root(std::move(root));
+    builder.Within(window);
+    builder.SlideBy(slide);
+    for (const Comparison& c : cross.terms()) builder.Where(c);
+    return builder.Build();
+  }
+
+ private:
+  struct RawOperand {
+    bool is_attr = false;
+    std::string var;
+    Attribute attr = Attribute::kValue;
+    double number = 0;
+  };
+  struct RawComparison {
+    RawOperand lhs;
+    CmpOp op = CmpOp::kLt;
+    RawOperand rhs;
+    size_t offset = 0;
+  };
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool PeekKeyword(const std::string& keyword) const {
+    return Peek().kind == TokenKind::kIdent &&
+           EqualsIgnoreCase(Peek().text, keyword);
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!PeekKeyword(keyword)) {
+      return Status::ParseError("expected '" + keyword + "' at offset " +
+                                std::to_string(Peek().offset) + ", found '" +
+                                Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const std::string& symbol) {
+    if (Peek().kind != TokenKind::kSymbol || Peek().text != symbol) {
+      return Status::ParseError("expected '" + symbol + "' at offset " +
+                                std::to_string(Peek().offset));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<PatternAtom> ParseAtom() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::ParseError("expected event type name at offset " +
+                                std::to_string(Peek().offset));
+    }
+    std::string type_name = Peek().text;
+    Advance();
+    auto type_result = registry_->Lookup(type_name);
+    if (!type_result.ok()) {
+      return Status::ParseError("unknown event type '" + type_name + "'");
+    }
+    PatternAtom atom;
+    atom.type = *type_result;
+    if (Peek().kind == TokenKind::kIdent && !IsStructureKeyword(Peek().text)) {
+      atom.variable = Peek().text;
+      Advance();
+    } else {
+      atom.variable = "v" + std::to_string(anon_counter_++);
+    }
+    if (vars_.count(atom.variable) > 0) {
+      return Status::ParseError("duplicate variable '" + atom.variable + "'");
+    }
+    vars_[atom.variable] = VarInfo{};
+    return atom;
+  }
+
+  static bool IsStructureKeyword(const std::string& text) {
+    return EqualsIgnoreCase(text, "SEQ") || EqualsIgnoreCase(text, "AND") ||
+           EqualsIgnoreCase(text, "OR") || EqualsIgnoreCase(text, "NSEQ") ||
+           EqualsIgnoreCase(text, "ITER") || EqualsIgnoreCase(text, "WHERE") ||
+           EqualsIgnoreCase(text, "WITHIN") || EqualsIgnoreCase(text, "SLIDE") ||
+           EqualsIgnoreCase(text, "RETURN");
+  }
+
+  Result<std::unique_ptr<PatternNode>> ParseStructure() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::ParseError("expected pattern structure at offset " +
+                                std::to_string(Peek().offset));
+    }
+    const std::string head = ToUpper(Peek().text);
+    if (head == "SEQ" || head == "AND" || head == "OR") {
+      Advance();
+      return ParseNary(head);
+    }
+    if (head == "NSEQ") {
+      Advance();
+      return ParseNseq();
+    }
+    if (StartsWith(head, "ITER")) {
+      return ParseIter();
+    }
+    // Bare atom.
+    auto atom_result = ParseAtom();
+    if (!atom_result.ok()) return atom_result.status();
+    auto node = std::make_unique<PatternNode>();
+    node->op = PatternOp::kAtom;
+    node->atom = std::move(*atom_result);
+    return node;
+  }
+
+  Result<std::unique_ptr<PatternNode>> ParseNary(const std::string& head) {
+    CEP2ASP_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<std::unique_ptr<PatternNode>> children;
+    std::vector<bool> negated;
+    while (true) {
+      bool neg = false;
+      if (Peek().kind == TokenKind::kSymbol && Peek().text == "!") {
+        if (head != "SEQ") {
+          return Status::ParseError("negation only allowed inside SEQ");
+        }
+        neg = true;
+        Advance();
+      }
+      if (neg) {
+        auto atom_result = ParseAtom();
+        if (!atom_result.ok()) return atom_result.status();
+        auto node = std::make_unique<PatternNode>();
+        node->op = PatternOp::kAtom;
+        node->atom = std::move(*atom_result);
+        children.push_back(std::move(node));
+      } else {
+        auto child_result = ParseStructure();
+        if (!child_result.ok()) return child_result.status();
+        children.push_back(std::move(child_result).ValueOrDie());
+      }
+      negated.push_back(neg);
+      if (Peek().kind == TokenKind::kSymbol && Peek().text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    CEP2ASP_RETURN_IF_ERROR(ExpectSymbol(")"));
+
+    // SEQ(T1 a, !T2 b, T3 c) normalizes to NSEQ.
+    size_t neg_count = 0;
+    for (bool n : negated) neg_count += n ? 1 : 0;
+    if (neg_count > 0) {
+      if (head != "SEQ" || children.size() != 3 || !negated[1] || negated[0] ||
+          negated[2]) {
+        return Status::ParseError(
+            "negation is only supported as the middle element of a ternary "
+            "SEQ (negated sequence, paper Eq. 14)");
+      }
+      for (const auto& child : children) {
+        if (child->op != PatternOp::kAtom) {
+          return Status::ParseError("NSEQ elements must be atoms");
+        }
+      }
+      auto node = std::make_unique<PatternNode>();
+      node->op = PatternOp::kNseq;
+      node->nseq_atoms = {children[0]->atom, children[1]->atom,
+                          children[2]->atom};
+      vars_[children[1]->atom.variable].is_negated = true;
+      return node;
+    }
+
+    std::vector<std::unique_ptr<PatternNode>> flat;
+    PatternOp op = head == "SEQ"   ? PatternOp::kSeq
+                   : head == "AND" ? PatternOp::kAnd
+                                   : PatternOp::kOr;
+    auto node = std::make_unique<PatternNode>();
+    node->op = op;
+    for (auto& child : children) {
+      if (child->op == op) {
+        for (auto& grandchild : child->children) {
+          node->children.push_back(std::move(grandchild));
+        }
+      } else {
+        node->children.push_back(std::move(child));
+      }
+    }
+    return node;
+  }
+
+  Result<std::unique_ptr<PatternNode>> ParseNseq() {
+    CEP2ASP_RETURN_IF_ERROR(ExpectSymbol("("));
+    auto t1 = ParseAtom();
+    if (!t1.ok()) return t1.status();
+    CEP2ASP_RETURN_IF_ERROR(ExpectSymbol(","));
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == "!") Advance();
+    auto t2 = ParseAtom();
+    if (!t2.ok()) return t2.status();
+    CEP2ASP_RETURN_IF_ERROR(ExpectSymbol(","));
+    auto t3 = ParseAtom();
+    if (!t3.ok()) return t3.status();
+    CEP2ASP_RETURN_IF_ERROR(ExpectSymbol(")"));
+    auto node = std::make_unique<PatternNode>();
+    node->op = PatternOp::kNseq;
+    node->nseq_atoms = {std::move(*t1), std::move(*t2), std::move(*t3)};
+    vars_[node->nseq_atoms[1].variable].is_negated = true;
+    return node;
+  }
+
+  Result<std::unique_ptr<PatternNode>> ParseIter() {
+    // Forms: ITER3(V v), ITER3+(V v), ITER(V v, 3).
+    std::string head = Peek().text;
+    Advance();
+    int m = 0;
+    bool unbounded = false;
+    if (head.size() > 4) {
+      long long parsed = 0;
+      if (!ParseInt64(head.substr(4), &parsed) || parsed < 1) {
+        return Status::ParseError("bad iteration count in '" + head + "'");
+      }
+      m = static_cast<int>(parsed);
+    }
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == "+") {
+      unbounded = true;
+      Advance();
+    }
+    CEP2ASP_RETURN_IF_ERROR(ExpectSymbol("("));
+    auto atom_result = ParseAtom();
+    if (!atom_result.ok()) return atom_result.status();
+    if (m == 0) {
+      CEP2ASP_RETURN_IF_ERROR(ExpectSymbol(","));
+      if (Peek().kind != TokenKind::kNumber) {
+        return Status::ParseError("expected iteration count");
+      }
+      m = static_cast<int>(Peek().number);
+      Advance();
+    }
+    CEP2ASP_RETURN_IF_ERROR(ExpectSymbol(")"));
+    auto node = std::make_unique<PatternNode>();
+    node->op = PatternOp::kIter;
+    node->atom = std::move(*atom_result);
+    node->iter_count = m;
+    node->iter_unbounded = unbounded;
+    vars_[node->atom.variable].is_iteration = true;
+    return node;
+  }
+
+  /// Walks the structure assigning match positions to variables.
+  void AssignPositions(PatternNode& node, int* cursor_in) {
+    int local = 0;
+    int* cursor = cursor_in ? cursor_in : &local;
+    switch (node.op) {
+      case PatternOp::kAtom:
+        vars_[node.atom.variable].position = (*cursor)++;
+        break;
+      case PatternOp::kIter:
+        vars_[node.atom.variable].position = *cursor;
+        *cursor += node.iter_count;
+        break;
+      case PatternOp::kNseq:
+        vars_[node.nseq_atoms[0].variable].position = (*cursor)++;
+        vars_[node.nseq_atoms[2].variable].position = (*cursor)++;
+        break;
+      case PatternOp::kOr:
+        for (auto& child : node.children) {
+          vars_[child->atom.variable].position = *cursor;  // branches alias
+        }
+        (*cursor)++;
+        break;
+      case PatternOp::kSeq:
+      case PatternOp::kAnd:
+        for (auto& child : node.children) AssignPositions(*child, cursor);
+        break;
+    }
+  }
+
+  Status ParsePredicates(std::vector<RawComparison>* out) {
+    while (true) {
+      RawComparison raw;
+      raw.offset = Peek().offset;
+      CEP2ASP_RETURN_IF_ERROR(ParseOperand(&raw.lhs));
+      if (Peek().kind != TokenKind::kCompare) {
+        return Status::ParseError("expected comparison operator at offset " +
+                                  std::to_string(Peek().offset));
+      }
+      const std::string& op_text = Peek().text;
+      if (op_text == "<") {
+        raw.op = CmpOp::kLt;
+      } else if (op_text == "<=") {
+        raw.op = CmpOp::kLe;
+      } else if (op_text == ">") {
+        raw.op = CmpOp::kGt;
+      } else if (op_text == ">=") {
+        raw.op = CmpOp::kGe;
+      } else if (op_text == "==") {
+        raw.op = CmpOp::kEq;
+      } else if (op_text == "!=") {
+        raw.op = CmpOp::kNe;
+      } else {
+        return Status::ParseError("unknown operator '" + op_text + "'");
+      }
+      Advance();
+      CEP2ASP_RETURN_IF_ERROR(ParseOperand(&raw.rhs));
+      out->push_back(std::move(raw));
+      if (PeekKeyword("AND")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseOperand(RawOperand* out) {
+    if (Peek().kind == TokenKind::kNumber) {
+      out->is_attr = false;
+      out->number = Peek().number;
+      Advance();
+      return Status::OK();
+    }
+    if (Peek().kind == TokenKind::kIdent) {
+      out->is_attr = true;
+      out->var = Peek().text;
+      Advance();
+      CEP2ASP_RETURN_IF_ERROR(ExpectSymbol("."));
+      if (Peek().kind != TokenKind::kIdent ||
+          !ParseAttribute(Peek().text, &out->attr)) {
+        return Status::ParseError("unknown attribute '" + Peek().text + "'");
+      }
+      Advance();
+      return Status::OK();
+    }
+    return Status::ParseError("expected operand at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  /// Routes one WHERE comparison to an atom filter or the cross predicate.
+  Status PlaceComparison(const RawComparison& raw, PatternNode& root,
+                         Predicate* cross) {
+    auto resolve = [this](const RawOperand& operand) -> Result<VarInfo> {
+      auto it = vars_.find(operand.var);
+      if (it == vars_.end()) {
+        return Status::ParseError("unknown variable '" + operand.var + "'");
+      }
+      return it->second;
+    };
+
+    const bool lhs_attr = raw.lhs.is_attr;
+    const bool rhs_attr = raw.rhs.is_attr;
+    if (!lhs_attr && !rhs_attr) {
+      return Status::ParseError("comparison between two constants");
+    }
+    if (lhs_attr && rhs_attr && raw.lhs.var == raw.rhs.var) {
+      // Same variable on both sides: still a single-variable filter.
+    }
+    if (lhs_attr && rhs_attr && raw.lhs.var != raw.rhs.var) {
+      auto l = resolve(raw.lhs);
+      if (!l.ok()) return l.status();
+      auto r = resolve(raw.rhs);
+      if (!r.ok()) return r.status();
+      if (l->is_iteration || r->is_iteration) {
+        return Status::ParseError(
+            "cross predicates over iteration variables are not supported; "
+            "use the consecutive-constraint form");
+      }
+      if (l->is_negated || r->is_negated) {
+        return Status::ParseError(
+            "cross predicates over negated variables are not supported");
+      }
+      cross->Add(Comparison::AttrAttr(AttrRef{l->position, raw.lhs.attr},
+                                      raw.op,
+                                      AttrRef{r->position, raw.rhs.attr}));
+      return Status::OK();
+    }
+
+    // Single-variable comparison: push into the atom's filter.
+    const RawOperand& attr_side = lhs_attr ? raw.lhs : raw.rhs;
+    auto info = resolve(attr_side);
+    if (!info.ok()) return info.status();
+    Comparison c;
+    if (lhs_attr && !rhs_attr) {
+      c = Comparison::AttrConst(AttrRef{0, raw.lhs.attr}, raw.op,
+                                raw.rhs.number);
+    } else if (!lhs_attr && rhs_attr) {
+      // const OP attr  ->  attr OP' const with mirrored operator.
+      CmpOp mirrored = raw.op;
+      switch (raw.op) {
+        case CmpOp::kLt:
+          mirrored = CmpOp::kGt;
+          break;
+        case CmpOp::kLe:
+          mirrored = CmpOp::kGe;
+          break;
+        case CmpOp::kGt:
+          mirrored = CmpOp::kLt;
+          break;
+        case CmpOp::kGe:
+          mirrored = CmpOp::kLe;
+          break;
+        default:
+          break;
+      }
+      c = Comparison::AttrConst(AttrRef{0, raw.rhs.attr}, mirrored,
+                                raw.lhs.number);
+    } else {
+      // Both sides the same variable, e.g. v.value < v.lat.
+      c = Comparison::AttrAttr(AttrRef{0, raw.lhs.attr}, raw.op,
+                               AttrRef{0, raw.rhs.attr});
+    }
+    if (!AttachFilter(root, attr_side.var, c)) {
+      return Status::ParseError("could not attach filter to variable '" +
+                                attr_side.var + "'");
+    }
+    return Status::OK();
+  }
+
+  bool AttachFilter(PatternNode& node, const std::string& var,
+                    const Comparison& c) {
+    switch (node.op) {
+      case PatternOp::kAtom:
+      case PatternOp::kIter:
+        if (node.atom.variable == var) {
+          node.atom.filter.Add(c);
+          return true;
+        }
+        return false;
+      case PatternOp::kNseq:
+        for (PatternAtom& atom : node.nseq_atoms) {
+          if (atom.variable == var) {
+            atom.filter.Add(c);
+            return true;
+          }
+        }
+        return false;
+      case PatternOp::kSeq:
+      case PatternOp::kAnd:
+      case PatternOp::kOr:
+        for (auto& child : node.children) {
+          if (AttachFilter(*child, var, c)) return true;
+        }
+        return false;
+    }
+    return false;
+  }
+
+  Result<Timestamp> ParseDuration() {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Status::ParseError("expected duration number at offset " +
+                                std::to_string(Peek().offset));
+    }
+    double amount = Peek().number;
+    Advance();
+    Timestamp unit = kMillisPerMinute;  // default: minutes
+    if (Peek().kind == TokenKind::kIdent) {
+      const std::string u = ToUpper(Peek().text);
+      if (u == "MS" || u == "MILLIS" || u == "MILLISECONDS") {
+        unit = 1;
+      } else if (u == "S" || u == "SECOND" || u == "SECONDS") {
+        unit = kMillisPerSecond;
+      } else if (u == "MIN" || u == "MINUTE" || u == "MINUTES") {
+        unit = kMillisPerMinute;
+      } else if (u == "H" || u == "HOUR" || u == "HOURS") {
+        unit = 60 * kMillisPerMinute;
+      } else {
+        return Status::ParseError("unknown time unit '" + Peek().text + "'");
+      }
+      Advance();
+    }
+    return static_cast<Timestamp>(amount * static_cast<double>(unit));
+  }
+
+  std::vector<Token> tokens_;
+  EventTypeRegistry* registry_;
+  size_t pos_ = 0;
+  int anon_counter_ = 0;
+  std::map<std::string, VarInfo> vars_;
+};
+
+}  // namespace
+
+Result<Pattern> ParsePattern(const std::string& text,
+                             EventTypeRegistry* registry) {
+  if (registry == nullptr) registry = EventTypeRegistry::Global();
+  std::vector<Token> tokens;
+  Lexer lexer(text);
+  CEP2ASP_RETURN_IF_ERROR(lexer.Tokenize(&tokens));
+  Parser parser(std::move(tokens), registry);
+  return parser.Parse();
+}
+
+}  // namespace cep2asp::sea

@@ -1,0 +1,40 @@
+#ifndef CEP2ASP_SEA_PARSER_H_
+#define CEP2ASP_SEA_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sea/pattern.h"
+
+namespace cep2asp::sea {
+
+/// \brief Parses a SASE+-style pattern specification (paper Listings 1/2,
+/// and the "future work" declarative PSL + parser) into a Pattern.
+///
+/// Grammar (keywords case-insensitive):
+///
+///   spec      := PATTERN structure [WHERE predicates] WITHIN duration
+///                [SLIDE duration] [RETURN '*']
+///   structure := atom
+///              | ('SEQ'|'AND'|'OR') '(' element (',' element)* ')'
+///              | 'NSEQ' '(' atom ',' '!' atom ',' atom ')'
+///              | 'ITER' INT ['+'] '(' atom ')'
+///   element   := structure | '!' atom          (negation only inside SEQ3)
+///   atom      := TYPE VAR
+///   predicates:= comparison ('AND' comparison)*
+///   comparison:= operand ('<'|'<='|'>'|'>='|'=='|'='|'!=') operand
+///   operand   := VAR '.' ATTR | NUMBER
+///   duration  := NUMBER ('MS'|'SECONDS'|'MINUTES'|'HOURS'|singular forms)
+///
+/// A SEQ with a '!'-prefixed middle element of three is normalized to
+/// NSEQ. Event type names are resolved against `registry` (must be
+/// pre-registered, e.g. by the workload generators). Single-variable
+/// comparisons become atom filters (enabling filter pushdown); cross-
+/// variable comparisons become the pattern's cross predicates. Cross
+/// predicates may not reference iteration or negated variables.
+Result<Pattern> ParsePattern(const std::string& text,
+                             EventTypeRegistry* registry = nullptr);
+
+}  // namespace cep2asp::sea
+
+#endif  // CEP2ASP_SEA_PARSER_H_

@@ -1,0 +1,186 @@
+#ifndef CEP2ASP_SEA_PATTERN_H_
+#define CEP2ASP_SEA_PATTERN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "event/predicate.h"
+
+namespace cep2asp {
+
+/// SEA operators beyond selection/projection (paper §3).
+enum class PatternOp : uint8_t {
+  kAtom,  // a single event type occurrence
+  kSeq,   // temporal order (Eq. 10)
+  kAnd,   // conjunction (Eq. 9)
+  kOr,    // disjunction (Eq. 11)
+  kIter,  // bounded iteration (Eq. 12)
+  kNseq,  // negated sequence (Eq. 14)
+};
+
+const char* PatternOpToString(PatternOp op);
+
+/// \brief One event-type occurrence within a pattern, with its
+/// single-variable filter (the pushdown-able part of the WHERE clause).
+struct PatternAtom {
+  EventTypeId type = kInvalidEventType;
+  std::string variable;  // user-facing name, e.g. "e1"
+  Predicate filter;      // references only variable index 0 (the atom itself)
+};
+
+/// \brief Constraint between consecutive iteration events,
+/// e.g. v_n.value < v_{n+1}.value (paper §5.2.2, ITER_2).
+struct ConsecutiveConstraint {
+  Attribute attr = Attribute::kValue;
+  CmpOp op = CmpOp::kLt;
+};
+
+/// \brief Node of the pattern structure tree.
+///
+/// Shape restrictions follow SEA (paper §3.2):
+///  * kIter is unary over one atom, repeated exactly m times (or >= m when
+///    `unbounded` is set — the Kleene+-style extension of O2);
+///  * kNseq is ternary over three atoms (T1, negated T2, T3);
+///  * kOr children must contribute exactly one output event each (atoms or
+///    nested kOr), since Eq. 11 yields single events;
+///  * kSeq and kAnd are n-ary (nested forms are pre-flattened by the
+///    builder, using associativity).
+struct PatternNode {
+  PatternOp op = PatternOp::kAtom;
+
+  // kAtom / kIter / kNseq payloads.
+  PatternAtom atom;                        // kAtom
+  int iter_count = 0;                      // kIter: m
+  bool iter_unbounded = false;             // kIter: accept n >= m
+  std::optional<ConsecutiveConstraint> iter_constraint;  // kIter
+  std::vector<PatternAtom> nseq_atoms;     // kNseq: {T1, T2(negated), T3}
+
+  std::vector<std::unique_ptr<PatternNode>> children;  // kSeq/kAnd/kOr
+
+  /// Number of events this node contributes to a match tuple.
+  int OutputArity() const;
+};
+
+/// \brief A complete CEP pattern: structure + cross-variable predicates +
+/// the mandatory window (paper §3.1.4: the window operator is a core
+/// component of every pattern).
+///
+/// Cross-variable predicate indices address the match positions assigned
+/// by an in-order traversal of the structure tree: each atom takes one
+/// position, kIter takes m consecutive positions, kNseq takes two (T1 and
+/// T3; the negated T2 does not appear in the output).
+class Pattern {
+ public:
+  Pattern() = default;
+  Pattern(std::unique_ptr<PatternNode> root, Predicate cross_predicates,
+          Timestamp window_size)
+      : root_(std::move(root)),
+        cross_predicates_(std::move(cross_predicates)),
+        window_size_(window_size) {}
+
+  Pattern(Pattern&&) = default;
+  Pattern& operator=(Pattern&&) = default;
+
+  const PatternNode& root() const { return *root_; }
+  bool has_root() const { return root_ != nullptr; }
+  const Predicate& cross_predicates() const { return cross_predicates_; }
+  Timestamp window_size() const { return window_size_; }
+
+  /// Slide size for explicit windowing; defaults to one minute (paper
+  /// §5.1.3 uses a one-minute slide for minute-resolution streams).
+  Timestamp slide() const { return slide_; }
+  void set_slide(Timestamp slide) { slide_ = slide; }
+
+  /// Total number of events in a match of this pattern.
+  int OutputArity() const { return root_ ? root_->OutputArity() : 0; }
+
+  /// Validates structure restrictions and predicate variable ranges.
+  Status Validate() const;
+
+  /// Human-readable rendering, e.g.
+  /// "SEQ(Q e1, V e2) WHERE e1.value > 100 WITHIN 15min".
+  std::string ToString() const;
+
+ private:
+  std::unique_ptr<PatternNode> root_;
+  Predicate cross_predicates_;
+  Timestamp window_size_ = 0;
+  Timestamp slide_ = kMillisPerMinute;
+};
+
+/// \brief Fluent construction of patterns from code (the programmatic
+/// counterpart of the PSL; FlinkCEP-style functional API).
+///
+/// Example:
+///   Pattern p = PatternBuilder()
+///       .Seq({Atom(q_type, "e1"), Atom(v_type, "e2")})
+///       .Where(Comparison::AttrAttr({0, Attribute::kValue}, CmpOp::kLe,
+///                                   {1, Attribute::kValue}))
+///       .Within(15 * kMillisPerMinute)
+///       .Build()
+///       .ValueOrDie();
+class PatternBuilder {
+ public:
+  PatternBuilder() = default;
+
+  static std::unique_ptr<PatternNode> Atom(EventTypeId type, std::string var,
+                                           Predicate filter = Predicate());
+  static std::unique_ptr<PatternNode> Iter(
+      EventTypeId type, std::string var, int m, Predicate filter = Predicate(),
+      std::optional<ConsecutiveConstraint> constraint = std::nullopt,
+      bool unbounded = false);
+
+  PatternBuilder& Seq(std::vector<std::unique_ptr<PatternNode>> children);
+  PatternBuilder& And(std::vector<std::unique_ptr<PatternNode>> children);
+  PatternBuilder& Or(std::vector<std::unique_ptr<PatternNode>> children);
+
+  // Variadic conveniences (initializer lists cannot move unique_ptrs).
+  template <typename... Nodes>
+  PatternBuilder& Seq(std::unique_ptr<PatternNode> first, Nodes... rest) {
+    return Seq(Collect(std::move(first), std::move(rest)...));
+  }
+  template <typename... Nodes>
+  PatternBuilder& And(std::unique_ptr<PatternNode> first, Nodes... rest) {
+    return And(Collect(std::move(first), std::move(rest)...));
+  }
+  template <typename... Nodes>
+  PatternBuilder& Or(std::unique_ptr<PatternNode> first, Nodes... rest) {
+    return Or(Collect(std::move(first), std::move(rest)...));
+  }
+  /// NSEQ(T1 e1, !T2 e2, T3 e3).
+  PatternBuilder& Nseq(PatternAtom t1, PatternAtom negated_t2, PatternAtom t3);
+  /// Uses an explicit prebuilt root (for nested compositions).
+  PatternBuilder& Root(std::unique_ptr<PatternNode> root);
+
+  PatternBuilder& Where(Comparison comparison);
+  PatternBuilder& Within(Timestamp window_size);
+  PatternBuilder& SlideBy(Timestamp slide);
+
+  Result<Pattern> Build();
+
+ private:
+  template <typename... Nodes>
+  static std::vector<std::unique_ptr<PatternNode>> Collect(Nodes... nodes) {
+    std::vector<std::unique_ptr<PatternNode>> out;
+    out.reserve(sizeof...(nodes));
+    (out.push_back(std::move(nodes)), ...);
+    return out;
+  }
+
+  std::unique_ptr<PatternNode> root_;
+  Predicate cross_predicates_;
+  Timestamp window_size_ = 0;
+  Timestamp slide_ = kMillisPerMinute;
+};
+
+/// Collects the atoms in match-position order. kIter contributes its atom
+/// once per repetition; kNseq contributes T1 and T3 (not the negated T2).
+std::vector<const PatternAtom*> MatchPositionAtoms(const PatternNode& node);
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_SEA_PATTERN_H_

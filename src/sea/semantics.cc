@@ -1,0 +1,239 @@
+#include "sea/semantics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "asp/window.h"
+#include "common/logging.h"
+
+namespace cep2asp::sea {
+
+namespace {
+
+using EventList = std::vector<SimpleEvent>;
+using SubMatch = std::vector<SimpleEvent>;  // events in match-position order
+
+Timestamp MaxTs(const SubMatch& match) {
+  Timestamp out = kMinTimestamp;
+  for (const SimpleEvent& e : match) out = std::max(out, e.ts);
+  return out;
+}
+
+Timestamp MinTs(const SubMatch& match) {
+  Timestamp out = kMaxTimestamp;
+  for (const SimpleEvent& e : match) out = std::min(out, e.ts);
+  return out;
+}
+
+std::vector<SubMatch> EvalNode(const PatternNode& node, const EventList& events);
+
+std::vector<SubMatch> EvalAtom(const PatternAtom& atom, const EventList& events) {
+  std::vector<SubMatch> out;
+  for (const SimpleEvent& e : events) {
+    if (e.type != atom.type) continue;
+    if (!atom.filter.IsTrue() && !atom.filter.EvalOnEvent(e)) continue;
+    out.push_back({e});
+  }
+  return out;
+}
+
+std::vector<SubMatch> EvalIter(const PatternNode& node, const EventList& events) {
+  // Qualifying events, sorted strictly by ts for Eq. 12's order.
+  EventList qualifying;
+  for (const SimpleEvent& e : events) {
+    if (e.type != node.atom.type) continue;
+    if (!node.atom.filter.IsTrue() && !node.atom.filter.EvalOnEvent(e)) continue;
+    qualifying.push_back(e);
+  }
+  std::sort(qualifying.begin(), qualifying.end(),
+            [](const SimpleEvent& a, const SimpleEvent& b) { return a.ts < b.ts; });
+
+  std::vector<SubMatch> out;
+  const int m = node.iter_count;
+  SubMatch current;
+  // Depth-first enumeration of strictly increasing-ts m-combinations.
+  std::function<void(size_t)> recurse = [&](size_t start) {
+    if (static_cast<int>(current.size()) == m) {
+      out.push_back(current);
+      return;
+    }
+    for (size_t i = start; i < qualifying.size(); ++i) {
+      const SimpleEvent& e = qualifying[i];
+      if (!current.empty()) {
+        if (e.ts <= current.back().ts) continue;  // strict temporal order
+        if (node.iter_constraint.has_value()) {
+          const ConsecutiveConstraint& c = *node.iter_constraint;
+          if (!EvalCmp(GetAttribute(current.back(), c.attr), c.op,
+                       GetAttribute(e, c.attr))) {
+            continue;
+          }
+        }
+      }
+      current.push_back(e);
+      recurse(i + 1);
+      current.pop_back();
+    }
+  };
+  recurse(0);
+  return out;
+}
+
+std::vector<SubMatch> EvalNseq(const PatternNode& node, const EventList& events) {
+  const PatternAtom& t1 = node.nseq_atoms[0];
+  const PatternAtom& t2 = node.nseq_atoms[1];
+  const PatternAtom& t3 = node.nseq_atoms[2];
+  std::vector<SubMatch> firsts = EvalAtom(t1, events);
+  std::vector<SubMatch> thirds = EvalAtom(t3, events);
+  EventList negated;
+  for (const SimpleEvent& e : events) {
+    if (e.type != t2.type) continue;
+    if (!t2.filter.IsTrue() && !t2.filter.EvalOnEvent(e)) continue;
+    negated.push_back(e);
+  }
+  std::vector<SubMatch> out;
+  for (const SubMatch& a : firsts) {
+    for (const SubMatch& b : thirds) {
+      const SimpleEvent& e1 = a[0];
+      const SimpleEvent& e3 = b[0];
+      if (!(e1.ts < e3.ts)) continue;
+      bool blocked = false;
+      for (const SimpleEvent& e2 : negated) {
+        if (e1.ts < e2.ts && e2.ts < e3.ts) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) out.push_back({e1, e3});
+    }
+  }
+  return out;
+}
+
+/// Combines children left-to-right; `require_order` adds the SEQ adjacency
+/// constraint max_ts(left accumulation's last child) < min_ts(right).
+std::vector<SubMatch> Combine(const std::vector<const PatternNode*>& children,
+                              const EventList& events, bool require_order) {
+  std::vector<SubMatch> acc = EvalNode(*children[0], events);
+  std::vector<Timestamp> acc_last_max;  // max ts of the previous child part
+  acc_last_max.reserve(acc.size());
+  for (const SubMatch& m : acc) acc_last_max.push_back(MaxTs(m));
+
+  for (size_t c = 1; c < children.size(); ++c) {
+    std::vector<SubMatch> next = EvalNode(*children[c], events);
+    std::vector<SubMatch> combined;
+    std::vector<Timestamp> combined_last_max;
+    for (size_t i = 0; i < acc.size(); ++i) {
+      for (const SubMatch& right : next) {
+        if (require_order && !(acc_last_max[i] < MinTs(right))) continue;
+        SubMatch merged = acc[i];
+        merged.insert(merged.end(), right.begin(), right.end());
+        combined.push_back(std::move(merged));
+        combined_last_max.push_back(MaxTs(right));
+      }
+    }
+    acc = std::move(combined);
+    acc_last_max = std::move(combined_last_max);
+  }
+  return acc;
+}
+
+std::vector<SubMatch> EvalNode(const PatternNode& node, const EventList& events) {
+  switch (node.op) {
+    case PatternOp::kAtom:
+      return EvalAtom(node.atom, events);
+    case PatternOp::kIter:
+      return EvalIter(node, events);
+    case PatternOp::kNseq:
+      return EvalNseq(node, events);
+    case PatternOp::kOr: {
+      std::vector<SubMatch> out;
+      for (const auto& child : node.children) {
+        std::vector<SubMatch> part = EvalNode(*child, events);
+        out.insert(out.end(), part.begin(), part.end());
+      }
+      return out;
+    }
+    case PatternOp::kSeq: {
+      std::vector<const PatternNode*> children;
+      for (const auto& child : node.children) children.push_back(child.get());
+      return Combine(children, events, /*require_order=*/true);
+    }
+    case PatternOp::kAnd: {
+      std::vector<const PatternNode*> children;
+      for (const auto& child : node.children) children.push_back(child.get());
+      return Combine(children, events, /*require_order=*/false);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<Tuple> EvaluateOnSubstream(const Pattern& pattern,
+                                       const std::vector<SimpleEvent>& events) {
+  CEP2ASP_CHECK(pattern.has_root());
+  std::vector<SubMatch> raw = EvalNode(pattern.root(), events);
+  std::vector<Tuple> out;
+  out.reserve(raw.size());
+  for (const SubMatch& match : raw) {
+    // Apply cross-variable predicates on the complete match.
+    if (!pattern.cross_predicates().IsTrue()) {
+      bool pass = pattern.cross_predicates().Eval(
+          [&match](int var) -> const SimpleEvent& {
+            return match[static_cast<size_t>(var)];
+          });
+      if (!pass) continue;
+    }
+    Tuple tuple;
+    for (const SimpleEvent& e : match) tuple.AppendEvent(e);
+    tuple.set_event_time(tuple.tse());
+    tuple.set_key(match.empty() ? 0 : match[0].id);
+    out.push_back(std::move(tuple));
+  }
+  return out;
+}
+
+WindowedEvaluation EvaluateWithWindows(const Pattern& pattern,
+                                       const std::vector<SimpleEvent>& stream) {
+  WindowedEvaluation result;
+  if (stream.empty()) return result;
+
+  SlidingWindowSpec spec{pattern.window_size(), pattern.slide()};
+  CEP2ASP_CHECK(spec.valid());
+  Timestamp min_ts = stream[0].ts, max_ts = stream[0].ts;
+  for (const SimpleEvent& e : stream) {
+    min_ts = std::min(min_ts, e.ts);
+    max_ts = std::max(max_ts, e.ts);
+  }
+
+  std::unordered_set<std::string> seen;
+  for (int64_t k = spec.FirstWindow(min_ts); k <= spec.LastWindow(max_ts); ++k) {
+    const Timestamp begin = spec.WindowStart(k);
+    const Timestamp end = spec.WindowEnd(k);
+    std::vector<SimpleEvent> content;
+    for (const SimpleEvent& e : stream) {
+      if (e.ts >= begin && e.ts < end) content.push_back(e);
+    }
+    if (content.empty()) continue;
+    ++result.windows_evaluated;
+    std::vector<Tuple> matches = EvaluateOnSubstream(pattern, content);
+    result.emissions_with_duplicates += static_cast<int64_t>(matches.size());
+    for (Tuple& match : matches) {
+      if (seen.insert(MatchKey(match)).second) {
+        result.matches.push_back(std::move(match));
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Tuple> Deduplicate(const std::vector<Tuple>& tuples) {
+  std::vector<Tuple> out;
+  std::unordered_set<std::string> seen;
+  for (const Tuple& t : tuples) {
+    if (seen.insert(MatchKey(t)).second) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace cep2asp::sea

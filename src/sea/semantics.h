@@ -1,0 +1,58 @@
+#ifndef CEP2ASP_SEA_SEMANTICS_H_
+#define CEP2ASP_SEA_SEMANTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sea/pattern.h"
+
+namespace cep2asp::sea {
+
+/// \brief Brute-force reference implementation of the SEA operator
+/// semantics (paper Eqs. 9–14) on one finite substream.
+///
+/// Intended as the correctness oracle for the engines, not for
+/// performance: enumeration is exponential in pattern arity.
+///
+/// Semantics per node:
+///  * atom: events of the type passing the filter (Eq. 3);
+///  * AND: set product of children (Eq. 9);
+///  * SEQ: product with temporal order between adjacent children —
+///    every event of child i precedes every event of child i+1,
+///    degenerating to e_i.ts < e_{i+1}.ts for atoms (Eq. 10);
+///  * OR: union of single events (Eq. 11);
+///  * ITER^m: strictly ts-increasing m-tuples of one type (Eq. 12), with
+///    the optional constraint between consecutive events;
+///  * NSEQ: pairs (e1, e3) with e1.ts < e3.ts and no qualifying T2 event
+///    strictly inside (e1.ts, e3.ts) (Eq. 14).
+///
+/// Cross-variable predicates are applied to complete matches. Events of
+/// the substream need not be sorted.
+std::vector<Tuple> EvaluateOnSubstream(const Pattern& pattern,
+                                       const std::vector<SimpleEvent>& events);
+
+/// \brief Result of evaluating a pattern over a whole stream with
+/// explicit sliding windows (paper Eqs. 4–5).
+struct WindowedEvaluation {
+  /// Distinct matches (duplicates across overlapping windows removed, per
+  /// the semantic-equivalence definition of §4).
+  std::vector<Tuple> matches;
+  /// Total emissions including duplicates from overlapping windows.
+  int64_t emissions_with_duplicates = 0;
+  /// Number of non-empty windows evaluated.
+  int64_t windows_evaluated = 0;
+};
+
+/// Discretizes the stream into sliding substreams (size = pattern window,
+/// slide = pattern slide), evaluates each via EvaluateOnSubstream, and
+/// deduplicates by match identity.
+WindowedEvaluation EvaluateWithWindows(const Pattern& pattern,
+                                       const std::vector<SimpleEvent>& stream);
+
+/// Deduplicates tuples by ordered match identity, preserving first
+/// occurrence order.
+std::vector<Tuple> Deduplicate(const std::vector<Tuple>& tuples);
+
+}  // namespace cep2asp::sea
+
+#endif  // CEP2ASP_SEA_SEMANTICS_H_

@@ -1,0 +1,28 @@
+#ifndef CEP2ASP_TRANSLATOR_SQL_TEXT_H_
+#define CEP2ASP_TRANSLATOR_SQL_TEXT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sea/pattern.h"
+
+namespace cep2asp {
+
+/// \brief Renders the declarative query a pattern translates to, in the
+/// paper's listing style (Listings 4, 6, 8):
+///
+///   SELECT *
+///   FROM Stream Q q1, Stream V v1
+///   WHERE q1.ts < v1.ts AND q1.value <= v1.value
+///   WINDOW [Range 15min, Slide 1min]
+///
+/// Negated sequences render the NOT EXISTS subquery of Listing 6;
+/// disjunctions render a UNION; iterations render self joins over the same
+/// stream. Purely explanatory (the runnable artifact is the LogicalPlan) —
+/// the textual form documents the mapping and feeds EXPLAIN-style output
+/// in the examples.
+Result<std::string> RenderSqlQuery(const Pattern& pattern);
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_TRANSLATOR_SQL_TEXT_H_

@@ -1,0 +1,77 @@
+#include "workload/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "event/event_type.h"
+
+namespace cep2asp {
+
+Status WriteEventsCsv(const std::string& path,
+                      const std::vector<SimpleEvent>& events) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  EventTypeRegistry* registry = EventTypeRegistry::Global();
+  out << "type,id,ts,value,lat,lon\n";
+  char buf[256];
+  for (const SimpleEvent& e : events) {
+    std::snprintf(buf, sizeof(buf), "%s,%lld,%lld,%.9g,%.6f,%.6f\n",
+                  registry->Name(e.type).c_str(),
+                  static_cast<long long>(e.id), static_cast<long long>(e.ts),
+                  e.value, e.lat, e.lon);
+    out << buf;
+  }
+  out.close();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<SimpleEvent>> ReadEventsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  EventTypeRegistry* registry = EventTypeRegistry::Global();
+  std::vector<SimpleEvent> events;
+  std::string line;
+  bool first = true;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (first) {
+      first = false;
+      if (StartsWith(line, "type,")) continue;  // header
+    }
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty()) continue;
+    std::vector<std::string> fields = SplitString(trimmed, ',');
+    if (fields.size() != 6) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": expected 6 fields, got " +
+                                std::to_string(fields.size()));
+    }
+    SimpleEvent e;
+    e.type = registry->RegisterOrGet(fields[0]);
+    long long id = 0, ts = 0;
+    double value = 0, lat = 0, lon = 0;
+    if (!ParseInt64(fields[1], &id) || !ParseInt64(fields[2], &ts) ||
+        !ParseDouble(fields[3], &value) || !ParseDouble(fields[4], &lat) ||
+        !ParseDouble(fields[5], &lon)) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": malformed field");
+    }
+    e.id = id;
+    e.ts = ts;
+    e.value = value;
+    e.lat = lat;
+    e.lon = lon;
+    events.push_back(e);
+  }
+  return events;
+}
+
+}  // namespace cep2asp

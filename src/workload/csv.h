@@ -1,0 +1,23 @@
+#ifndef CEP2ASP_WORKLOAD_CSV_H_
+#define CEP2ASP_WORKLOAD_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "event/event.h"
+
+namespace cep2asp {
+
+/// Writes events as CSV with header `type,id,ts,value,lat,lon` (the
+/// paper's evaluation extracts fixed time frames as CSV files, §5.1.2).
+Status WriteEventsCsv(const std::string& path,
+                      const std::vector<SimpleEvent>& events);
+
+/// Reads events back; type names are resolved (and registered if unseen)
+/// against the global registry. Events are returned in file order.
+Result<std::vector<SimpleEvent>> ReadEventsCsv(const std::string& path);
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_WORKLOAD_CSV_H_

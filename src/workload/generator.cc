@@ -1,0 +1,126 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <random>
+
+#include "common/logging.h"
+#include "runtime/vector_source.h"
+
+namespace cep2asp {
+
+std::vector<SimpleEvent> GenerateStream(const StreamSpec& spec) {
+  CEP2ASP_CHECK(spec.type != kInvalidEventType);
+  CEP2ASP_CHECK(spec.num_sensors >= 1);
+  CEP2ASP_CHECK(spec.period >= 1);
+
+  std::mt19937_64 rng(spec.seed ^ (static_cast<uint64_t>(spec.type) << 32));
+  std::uniform_real_distribution<double> value_dist(spec.value_min,
+                                                    spec.value_max);
+  std::uniform_real_distribution<double> coord_dist(-0.05, 0.05);
+
+  std::vector<SimpleEvent> events;
+  events.reserve(static_cast<size_t>(spec.total_events()));
+  // Phase-stagger sensors inside one period. Every timestamp is a multiple
+  // of `stagger`, so a pattern slide of `stagger` (or any divisor) meets
+  // Theorem 2's lossless-detection condition: for every event there is a
+  // window starting exactly at its timestamp. The effective period is
+  // stagger * num_sensors, which rounds the nominal period down slightly
+  // when it is not divisible by the sensor count.
+  const Timestamp stagger =
+      spec.align_to_period
+          ? 0
+          : std::max<Timestamp>(1, spec.period / spec.num_sensors);
+  const Timestamp effective_period =
+      spec.align_to_period ? spec.period : stagger * spec.num_sensors;
+  for (int round = 0; round < spec.events_per_sensor; ++round) {
+    for (int sensor = 0; sensor < spec.num_sensors; ++sensor) {
+      SimpleEvent e;
+      e.type = spec.type;
+      e.id = spec.id_offset + sensor;
+      e.ts = spec.start_ts + static_cast<Timestamp>(round) * effective_period +
+             static_cast<Timestamp>(sensor) * stagger;
+      e.value = value_dist(rng);
+      // Stable pseudo-location per sensor around Hessen (QnV's region).
+      e.lat = 50.5 + static_cast<double>(sensor % 97) * 0.01 + coord_dist(rng) * 0;
+      e.lon = 9.0 + static_cast<double>(sensor % 89) * 0.01;
+      events.push_back(e);
+    }
+  }
+  return events;
+}
+
+void Workload::AddStream(const StreamSpec& spec) {
+  AddEvents(spec.type, GenerateStream(spec));
+}
+
+void Workload::AddEvents(EventTypeId type, std::vector<SimpleEvent> events) {
+  auto& stream = streams_[type];
+  if (stream.empty()) {
+    stream = std::move(events);
+  } else {
+    stream.insert(stream.end(), events.begin(), events.end());
+    std::stable_sort(stream.begin(), stream.end(),
+                     [](const SimpleEvent& a, const SimpleEvent& b) {
+                       return a.ts < b.ts;
+                     });
+  }
+}
+
+const std::vector<SimpleEvent>& Workload::events(EventTypeId type) const {
+  static const std::vector<SimpleEvent> kEmpty;
+  auto it = streams_.find(type);
+  return it == streams_.end() ? kEmpty : it->second;
+}
+
+int64_t Workload::TotalEvents() const {
+  int64_t total = 0;
+  for (const auto& [type, events] : streams_) {
+    (void)type;
+    total += static_cast<int64_t>(events.size());
+  }
+  return total;
+}
+
+std::vector<SimpleEvent> Workload::MergedEvents() const {
+  std::vector<SimpleEvent> merged;
+  merged.reserve(static_cast<size_t>(TotalEvents()));
+  for (const auto& [type, events] : streams_) {
+    (void)type;
+    merged.insert(merged.end(), events.begin(), events.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const SimpleEvent& a, const SimpleEvent& b) {
+                     return a.ts < b.ts;
+                   });
+  return merged;
+}
+
+SourceFactory Workload::MakeSourceFactory() const {
+  // The factory copies the stream per scan; the Workload must outlive the
+  // compiled queries' construction (not their execution).
+  return [this](EventTypeId type) -> std::unique_ptr<Source> {
+    auto it = streams_.find(type);
+    if (it == streams_.end()) return nullptr;
+    return std::make_unique<VectorSource>(
+        EventTypeRegistry::Global()->Name(type), it->second);
+  };
+}
+
+StreamStatistics Workload::Statistics() const {
+  StreamStatistics stats;
+  for (const auto& [type, events] : streams_) {
+    if (events.size() < 2) {
+      stats.rate_per_minute[type] = static_cast<double>(events.size());
+      continue;
+    }
+    double span_minutes =
+        static_cast<double>(events.back().ts - events.front().ts) /
+        static_cast<double>(kMillisPerMinute);
+    stats.rate_per_minute[type] =
+        span_minutes > 0 ? static_cast<double>(events.size()) / span_minutes
+                         : static_cast<double>(events.size());
+  }
+  return stats;
+}
+
+}  // namespace cep2asp

@@ -1,0 +1,91 @@
+#ifndef CEP2ASP_WORKLOAD_GENERATOR_H_
+#define CEP2ASP_WORKLOAD_GENERATOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "event/event.h"
+#include "runtime/operator.h"
+#include "translator/translator.h"
+
+namespace cep2asp {
+
+/// \brief Specification of one synthetic sensor stream.
+///
+/// The paper's data sets are gone from the public portal (QnV) or large
+/// external downloads (AQ), so the workloads are synthesized with the same
+/// schema (id, lat, lon, ts, value) and the properties the experiments
+/// exploit: per-type emission frequency, number of distinct sensors
+/// (keys), and a uniform value distribution so that a threshold filter
+/// `value < t` has selectivity t / (value_max - value_min).
+struct StreamSpec {
+  EventTypeId type = kInvalidEventType;
+  int num_sensors = 1;      // distinct producer ids -> partition keys
+  int64_t id_offset = 0;    // first sensor id
+  Timestamp start_ts = 0;
+  Timestamp period = kMillisPerMinute;  // per-sensor emission interval
+  int events_per_sensor = 0;
+  double value_min = 0.0;
+  double value_max = 100.0;
+  uint64_t seed = 42;
+  /// When set, all sensors report at the same period tick (real QnV/AQ
+  /// deployments sample on aligned minute boundaries), so every timestamp
+  /// is a multiple of `period` and a pattern slide of one period satisfies
+  /// Theorem 2. When unset, sensors are phase-staggered inside the period
+  /// and the slide must divide stagger().
+  bool align_to_period = false;
+
+  int64_t total_events() const {
+    return static_cast<int64_t>(num_sensors) * events_per_sensor;
+  }
+
+  /// Offset between consecutive sensors' emissions; all generated
+  /// timestamps are multiples of this, so a pattern slide of stagger()
+  /// satisfies Theorem 2 (every event timestamp starts a window).
+  Timestamp stagger() const {
+    return std::max<Timestamp>(1, period / num_sensors);
+  }
+};
+
+/// Generates the stream, ordered by timestamp. Sensors are phase-staggered
+/// within the period so multi-sensor streams interleave like real
+/// deployments; each producer's own timestamps strictly increase (§2.1).
+std::vector<SimpleEvent> GenerateStream(const StreamSpec& spec);
+
+/// \brief A complete multi-stream workload for one experiment.
+class Workload {
+ public:
+  Workload() = default;
+
+  /// Generates and adds one stream.
+  void AddStream(const StreamSpec& spec);
+
+  /// Adds a pre-materialized stream (must be ts-ordered).
+  void AddEvents(EventTypeId type, std::vector<SimpleEvent> events);
+
+  const std::vector<SimpleEvent>& events(EventTypeId type) const;
+  bool has_type(EventTypeId type) const { return streams_.count(type) > 0; }
+
+  int64_t TotalEvents() const;
+
+  /// All streams merged into one ts-ordered vector (oracle input).
+  std::vector<SimpleEvent> MergedEvents() const;
+
+  /// Factory handing each logical scan its own copy of the stream (the
+  /// paper's FROM Stream T reads the CSV per occurrence). Returns nullptr
+  /// sources for unknown types, which translation reports as NotFound.
+  SourceFactory MakeSourceFactory() const;
+
+  /// Measured per-type rates for the statistics-driven optimizer.
+  StreamStatistics Statistics() const;
+
+ private:
+  std::unordered_map<EventTypeId, std::vector<SimpleEvent>> streams_;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,72 @@
+#include "workload/presets.h"
+
+namespace cep2asp {
+
+SensorTypes SensorTypes::Get() {
+  EventTypeRegistry* registry = EventTypeRegistry::Global();
+  SensorTypes types;
+  types.q = registry->RegisterOrGet("Q");
+  types.v = registry->RegisterOrGet("V");
+  types.pm10 = registry->RegisterOrGet("PM10");
+  types.pm25 = registry->RegisterOrGet("PM25");
+  types.temp = registry->RegisterOrGet("Temp");
+  types.hum = registry->RegisterOrGet("Hum");
+  return types;
+}
+
+namespace {
+
+StreamSpec BaseSpec(EventTypeId type, const PresetOptions& options,
+                    Timestamp period, uint64_t salt) {
+  StreamSpec spec;
+  spec.type = type;
+  spec.num_sensors = options.num_sensors;
+  spec.events_per_sensor = options.events_per_sensor;
+  spec.period = period;
+  spec.seed = options.seed + salt;
+  spec.value_min = 0.0;
+  spec.value_max = 100.0;
+  spec.align_to_period = options.align_to_period;
+  return spec;
+}
+
+}  // namespace
+
+Workload MakeQnVWorkload(const PresetOptions& options) {
+  SensorTypes types = SensorTypes::Get();
+  Workload workload;
+  workload.AddStream(BaseSpec(types.q, options, options.qnv_period, 1));
+  workload.AddStream(BaseSpec(types.v, options, options.qnv_period, 2));
+  return workload;
+}
+
+Workload MakeAqWorkload(const PresetOptions& options) {
+  SensorTypes types = SensorTypes::Get();
+  Workload workload;
+  workload.AddStream(BaseSpec(types.pm10, options, options.aq_period, 3));
+  workload.AddStream(BaseSpec(types.pm25, options, options.aq_period, 4));
+  workload.AddStream(BaseSpec(types.temp, options, options.aq_period, 5));
+  workload.AddStream(BaseSpec(types.hum, options, options.aq_period, 6));
+  return workload;
+}
+
+Workload MakeCombinedWorkload(const PresetOptions& options) {
+  SensorTypes types = SensorTypes::Get();
+  Workload workload;
+  workload.AddStream(BaseSpec(types.q, options, options.qnv_period, 1));
+  workload.AddStream(BaseSpec(types.v, options, options.qnv_period, 2));
+  // AQ sensors report less frequently; scale rounds to cover a similar
+  // time span as the QnV streams.
+  PresetOptions aq = options;
+  aq.events_per_sensor = static_cast<int>(
+      (static_cast<int64_t>(options.events_per_sensor) * options.qnv_period) /
+      options.aq_period);
+  if (aq.events_per_sensor < 1) aq.events_per_sensor = 1;
+  workload.AddStream(BaseSpec(types.pm10, aq, options.aq_period, 3));
+  workload.AddStream(BaseSpec(types.pm25, aq, options.aq_period, 4));
+  workload.AddStream(BaseSpec(types.temp, aq, options.aq_period, 5));
+  workload.AddStream(BaseSpec(types.hum, aq, options.aq_period, 6));
+  return workload;
+}
+
+}  // namespace cep2asp

@@ -1,0 +1,53 @@
+#ifndef CEP2ASP_WORKLOAD_PRESETS_H_
+#define CEP2ASP_WORKLOAD_PRESETS_H_
+
+#include <string>
+
+#include "workload/generator.h"
+
+namespace cep2asp {
+
+/// \brief Event types of the paper's two data sources (§5.1.3).
+///
+/// QnV-Data: road-segment sensors reporting car quantity (Q) and average
+/// velocity (V) once per minute. AQ-Data: SDS011 particulate sensors
+/// (PM10, PM2.5) and DHT22 sensors (Temp, Hum), one reading every three to
+/// five minutes. All share the common schema (id, lat, lon, ts, value).
+struct SensorTypes {
+  EventTypeId q;
+  EventTypeId v;
+  EventTypeId pm10;
+  EventTypeId pm25;
+  EventTypeId temp;
+  EventTypeId hum;
+
+  /// Registers (or looks up) the six canonical types in the global
+  /// registry: "Q", "V", "PM10", "PM25", "Temp", "Hum".
+  static SensorTypes Get();
+};
+
+/// \brief Parameters shared by the experiment workload presets.
+struct PresetOptions {
+  int num_sensors = 1;        // distinct sensor ids per stream (keys)
+  int events_per_sensor = 0;  // rounds per sensor
+  Timestamp qnv_period = kMillisPerMinute;       // QnV: one reading/minute
+  Timestamp aq_period = 4 * kMillisPerMinute;    // AQ: every 3-5 minutes
+  uint64_t seed = 42;
+  /// Aligned sampling (all sensors on the period tick), the behaviour of
+  /// the paper's minute-resolution deployments. Allows a slide of one
+  /// minute regardless of the sensor count.
+  bool align_to_period = true;
+};
+
+/// QnV streams only (types Q and V).
+Workload MakeQnVWorkload(const PresetOptions& options);
+
+/// AQ streams only (PM10, PM2.5, Temp, Hum).
+Workload MakeAqWorkload(const PresetOptions& options);
+
+/// QnV + AQ combined (nested-sequence and NSEQ experiments).
+Workload MakeCombinedWorkload(const PresetOptions& options);
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_WORKLOAD_PRESETS_H_

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "cep/cep_operator.h"
+#include "cep/nfa.h"
+#include "runtime/executor.h"
+#include "runtime/vector_source.h"
+#include "tests/test_util.h"
+
+namespace cep2asp {
+namespace {
+
+using test::Ev;
+using Events = std::vector<SimpleEvent>;
+
+constexpr Timestamp kMin = kMillisPerMinute;
+
+class CepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = EventTypeRegistry::Global()->RegisterOrGet("CepA");
+    b_ = EventTypeRegistry::Global()->RegisterOrGet("CepB");
+    c_ = EventTypeRegistry::Global()->RegisterOrGet("CepC");
+  }
+
+  Pattern SeqAB(Timestamp w = 4 * kMin) {
+    return PatternBuilder()
+        .Seq(PatternBuilder::Atom(a_, "e1"), PatternBuilder::Atom(b_, "e2"))
+        .Within(w)
+        .Build()
+        .ValueOrDie();
+  }
+
+  /// Runs events (one unioned ts-ordered stream) through a CepOperator.
+  std::vector<Tuple> Run(const Pattern& pattern, Events events,
+                         CepOperatorOptions options = {}) {
+    auto op = CepOperator::FromPattern(pattern, options);
+    CEP2ASP_CHECK(op.ok()) << op.status().ToString();
+    JobGraph graph;
+    NodeId src = graph.AddSource(
+        std::make_unique<VectorSource>("s", std::move(events)));
+    NodeId cep = graph.AddOperatorAfter(src, std::move(op).ValueOrDie());
+    auto sink_op = std::make_unique<CollectSink>();
+    CollectSink* sink = sink_op.get();
+    graph.AddOperatorAfter(cep, std::move(sink_op));
+    ExecutorOptions exec;
+    exec.watermark_interval = 1;
+    ExecutionResult result = RunJob(&graph, sink, exec);
+    CEP2ASP_CHECK(result.ok) << result.error;
+    return sink->tuples();
+  }
+
+  EventTypeId a_ = 0, b_ = 0, c_ = 0;
+};
+
+// --- NFA compilation ----------------------------------------------------------
+
+TEST_F(CepTest, CompileSeqProducesLinearStages) {
+  NfaSpec spec = CompileNfa(SeqAB()).ValueOrDie();
+  ASSERT_EQ(spec.stages.size(), 2u);
+  EXPECT_EQ(spec.stages[0].type, a_);
+  EXPECT_EQ(spec.stages[1].type, b_);
+  EXPECT_TRUE(spec.negations.empty());
+}
+
+TEST_F(CepTest, CompileIterRepeatsStages) {
+  Pattern p = PatternBuilder()
+                  .Root(PatternBuilder::Iter(
+                      a_, "v", 3, Predicate(),
+                      ConsecutiveConstraint{Attribute::kValue, CmpOp::kLt}))
+                  .Within(4 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  NfaSpec spec = CompileNfa(p).ValueOrDie();
+  ASSERT_EQ(spec.stages.size(), 3u);
+  EXPECT_FALSE(spec.stages[0].consecutive.has_value());
+  EXPECT_TRUE(spec.stages[1].consecutive.has_value());
+  EXPECT_TRUE(spec.stages[2].consecutive.has_value());
+}
+
+TEST_F(CepTest, CompileNseqRecordsNegation) {
+  Pattern p = PatternBuilder()
+                  .Nseq({a_, "e1", {}}, {b_, "e2", {}}, {c_, "e3", {}})
+                  .Within(4 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  NfaSpec spec = CompileNfa(p).ValueOrDie();
+  ASSERT_EQ(spec.stages.size(), 2u);
+  ASSERT_EQ(spec.negations.size(), 1u);
+  EXPECT_EQ(spec.negations[0].type, b_);
+  EXPECT_EQ(spec.negations[0].after_position, 0);
+}
+
+TEST_F(CepTest, Table2UnsupportedOperators) {
+  // FCEP supports SEQ/ITER/NSEQ but not AND/OR (paper Table 2).
+  Pattern conj = PatternBuilder()
+                     .And(PatternBuilder::Atom(a_, "e1"),
+                          PatternBuilder::Atom(b_, "e2"))
+                     .Within(4 * kMin)
+                     .Build()
+                     .ValueOrDie();
+  EXPECT_TRUE(CompileNfa(conj).status().IsUnimplemented());
+  Pattern disj = PatternBuilder()
+                     .Or(PatternBuilder::Atom(a_, "e1"),
+                         PatternBuilder::Atom(b_, "e2"))
+                     .Within(4 * kMin)
+                     .Build()
+                     .ValueOrDie();
+  EXPECT_TRUE(CompileNfa(disj).status().IsUnimplemented());
+}
+
+TEST_F(CepTest, StagePredicatesGroupedByMaxVar) {
+  Pattern p = PatternBuilder()
+                  .Seq(PatternBuilder::Atom(a_, "e1"),
+                       PatternBuilder::Atom(b_, "e2"))
+                  .Where(Comparison::AttrAttr({0, Attribute::kValue}, CmpOp::kLe,
+                                              {1, Attribute::kValue}))
+                  .Within(4 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  NfaSpec spec = CompileNfa(p).ValueOrDie();
+  EXPECT_TRUE(spec.stage_predicates[0].empty());
+  EXPECT_EQ(spec.stage_predicates[1].size(), 1u);
+}
+
+// --- Basic detection -------------------------------------------------------------
+
+TEST_F(CepTest, DetectsSequence) {
+  auto out = Run(SeqAB(), {Ev(a_, 1, 0, 1), Ev(b_, 1, kMin, 2)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 2u);
+  EXPECT_EQ(out[0].event(0).type, a_);
+}
+
+TEST_F(CepTest, WindowPredicatePrunes) {
+  // Implicit windowing: B too late.
+  auto out = Run(SeqAB(4 * kMin), {Ev(a_, 1, 0, 1), Ev(b_, 1, 4 * kMin, 2)});
+  EXPECT_TRUE(out.empty());
+  // Just inside.
+  out = Run(SeqAB(4 * kMin), {Ev(a_, 1, 0, 1), Ev(b_, 1, 4 * kMin - 1, 2)});
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(CepTest, SkipTillAnyMatchBranches) {
+  // a1 a2 b: under stam both (a1,b) and (a2,b) match.
+  auto out = Run(
+      SeqAB(), {Ev(a_, 1, 0, 1), Ev(a_, 1, kMin, 2), Ev(b_, 1, 2 * kMin, 3)});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(CepTest, SkipTillAnyMatchCombinatorial) {
+  // 5 As followed by two Bs: 5 matches per B.
+  Events events;
+  for (int i = 0; i < 5; ++i) events.push_back(Ev(a_, 1, i * 1000, i));
+  events.push_back(Ev(b_, 1, 10000, 0));
+  events.push_back(Ev(b_, 1, 11000, 0));
+  auto out = Run(SeqAB(), events);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST_F(CepTest, SkipTillNextMatchAdvancesOnce) {
+  CepOperatorOptions options;
+  options.policy = SelectionPolicy::kSkipTillNextMatch;
+  // a1 a2 b1 b2: each A-run advances on the next B only: two matches,
+  // none with the later b2.
+  Events events = {Ev(a_, 1, 0, 1), Ev(a_, 1, kMin, 2), Ev(b_, 1, 2 * kMin, 3),
+                   Ev(b_, 1, 3 * kMin, 4)};
+  auto out = Run(SeqAB(), events, options);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(CepTest, StrictContiguityKillsOnGap) {
+  CepOperatorOptions options;
+  options.policy = SelectionPolicy::kStrictContiguity;
+  // a c b: the C between kills the run under strict contiguity.
+  Events gap = {Ev(a_, 1, 0, 1), Ev(c_, 1, kMin, 0), Ev(b_, 1, 2 * kMin, 2)};
+  EXPECT_TRUE(Run(SeqAB(), gap, options).empty());
+  // a b adjacent: match.
+  Events adjacent = {Ev(a_, 1, 0, 1), Ev(b_, 1, kMin, 2)};
+  EXPECT_EQ(Run(SeqAB(), adjacent, options).size(), 1u);
+}
+
+TEST_F(CepTest, PoliciesFormSupersetHierarchy) {
+  // stam results are supersets of stnm, which contain sc (§3.1.4).
+  Events events = {Ev(a_, 1, 0, 1), Ev(c_, 1, 500, 0), Ev(a_, 1, kMin, 2),
+                   Ev(b_, 1, 2 * kMin, 3), Ev(b_, 1, 3 * kMin, 4)};
+  auto stam = test::MatchSet(Run(SeqAB(), events));
+  CepOperatorOptions stnm_opt;
+  stnm_opt.policy = SelectionPolicy::kSkipTillNextMatch;
+  auto stnm = test::MatchSet(Run(SeqAB(), events, stnm_opt));
+  CepOperatorOptions sc_opt;
+  sc_opt.policy = SelectionPolicy::kStrictContiguity;
+  auto sc = test::MatchSet(Run(SeqAB(), events, sc_opt));
+  auto subset = [](const std::vector<std::string>& small,
+                   const std::vector<std::string>& big) {
+    for (const auto& k : small) {
+      if (std::find(big.begin(), big.end(), k) == big.end()) return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(subset(stnm, stam));
+  EXPECT_TRUE(subset(sc, stnm));
+}
+
+// --- Iteration ------------------------------------------------------------------
+
+TEST_F(CepTest, IterAllCombinations) {
+  Pattern p = PatternBuilder()
+                  .Root(PatternBuilder::Iter(a_, "v", 2))
+                  .Within(10 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  Events events = {Ev(a_, 1, 0, 0), Ev(a_, 1, kMin, 0), Ev(a_, 1, 2 * kMin, 0)};
+  // times(2).allowCombinations: C(3,2) = 3 matches.
+  EXPECT_EQ(Run(p, events).size(), 3u);
+}
+
+TEST_F(CepTest, IterConsecutiveConstraint) {
+  Pattern p = PatternBuilder()
+                  .Root(PatternBuilder::Iter(
+                      a_, "v", 3, Predicate(),
+                      ConsecutiveConstraint{Attribute::kValue, CmpOp::kLt}))
+                  .Within(10 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  Events events = {Ev(a_, 1, 0, 1), Ev(a_, 1, kMin, 3), Ev(a_, 1, 2 * kMin, 2),
+                   Ev(a_, 1, 3 * kMin, 4)};
+  // Increasing chains of length 3: (1,3,4), (1,2,4).
+  EXPECT_EQ(Run(p, events).size(), 2u);
+}
+
+// --- Negated sequence ---------------------------------------------------------------
+
+TEST_F(CepTest, NseqDetectsAbsence) {
+  Pattern p = PatternBuilder()
+                  .Nseq({a_, "e1", {}}, {b_, "e2", {}}, {c_, "e3", {}})
+                  .Within(10 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  EXPECT_EQ(Run(p, {Ev(a_, 1, 0, 0), Ev(c_, 1, kMin, 0)}).size(), 1u);
+  Events blocked = {Ev(a_, 1, 0, 0), Ev(b_, 1, 30000, 0), Ev(c_, 1, kMin, 0)};
+  EXPECT_TRUE(Run(p, blocked).empty());
+}
+
+TEST_F(CepTest, NseqMatchContainsOnlyPositiveEvents) {
+  Pattern p = PatternBuilder()
+                  .Nseq({a_, "e1", {}}, {b_, "e2", {}}, {c_, "e3", {}})
+                  .Within(10 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  auto out = Run(p, {Ev(a_, 1, 0, 0), Ev(c_, 1, kMin, 0)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 2u);
+  EXPECT_EQ(out[0].event(0).type, a_);
+  EXPECT_EQ(out[0].event(1).type, c_);
+}
+
+// --- Keyed operation -------------------------------------------------------------------
+
+TEST_F(CepTest, KeyedRunsIsolatePartitions) {
+  CepOperatorOptions options;
+  options.keyed = true;
+  // a(id=1) then b(id=2): no match when keyed by id.
+  EXPECT_TRUE(Run(SeqAB(), {Ev(a_, 1, 0, 1), Ev(b_, 2, kMin, 2)}, options)
+                  .empty());
+  EXPECT_EQ(Run(SeqAB(), {Ev(a_, 1, 0, 1), Ev(b_, 1, kMin, 2)}, options).size(),
+            1u);
+}
+
+// --- State growth (the paper's pathology) -------------------------------------------------
+
+TEST_F(CepTest, LiveRunsGrowWithSelectivity) {
+  // Many As with no B: every A opens a partial match kept for the window
+  // lifetime (the memory pathology of the stateful model, §5.2.4).
+  Events events;
+  for (int i = 0; i < 100; ++i) events.push_back(Ev(a_, 1, i * 100, 0));
+  auto op = CepOperator::FromPattern(SeqAB(100 * kMin)).ValueOrDie();
+  CepOperator* cep = op.get();
+  JobGraph graph;
+  NodeId src = graph.AddSource(std::make_unique<VectorSource>("s", events));
+  NodeId cep_id = graph.AddOperatorAfter(src, std::move(op));
+  auto sink_op = std::make_unique<CollectSink>();
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(cep_id, std::move(sink_op));
+  ExecutorOptions exec;
+  exec.watermark_interval = 1;
+  ExecutionResult result = RunJob(&graph, sink, exec);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(cep->peak_runs(), 100);
+}
+
+TEST_F(CepTest, WindowExpiryPrunesRuns) {
+  Events events;
+  for (int i = 0; i < 100; ++i) {
+    events.push_back(Ev(a_, 1, static_cast<Timestamp>(i) * 10 * kMin, 0));
+  }
+  auto op = CepOperator::FromPattern(SeqAB(4 * kMin)).ValueOrDie();
+  CepOperator* cep = op.get();
+  JobGraph graph;
+  NodeId src = graph.AddSource(std::make_unique<VectorSource>("s", events));
+  NodeId cep_id = graph.AddOperatorAfter(src, std::move(op));
+  auto sink_op = std::make_unique<CollectSink>();
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(cep_id, std::move(sink_op));
+  ExecutorOptions exec;
+  exec.watermark_interval = 1;
+  ExecutionResult result = RunJob(&graph, sink, exec);
+  ASSERT_TRUE(result.ok);
+  // Events 10 minutes apart with W = 4: each new A expires the previous.
+  EXPECT_LE(cep->peak_runs(), 2);
+}
+
+}  // namespace
+}  // namespace cep2asp

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "cep/shared_buffer.h"
+#include "cluster/calibration.h"
+#include "cluster/sim.h"
+#include "tests/test_util.h"
+
+namespace cep2asp {
+namespace {
+
+constexpr Timestamp kMin = kMillisPerMinute;
+
+SimJobSpec BaseJob(SimApproach approach) {
+  SimJobSpec job;
+  job.approach = approach;
+  job.pattern_length = 3;
+  job.num_streams = 3;
+  job.filter_selectivity = 0.25;
+  job.step_selectivity = 0.05;
+  job.window_ms = 15 * kMin;
+  job.slide_ms = kMin;
+  job.num_keys = 64;
+  return job;
+}
+
+ClusterSpec OneWorker() {
+  ClusterSpec cluster;
+  cluster.num_workers = 1;
+  cluster.slots_per_worker = 16;
+  cluster.memory_per_worker_bytes = 100.0 * 1024 * 1024 * 1024;
+  return cluster;
+}
+
+// --- SharedBuffer (FCEP state layer) ------------------------------------------
+
+TEST(SharedBufferTest, AppendAndExtract) {
+  SharedBuffer buffer;
+  SimpleEvent a = test::Ev(0, 1, 10, 1);
+  SimpleEvent b = test::Ev(1, 1, 20, 2);
+  auto e1 = buffer.Append(a, SharedBuffer::kNoEntry);
+  auto e2 = buffer.Append(b, e1);
+  auto path = buffer.ExtractPath(e2);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0].ts, 10);
+  EXPECT_EQ(path[1].ts, 20);
+}
+
+TEST(SharedBufferTest, BranchesSharePrefix) {
+  SharedBuffer buffer;
+  auto e1 = buffer.Append(test::Ev(0, 1, 10, 1), SharedBuffer::kNoEntry);
+  auto left = buffer.Append(test::Ev(1, 1, 20, 2), e1);
+  auto right = buffer.Append(test::Ev(1, 1, 30, 3), e1);
+  // Prefix stored once: three entries, not four.
+  EXPECT_EQ(buffer.num_entries(), 3u);
+  EXPECT_EQ(buffer.ExtractPath(left)[0].ts, 10);
+  EXPECT_EQ(buffer.ExtractPath(right)[0].ts, 10);
+}
+
+TEST(SharedBufferTest, ReleaseCascades) {
+  SharedBuffer buffer;
+  auto e1 = buffer.Append(test::Ev(0, 1, 10, 1), SharedBuffer::kNoEntry);
+  auto e2 = buffer.Append(test::Ev(1, 1, 20, 2), e1);
+  buffer.Release(e1);  // run 1 drops its tip; chain ref from e2 keeps e1
+  EXPECT_EQ(buffer.num_entries(), 2u);
+  buffer.Release(e2);  // releases e2, cascades into e1
+  EXPECT_EQ(buffer.num_entries(), 0u);
+}
+
+TEST(SharedBufferTest, EventAtPositionWalksChain) {
+  SharedBuffer buffer;
+  auto e1 = buffer.Append(test::Ev(0, 1, 10, 1), SharedBuffer::kNoEntry);
+  auto e2 = buffer.Append(test::Ev(1, 1, 20, 2), e1);
+  auto e3 = buffer.Append(test::Ev(2, 1, 30, 3), e2);
+  EXPECT_EQ(buffer.EventAtPosition(e3, 3, 0).ts, 10);
+  EXPECT_EQ(buffer.EventAtPosition(e3, 3, 1).ts, 20);
+  EXPECT_EQ(buffer.EventAtPosition(e3, 3, 2).ts, 30);
+}
+
+// --- Cost model & calibration ----------------------------------------------------
+
+TEST(CalibrationTest, ProducesPositiveConstants) {
+  CostProfile profile = CalibrateCostProfile();
+  EXPECT_GT(profile.stateless_ns, 0);
+  EXPECT_GT(profile.buffer_insert_ns, 0);
+  EXPECT_GT(profile.join_pair_ns, 0);
+  EXPECT_GT(profile.aggregate_event_ns, 0);
+  EXPECT_GT(profile.cep_event_ns, 0);
+  EXPECT_GT(profile.cep_run_check_ns, 0);
+  // Sanity: nothing runs in sub-nanosecond or multi-millisecond regimes.
+  EXPECT_LT(profile.stateless_ns, 1e6);
+  EXPECT_LT(profile.join_pair_ns, 1e6);
+}
+
+// --- Cluster simulator -------------------------------------------------------------
+
+TEST(ClusterSimTest, SustainableRateIsMonotoneFeasible) {
+  ClusterSimulator sim(OneWorker(), CostProfile{});
+  SimJobSpec job = BaseJob(SimApproach::kFaspSliding);
+  double max_tps = sim.FindMaxSustainableTps(job, 64e6);
+  ASSERT_GT(max_tps, 0);
+  SimResult below = sim.Run(job, max_tps * 0.9, 1800.0);
+  EXPECT_FALSE(below.failed);
+  EXPECT_FALSE(below.backpressured);
+  SimResult above = sim.Run(job, max_tps * 1.5, 1800.0);
+  EXPECT_TRUE(above.failed || above.backpressured);
+}
+
+TEST(ClusterSimTest, FaspOutperformsFcep) {
+  // The paper's headline single-worker ordering (§5.2.3).
+  ClusterSimulator sim(OneWorker(), CostProfile{});
+  double fcep = sim.FindMaxSustainableTps(BaseJob(SimApproach::kFcep), 64e6);
+  double fasp =
+      sim.FindMaxSustainableTps(BaseJob(SimApproach::kFaspSliding), 64e6);
+  double interval =
+      sim.FindMaxSustainableTps(BaseJob(SimApproach::kFaspInterval), 64e6);
+  EXPECT_GT(fasp, fcep);
+  EXPECT_GT(interval, fcep);
+}
+
+TEST(ClusterSimTest, FcepFailsOnMemoryAtHighRate) {
+  ClusterSpec small = OneWorker();
+  small.memory_per_worker_bytes = 16.0 * 1024 * 1024 * 1024;
+  ClusterSimulator sim(small, CostProfile{});
+  SimResult result = sim.Run(BaseJob(SimApproach::kFcep), 8e6, 1800.0);
+  EXPECT_TRUE(result.failed);
+  EXPECT_FALSE(result.failure_reason.empty());
+}
+
+TEST(ClusterSimTest, ScaleOutRaisesCapacity) {
+  // Figure 6 mechanism: more workers -> more slots and memory.
+  CostProfile costs;
+  SimJobSpec job = BaseJob(SimApproach::kFaspSliding);
+  job.num_keys = 128;
+  double last = 0;
+  for (int workers : {1, 2, 4}) {
+    ClusterSpec cluster = OneWorker();
+    cluster.num_workers = workers;
+    ClusterSimulator sim(cluster, costs);
+    double tps = sim.FindMaxSustainableTps(job, 256e6);
+    EXPECT_GT(tps, last);
+    last = tps;
+  }
+}
+
+TEST(ClusterSimTest, KeyImbalanceBoundsThroughputNearSlotCount) {
+  // With keys == slots, hash imbalance leaves some slots idle; many keys
+  // smooth the load (Figure 4: FASP gains from 16 -> 128 keys).
+  CostProfile costs;
+  ClusterSimulator sim(OneWorker(), costs);
+  SimJobSpec few = BaseJob(SimApproach::kFaspSliding);
+  few.num_keys = 16;
+  SimJobSpec many = BaseJob(SimApproach::kFaspSliding);
+  many.num_keys = 128;
+  double few_tps = sim.FindMaxSustainableTps(few, 64e6);
+  double many_tps = sim.FindMaxSustainableTps(many, 64e6);
+  EXPECT_GT(many_tps, few_tps);
+}
+
+TEST(ClusterSimTest, TimelineRampsToSteadyState) {
+  ClusterSimulator sim(OneWorker(), CostProfile{});
+  SimJobSpec job = BaseJob(SimApproach::kFaspSliding);
+  SimResult result = sim.Run(job, 1e6, 3600.0, 60.0);
+  ASSERT_FALSE(result.timeline.empty());
+  // Memory grows during the first window, then plateaus.
+  EXPECT_LT(result.timeline.front().memory_bytes,
+            result.timeline.back().memory_bytes);
+  size_t mid = result.timeline.size() / 2;
+  EXPECT_NEAR(result.timeline[mid].memory_bytes,
+              result.timeline.back().memory_bytes,
+              0.05 * result.timeline.back().memory_bytes);
+}
+
+TEST(ClusterSimTest, FcepMemoryCreepsOverTime) {
+  // The NFA's lazily reclaimed partial matches creep upward (§5.2.4);
+  // the join pipeline plateaus.
+  ClusterSimulator sim(OneWorker(), CostProfile{});
+  SimResult fcep = sim.Run(BaseJob(SimApproach::kFcep), 2e5, 3600.0, 60.0);
+  ASSERT_FALSE(fcep.timeline.empty());
+  size_t mid = fcep.timeline.size() / 2;
+  EXPECT_GT(fcep.timeline.back().memory_bytes,
+            fcep.timeline[mid].memory_bytes * 1.02);
+}
+
+TEST(ClusterSimTest, AggregateApproachIsCheapest) {
+  // O2 for iterations (Figure 4: FASP-O2+O3 on top).
+  ClusterSimulator sim(OneWorker(), CostProfile{});
+  SimJobSpec iter = BaseJob(SimApproach::kFaspSliding);
+  iter.pattern_length = 4;
+  iter.num_streams = 1;
+  iter.window_ms = 90 * kMin;
+  double sliding = sim.FindMaxSustainableTps(iter, 64e6);
+  iter.approach = SimApproach::kFaspAggregate;
+  double aggregate = sim.FindMaxSustainableTps(iter, 256e6);
+  EXPECT_GT(aggregate, sliding);
+}
+
+}  // namespace
+}  // namespace cep2asp

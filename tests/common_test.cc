@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/small_vector.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace cep2asp {
+namespace {
+
+// --- Status ----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad thing");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, CopyPreservesContent) {
+  Status original = Status::NotFound("missing");
+  Status copy = original;
+  EXPECT_EQ(copy, original);
+  EXPECT_TRUE(copy.IsNotFound());
+}
+
+TEST(StatusTest, MovedFromIsReusable) {
+  Status st = Status::Internal("x");
+  Status moved = std::move(st);
+  EXPECT_FALSE(moved.ok());
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status st = Status::IoError("open failed").WithContext("csv reader");
+  EXPECT_EQ(st.message(), "csv reader: open failed");
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status st = Status::OK().WithContext("ctx");
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_TRUE(Status::AlreadyExists("x").code() == StatusCode::kAlreadyExists);
+  EXPECT_TRUE(Status::OutOfRange("x").code() == StatusCode::kOutOfRange);
+  EXPECT_TRUE(Status::FailedPrecondition("x").code() ==
+              StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::Internal("inner"); };
+  auto outer = [&]() -> Status {
+    CEP2ASP_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+// --- Result ------------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = []() -> Result<int> { return 5; };
+  auto consume = [&]() -> Status {
+    CEP2ASP_ASSIGN_OR_RETURN(int v, produce());
+    EXPECT_EQ(v, 5);
+    return Status::OK();
+  };
+  EXPECT_TRUE(consume().ok());
+}
+
+// --- Strings -----------------------------------------------------------------
+
+TEST(StringsTest, SplitBasic) {
+  auto pieces = SplitString("a,b,c", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  auto pieces = SplitString("a,,c,", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(pieces[3], "");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("WiThIn", "within"));
+  EXPECT_FALSE(EqualsIgnoreCase("within", "withi"));
+}
+
+TEST(StringsTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("-2", &v));
+  EXPECT_DOUBLE_EQ(v, -2.0);
+  EXPECT_FALSE(ParseDouble("3.25x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(StringsTest, ParseInt64) {
+  long long v = 0;
+  EXPECT_TRUE(ParseInt64("123456789012", &v));
+  EXPECT_EQ(v, 123456789012LL);
+  EXPECT_FALSE(ParseInt64("12.5", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+}
+
+TEST(StringsTest, HumanCount) {
+  EXPECT_EQ(HumanCount(1530000), "1.53M");
+  EXPECT_EQ(HumanCount(1500), "1.5k");
+  EXPECT_EQ(HumanCount(12), "12");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(2.5 * 1024 * 1024), "2.50 MB");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+}
+
+// --- SmallVector ---------------------------------------------------------------
+
+TEST(SmallVectorTest, InlineStorage) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+  EXPECT_EQ(v[3], 3);
+}
+
+TEST(SmallVectorTest, SpillsToHeap) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+TEST(SmallVectorTest, CopyIndependent) {
+  SmallVector<int, 2> a{1, 2, 3};
+  SmallVector<int, 2> b = a;
+  b.push_back(4);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(SmallVectorTest, MoveTransfersHeap) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 10; ++i) a.push_back(i);
+  SmallVector<int, 2> b = std::move(a);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(b[9], 9);
+}
+
+TEST(SmallVectorTest, AppendOther) {
+  SmallVector<int, 4> a{1, 2};
+  SmallVector<int, 4> b{3, 4, 5};
+  a.append(b);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a[4], 5);
+}
+
+TEST(SmallVectorTest, IterationAndClear) {
+  SmallVector<int, 4> v{5, 6, 7};
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 18);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+// --- Clock --------------------------------------------------------------------
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.NowMillis(), 100);
+  clock.AdvanceMillis(50);
+  EXPECT_EQ(clock.NowMillis(), 150);
+  clock.SetMillis(10);
+  EXPECT_EQ(clock.NowMillis(), 10);
+}
+
+TEST(ClockTest, SystemClockMonotone) {
+  SystemClock* clock = SystemClock::Get();
+  int64_t a = clock->NowNanos();
+  int64_t b = clock->NowNanos();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace cep2asp

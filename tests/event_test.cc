@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "event/event.h"
+#include "event/event_type.h"
+#include "event/predicate.h"
+
+namespace cep2asp {
+namespace {
+
+SimpleEvent Make(EventTypeId type, int64_t id, Timestamp ts, double value) {
+  SimpleEvent e;
+  e.type = type;
+  e.id = id;
+  e.ts = ts;
+  e.value = value;
+  return e;
+}
+
+// --- EventTypeRegistry -------------------------------------------------------
+
+TEST(EventTypeRegistryTest, RegisterAndLookup) {
+  EventTypeRegistry registry;
+  EventTypeId a = registry.RegisterOrGet("A");
+  EventTypeId b = registry.RegisterOrGet("B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.RegisterOrGet("A"), a);
+  EXPECT_EQ(registry.Lookup("B").ValueOrDie(), b);
+  EXPECT_TRUE(registry.Lookup("C").status().IsNotFound());
+  EXPECT_EQ(registry.Name(a), "A");
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(EventTypeRegistryTest, UnknownIdRenders) {
+  EventTypeRegistry registry;
+  EXPECT_EQ(registry.Name(99), "type99");
+}
+
+// --- Attributes ----------------------------------------------------------------
+
+TEST(AttributeTest, ParseAllNames) {
+  Attribute attr;
+  EXPECT_TRUE(ParseAttribute("value", &attr));
+  EXPECT_EQ(attr, Attribute::kValue);
+  EXPECT_TRUE(ParseAttribute("lat", &attr));
+  EXPECT_TRUE(ParseAttribute("lon", &attr));
+  EXPECT_TRUE(ParseAttribute("ts", &attr));
+  EXPECT_EQ(attr, Attribute::kTs);
+  EXPECT_TRUE(ParseAttribute("id", &attr));
+  EXPECT_TRUE(ParseAttribute("ats", &attr));
+  EXPECT_EQ(attr, Attribute::kAuxTs);
+  EXPECT_FALSE(ParseAttribute("speed", &attr));
+}
+
+TEST(AttributeTest, GetAttribute) {
+  SimpleEvent e = Make(1, 7, 5000, 3.5);
+  e.lat = 50.1;
+  e.lon = 9.2;
+  e.aux_ts = 6000;
+  EXPECT_DOUBLE_EQ(GetAttribute(e, Attribute::kValue), 3.5);
+  EXPECT_DOUBLE_EQ(GetAttribute(e, Attribute::kTs), 5000.0);
+  EXPECT_DOUBLE_EQ(GetAttribute(e, Attribute::kId), 7.0);
+  EXPECT_DOUBLE_EQ(GetAttribute(e, Attribute::kLat), 50.1);
+  EXPECT_DOUBLE_EQ(GetAttribute(e, Attribute::kLon), 9.2);
+  EXPECT_DOUBLE_EQ(GetAttribute(e, Attribute::kAuxTs), 6000.0);
+}
+
+// --- Tuple ----------------------------------------------------------------------
+
+TEST(TupleTest, SingleEventDefaults) {
+  Tuple t(Make(2, 11, 1000, 1.0));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.event_time(), 1000);
+  EXPECT_EQ(t.key(), 11);
+  EXPECT_EQ(t.tsb(), 1000);
+  EXPECT_EQ(t.tse(), 1000);
+}
+
+TEST(TupleTest, ConcatComposesAndTracksBounds) {
+  Tuple a(Make(1, 1, 1000, 0));
+  Tuple b(Make(2, 2, 3000, 0));
+  Tuple joined = Tuple::Concat(a, b);
+  EXPECT_EQ(joined.size(), 2u);
+  EXPECT_EQ(joined.tsb(), 1000);
+  EXPECT_EQ(joined.tse(), 3000);
+  EXPECT_EQ(joined.key(), a.key());
+  // ce(e1..en, tsb, tse): the match spans first to last occurrence.
+  joined.set_event_time(joined.tsb());
+  EXPECT_EQ(joined.event_time(), 1000);
+}
+
+TEST(TupleTest, MaxCreateTs) {
+  SimpleEvent e1 = Make(1, 1, 10, 0);
+  e1.create_ts = 500;
+  SimpleEvent e2 = Make(2, 2, 20, 0);
+  e2.create_ts = 700;
+  Tuple t = Tuple::Concat(Tuple(e1), Tuple(e2));
+  EXPECT_EQ(t.max_create_ts(), 700);
+}
+
+TEST(TupleTest, EqualityByContent) {
+  Tuple a(Make(1, 1, 10, 2.0));
+  Tuple b(Make(1, 1, 10, 2.0));
+  Tuple c(Make(1, 1, 10, 3.0));
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(TupleTest, MatchKeyOrderedVsUnordered) {
+  Tuple ab = Tuple::Concat(Tuple(Make(1, 1, 10, 0)), Tuple(Make(2, 2, 20, 0)));
+  Tuple ba = Tuple::Concat(Tuple(Make(2, 2, 20, 0)), Tuple(Make(1, 1, 10, 0)));
+  EXPECT_NE(MatchKey(ab), MatchKey(ba));
+  EXPECT_EQ(MatchKey(ab, /*ordered=*/false), MatchKey(ba, /*ordered=*/false));
+}
+
+// --- Predicates -----------------------------------------------------------------
+
+TEST(PredicateTest, EvalCmpAllOps) {
+  EXPECT_TRUE(EvalCmp(1, CmpOp::kLt, 2));
+  EXPECT_TRUE(EvalCmp(2, CmpOp::kLe, 2));
+  EXPECT_TRUE(EvalCmp(3, CmpOp::kGt, 2));
+  EXPECT_TRUE(EvalCmp(2, CmpOp::kGe, 2));
+  EXPECT_TRUE(EvalCmp(2, CmpOp::kEq, 2));
+  EXPECT_TRUE(EvalCmp(1, CmpOp::kNe, 2));
+  EXPECT_FALSE(EvalCmp(2, CmpOp::kLt, 2));
+}
+
+TEST(PredicateTest, AttrConstComparison) {
+  Comparison c = Comparison::AttrConst({0, Attribute::kValue}, CmpOp::kLe, 10.0);
+  SimpleEvent pass = Make(1, 1, 0, 10.0);
+  SimpleEvent fail = Make(1, 1, 0, 10.5);
+  EXPECT_TRUE(c.EvalOnEvents(&pass, 1));
+  EXPECT_FALSE(c.EvalOnEvents(&fail, 1));
+}
+
+TEST(PredicateTest, AttrAttrComparison) {
+  // e1.value <= e2.value (Listing 2).
+  Comparison c = Comparison::AttrAttr({0, Attribute::kValue}, CmpOp::kLe,
+                                      {1, Attribute::kValue});
+  SimpleEvent events[2] = {Make(1, 1, 0, 5.0), Make(2, 2, 1, 7.0)};
+  EXPECT_TRUE(c.EvalOnEvents(events, 2));
+  events[1].value = 4.0;
+  EXPECT_FALSE(c.EvalOnEvents(events, 2));
+}
+
+TEST(PredicateTest, RhsOffsetExpressesWindowBound) {
+  // e1.ts < e0.ts + 100 (window-style constraint).
+  Comparison c = Comparison::AttrAttr({1, Attribute::kTs}, CmpOp::kLt,
+                                      {0, Attribute::kTs}, 100.0);
+  SimpleEvent events[2] = {Make(1, 1, 1000, 0), Make(2, 2, 1099, 0)};
+  EXPECT_TRUE(c.EvalOnEvents(events, 2));
+  events[1].ts = 1100;
+  EXPECT_FALSE(c.EvalOnEvents(events, 2));
+}
+
+TEST(PredicateTest, CrossVarEqualityDetection) {
+  Comparison eq = Comparison::AttrAttr({0, Attribute::kId}, CmpOp::kEq,
+                                       {1, Attribute::kId});
+  EXPECT_TRUE(eq.IsCrossVarEquality());
+  Comparison self_eq = Comparison::AttrAttr({0, Attribute::kId}, CmpOp::kEq,
+                                            {0, Attribute::kId});
+  EXPECT_FALSE(self_eq.IsCrossVarEquality());
+  Comparison lt = Comparison::AttrAttr({0, Attribute::kId}, CmpOp::kLt,
+                                       {1, Attribute::kId});
+  EXPECT_FALSE(lt.IsCrossVarEquality());
+  Comparison offset = Comparison::AttrAttr({0, Attribute::kId}, CmpOp::kEq,
+                                           {1, Attribute::kId}, 5.0);
+  EXPECT_FALSE(offset.IsCrossVarEquality());
+}
+
+TEST(PredicateTest, Remap) {
+  Comparison c = Comparison::AttrAttr({0, Attribute::kTs}, CmpOp::kLt,
+                                      {1, Attribute::kTs});
+  Comparison remapped = c.Remap({2, 0});
+  EXPECT_EQ(remapped.lhs.var, 2);
+  EXPECT_EQ(remapped.rhs_attr.var, 0);
+}
+
+TEST(PredicateTest, ConjunctionSemantics) {
+  Predicate p;
+  p.Add(Comparison::AttrConst({0, Attribute::kValue}, CmpOp::kGt, 1.0));
+  p.Add(Comparison::AttrConst({0, Attribute::kValue}, CmpOp::kLt, 5.0));
+  EXPECT_TRUE(p.EvalOnEvent(Make(1, 1, 0, 3.0)));
+  EXPECT_FALSE(p.EvalOnEvent(Make(1, 1, 0, 6.0)));
+  EXPECT_FALSE(p.EvalOnEvent(Make(1, 1, 0, 0.5)));
+}
+
+TEST(PredicateTest, EmptyPredicateIsTrue) {
+  Predicate p;
+  EXPECT_TRUE(p.IsTrue());
+  EXPECT_TRUE(p.EvalOnEvent(Make(1, 1, 0, 0)));
+  EXPECT_EQ(p.MaxVar(), -1);
+  EXPECT_EQ(p.ToString(), "true");
+}
+
+TEST(PredicateTest, EvalOnTuplePositional) {
+  Predicate p;
+  p.Add(Comparison::AttrAttr({0, Attribute::kTs}, CmpOp::kLt,
+                             {1, Attribute::kTs}));
+  Tuple ordered =
+      Tuple::Concat(Tuple(Make(1, 1, 10, 0)), Tuple(Make(2, 2, 20, 0)));
+  Tuple reversed =
+      Tuple::Concat(Tuple(Make(1, 1, 20, 0)), Tuple(Make(2, 2, 10, 0)));
+  EXPECT_TRUE(p.EvalOnTuple(ordered));
+  EXPECT_FALSE(p.EvalOnTuple(reversed));
+}
+
+TEST(PredicateTest, ToStringReadable) {
+  Comparison c = Comparison::AttrConst({0, Attribute::kValue}, CmpOp::kLe, 10);
+  EXPECT_EQ(c.ToString(), "e0.value <= 10");
+}
+
+}  // namespace
+}  // namespace cep2asp

@@ -1,0 +1,170 @@
+// Failure injection: operator errors, simulated memory exhaustion, and
+// mid-pipeline faults must surface as clean job failures in both
+// executors (no hangs, no silent data loss).
+
+#include <gtest/gtest.h>
+
+#include "asp/sliding_window_join.h"
+#include "asp/stateless.h"
+#include "runtime/executor.h"
+#include "runtime/threaded_executor.h"
+#include "runtime/vector_source.h"
+#include "tests/test_util.h"
+
+namespace cep2asp {
+namespace {
+
+using test::Ev;
+
+std::vector<SimpleEvent> MakeEvents(int count) {
+  std::vector<SimpleEvent> events;
+  for (int i = 0; i < count; ++i) {
+    events.push_back(Ev(0, 1, i * 1000, i));
+  }
+  return events;
+}
+
+/// Fails after processing `fail_after` tuples.
+class FaultyOperator : public Operator {
+ public:
+  explicit FaultyOperator(int fail_after) : fail_after_(fail_after) {}
+
+  std::string name() const override { return "faulty"; }
+
+  Status Process(int, Tuple tuple, Collector* out) override {
+    if (++processed_ > fail_after_) {
+      return Status::Internal("injected operator fault");
+    }
+    out->Emit(std::move(tuple));
+    return Status::OK();
+  }
+
+ private:
+  int fail_after_;
+  int processed_ = 0;
+};
+
+/// Fails in Open().
+class BadOpenOperator : public Operator {
+ public:
+  std::string name() const override { return "bad-open"; }
+  Status Open() override { return Status::FailedPrecondition("cannot open"); }
+  Status Process(int, Tuple, Collector*) override { return Status::OK(); }
+};
+
+JobGraph BuildFaultyGraph(int fail_after, CollectSink** sink_out,
+                          int events = 1000) {
+  JobGraph graph;
+  NodeId src =
+      graph.AddSource(std::make_unique<VectorSource>("s", MakeEvents(events)));
+  NodeId faulty = graph.AddOperatorAfter(
+      src, std::make_unique<FaultyOperator>(fail_after));
+  auto sink = std::make_unique<CollectSink>();
+  *sink_out = sink.get();
+  graph.AddOperatorAfter(faulty, std::move(sink));
+  return graph;
+}
+
+TEST(FailureTest, OperatorFaultStopsSingleThreadedRun) {
+  CollectSink* sink = nullptr;
+  JobGraph graph = BuildFaultyGraph(100, &sink);
+  ExecutionResult result = RunJob(&graph, sink);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("injected operator fault"), std::string::npos);
+  EXPECT_NE(result.error.find("faulty"), std::string::npos)
+      << "error should name the failing operator";
+  EXPECT_EQ(sink->count(), 100);
+}
+
+TEST(FailureTest, OperatorFaultStopsThreadedRunWithoutDeadlock) {
+  CollectSink* sink = nullptr;
+  JobGraph graph = BuildFaultyGraph(100, &sink, /*events=*/100000);
+  ThreadedExecutorOptions options;
+  options.queue_capacity = 16;  // small queues: producers block quickly
+  ThreadedExecutor executor(&graph, options);
+  ExecutionResult result = executor.Run(sink);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("injected operator fault"), std::string::npos);
+}
+
+TEST(FailureTest, OpenFailureReportedBeforeProcessing) {
+  JobGraph graph;
+  NodeId src =
+      graph.AddSource(std::make_unique<VectorSource>("s", MakeEvents(10)));
+  NodeId bad = graph.AddOperatorAfter(src, std::make_unique<BadOpenOperator>());
+  auto sink_op = std::make_unique<CollectSink>();
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(bad, std::move(sink_op));
+  ExecutionResult result = RunJob(&graph, sink);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("cannot open"), std::string::npos);
+  EXPECT_EQ(sink->count(), 0);
+}
+
+TEST(FailureTest, InvalidWindowSpecRejectedAtOpen) {
+  JobGraph graph;
+  NodeId l = graph.AddSource(std::make_unique<VectorSource>("l", MakeEvents(1)));
+  NodeId r = graph.AddSource(std::make_unique<VectorSource>("r", MakeEvents(1)));
+  // slide > size is invalid.
+  NodeId join = graph.AddOperator(std::make_unique<SlidingWindowJoinOperator>(
+      SlidingWindowSpec{100, 500}, Predicate(), TimestampMode::kMax));
+  CEP2ASP_CHECK_OK(graph.Connect(l, join, 0));
+  CEP2ASP_CHECK_OK(graph.Connect(r, join, 1));
+  auto sink_op = std::make_unique<CollectSink>();
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(join, std::move(sink_op));
+  ExecutionResult result = RunJob(&graph, sink);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(FailureTest, MemoryLimitAbortsMidRun) {
+  // A join with an enormous window accumulates state until the budget
+  // trips — the simulated OOM of §5.2.3.
+  std::vector<SimpleEvent> left, right;
+  for (int i = 0; i < 50000; ++i) {
+    left.push_back(Ev(0, 1, i, 1));
+    right.push_back(Ev(1, 1, i, 2));
+  }
+  JobGraph graph;
+  NodeId l = graph.AddSource(std::make_unique<VectorSource>("l", left));
+  NodeId r = graph.AddSource(std::make_unique<VectorSource>("r", right));
+  NodeId join = graph.AddOperator(std::make_unique<SlidingWindowJoinOperator>(
+      SlidingWindowSpec{kMillisPerMinute * 60 * 24, kMillisPerMinute},
+      Predicate(), TimestampMode::kMax));
+  CEP2ASP_CHECK_OK(graph.Connect(l, join, 0));
+  CEP2ASP_CHECK_OK(graph.Connect(r, join, 1));
+  auto sink_op = std::make_unique<CollectSink>(/*store_tuples=*/false);
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(join, std::move(sink_op));
+
+  ExecutorOptions options;
+  options.memory_limit_bytes = 256 * 1024;
+  ExecutionResult result = RunJob(&graph, sink, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("ResourceExhausted"), std::string::npos);
+  EXPECT_GT(result.peak_state_bytes, options.memory_limit_bytes);
+}
+
+TEST(FailureTest, TranslationFailuresAreStatusesNotCrashes) {
+  EventTypeId t = EventTypeRegistry::Global()->RegisterOrGet("FailT");
+  // Pattern without window.
+  auto no_window = PatternBuilder()
+                       .Seq(PatternBuilder::Atom(t, "a"),
+                            PatternBuilder::Atom(t, "b"))
+                       .Build();
+  EXPECT_FALSE(no_window.ok());
+
+  // FCEP on AND: Unimplemented, not a crash.
+  Pattern conj = PatternBuilder()
+                     .And(PatternBuilder::Atom(t, "a"),
+                          PatternBuilder::Atom(t, "b"))
+                     .Within(kMillisPerMinute)
+                     .Build()
+                     .ValueOrDie();
+  auto cep = BuildCepJob(
+      conj, [](EventTypeId) -> std::unique_ptr<Source> { return nullptr; });
+  EXPECT_TRUE(cep.status().IsUnimplemented());
+}
+
+}  // namespace
+}  // namespace cep2asp

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "harness/bench_util.h"
+#include "harness/paper_patterns.h"
+#include "tests/test_util.h"
+#include "workload/presets.h"
+
+namespace cep2asp {
+namespace {
+
+constexpr Timestamp kMin = kMillisPerMinute;
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  Workload SmallWorkload() {
+    PresetOptions preset;
+    preset.num_sensors = 4;
+    preset.events_per_sensor = 60;
+    return MakeCombinedWorkload(preset);
+  }
+};
+
+TEST_F(HarnessTest, MeasureFaspProducesMetrics) {
+  PaperPatterns patterns;
+  Workload w = SmallWorkload();
+  Pattern p = patterns.Seq1(0.3, 10 * kMin, kMin).ValueOrDie();
+  ApproachResult result = MeasureFasp(p, w, {}, "FASP");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_GT(result.throughput_tps, 0);
+  // The query ingests only the pattern's streams (Q and V).
+  SensorTypes types = SensorTypes::Get();
+  EXPECT_EQ(result.tuples,
+            static_cast<int64_t>(w.events(types.q).size() +
+                                 w.events(types.v).size()));
+  EXPECT_GE(result.matches, 0);
+}
+
+TEST_F(HarnessTest, MeasureFcepMatchesFaspO1MatchCount) {
+  // O1 output is duplicate-free, so its count equals FCEP's.
+  PaperPatterns patterns;
+  Workload w = SmallWorkload();
+  Pattern p = patterns.Seq1(0.3, 10 * kMin, kMin).ValueOrDie();
+  ApproachResult fcep = MeasureFcep(p, w);
+  TranslatorOptions o1;
+  o1.use_interval_join = true;
+  ApproachResult fasp = MeasureFasp(p, w, o1, "FASP-O1");
+  ASSERT_TRUE(fcep.ok) << fcep.error;
+  ASSERT_TRUE(fasp.ok) << fasp.error;
+  EXPECT_EQ(fcep.matches, fasp.matches);
+}
+
+TEST_F(HarnessTest, MemoryLimitSurfacesAsFailure) {
+  PaperPatterns patterns;
+  Workload w = SmallWorkload();
+  // Huge window: FCEP keeps runs alive for its entire span.
+  Pattern p = patterns.Seq1(0.9, 600 * kMin, kMin).ValueOrDie();
+  ApproachResult result = MeasureFcep(p, w, {}, /*memory_limit_bytes=*/1024);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("ResourceExhausted"), std::string::npos);
+}
+
+TEST_F(HarnessTest, ResultTableWritesCsv) {
+  ResultTable table("test", {"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  ASSERT_TRUE(table.WriteCsv("harness_test_tmp").ok());
+  std::ifstream in("bench_results/harness_test_tmp.csv");
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  in.close();
+  std::remove("bench_results/harness_test_tmp.csv");
+}
+
+TEST_F(HarnessTest, PaperPatternsValidate) {
+  PaperPatterns patterns;
+  EXPECT_TRUE(patterns.Seq1(0.1, 15 * kMin, kMin).ok());
+  EXPECT_TRUE(patterns.IterThreshold(3, 0.1, 15 * kMin, kMin).ok());
+  EXPECT_TRUE(patterns.IterConsecutive(3, 0.1, 15 * kMin, kMin).ok());
+  EXPECT_TRUE(patterns.Nseq1(0.1, 0.1, 15 * kMin, kMin).ok());
+  for (int n = 2; n <= 6; ++n) {
+    EXPECT_TRUE(patterns.SeqN(n, 0.1, 15 * kMin, kMin).ok()) << n;
+  }
+  EXPECT_FALSE(patterns.SeqN(7, 0.1, 15 * kMin, kMin).ok());
+  EXPECT_TRUE(patterns.Seq7(0.1, 15 * kMin, kMin).ok());
+  EXPECT_TRUE(patterns.Iter4(4, 0.1, 90 * kMin, kMin).ok());
+}
+
+TEST_F(HarnessTest, Seq7HasConnectedEquiJoinKeys) {
+  PaperPatterns patterns;
+  Pattern p = patterns.Seq7(0.2, 15 * kMin, kMin).ValueOrDie();
+  TranslatorOptions o3;
+  o3.use_equi_join_keys = true;
+  Translator translator(o3);
+  LogicalPlan plan = translator.ToLogicalPlan(p).ValueOrDie();
+  EXPECT_EQ(plan.root->CountKind(LogicalOpKind::kKeyByAttr), 3);
+  EXPECT_EQ(plan.root->CountKind(LogicalOpKind::kKeyByConst), 0);
+}
+
+TEST_F(HarnessTest, Iter4KeyedAggregatePlanWorks) {
+  // Iter4's equalities are consumed by O3 keying, so O2 aggregation
+  // applies cleanly on top (FASP-O2+O3, Figure 4).
+  PaperPatterns patterns;
+  Pattern p = patterns.Iter4(4, 0.2, 90 * kMin, kMin).ValueOrDie();
+  TranslatorOptions options;
+  options.use_equi_join_keys = true;
+  options.use_aggregation_for_iter = true;
+  Translator translator(options);
+  LogicalPlan plan = translator.ToLogicalPlan(p).ValueOrDie();
+  EXPECT_EQ(plan.root->kind, LogicalOpKind::kAggregate);
+  EXPECT_EQ(plan.root->CountKind(LogicalOpKind::kKeyByAttr), 1);
+}
+
+TEST_F(HarnessTest, FormatHelpers) {
+  EXPECT_EQ(FormatTps(1530000), "1.53M tpl/s");
+  auto columns = StandardColumns();
+  ApproachResult result;
+  result.approach = "FASP";
+  result.ok = true;
+  auto row = ResultRow("S", result);
+  EXPECT_EQ(row.size(), columns.size());
+  EXPECT_EQ(row[0], "S");
+  EXPECT_EQ(row[1], "FASP");
+}
+
+}  // namespace
+}  // namespace cep2asp

@@ -1,0 +1,162 @@
+// Execution-invariance properties: match sets must not depend on *how*
+// the job is driven — watermark cadence, state-sampling cadence, queue
+// capacities, or executor choice are operational knobs, not semantics.
+
+#include <gtest/gtest.h>
+
+#include "runtime/threaded_executor.h"
+#include "tests/test_util.h"
+#include "translator/translator.h"
+#include "workload/generator.h"
+
+namespace cep2asp {
+namespace {
+
+constexpr Timestamp kMin = kMillisPerMinute;
+
+class InvarianceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = EventTypeRegistry::Global()->RegisterOrGet("InvA");
+    b_ = EventTypeRegistry::Global()->RegisterOrGet("InvB");
+    c_ = EventTypeRegistry::Global()->RegisterOrGet("InvC");
+
+    for (EventTypeId type : {a_, b_, c_}) {
+      StreamSpec spec;
+      spec.type = type;
+      spec.num_sensors = 2;
+      spec.events_per_sensor = 60;
+      spec.period = kMin;
+      spec.seed = 1234 + type;
+      // Aligned sampling so the default one-minute slide is lossless
+      // (Theorem 2); with staggered sensors the implicit-windowing engines
+      // would legitimately find edge matches the 1-minute discretization
+      // misses.
+      spec.align_to_period = true;
+      workload_.AddStream(spec);
+    }
+  }
+
+  Pattern Nseq() {
+    Predicate filter;
+    filter.Add(Comparison::AttrConst({0, Attribute::kValue}, CmpOp::kLt, 45));
+    return PatternBuilder()
+        .Nseq({a_, "e1", filter}, {b_, "e2", filter}, {c_, "e3", filter})
+        .Within(6 * kMin)
+        .Build()
+        .ValueOrDie();
+  }
+
+  Pattern Seq3() {
+    Predicate filter;
+    filter.Add(Comparison::AttrConst({0, Attribute::kValue}, CmpOp::kLt, 45));
+    return PatternBuilder()
+        .Seq(PatternBuilder::Atom(a_, "e1", filter),
+             PatternBuilder::Atom(b_, "e2", filter),
+             PatternBuilder::Atom(c_, "e3", filter))
+        .Within(6 * kMin)
+        .Build()
+        .ValueOrDie();
+  }
+
+  std::vector<std::string> RunWithExecutorOptions(const Pattern& pattern,
+                                                  const ExecutorOptions& options,
+                                                  TranslatorOptions topt = {}) {
+    auto compiled =
+        TranslatePattern(pattern, topt, workload_.MakeSourceFactory());
+    CEP2ASP_CHECK(compiled.ok()) << compiled.status();
+    ExecutionResult result = RunJob(&compiled->graph, compiled->sink, options);
+    CEP2ASP_CHECK(result.ok) << result.error;
+    return test::MatchSet(compiled->sink->tuples());
+  }
+
+  EventTypeId a_ = 0, b_ = 0, c_ = 0;
+  Workload workload_;
+};
+
+TEST_F(InvarianceTest, WatermarkIntervalDoesNotChangeFaspMatches) {
+  Pattern p = Seq3();
+  auto oracle = test::OracleMatchSet(p, workload_);
+  ASSERT_FALSE(oracle.empty());
+  for (int interval : {1, 7, 64, 1024, 100000}) {
+    ExecutorOptions options;
+    options.watermark_interval = interval;
+    EXPECT_EQ(RunWithExecutorOptions(p, options), oracle)
+        << "watermark_interval=" << interval;
+  }
+}
+
+TEST_F(InvarianceTest, WatermarkIntervalDoesNotChangeNseqMatches) {
+  // NSEQ has the most watermark-sensitive pipeline (the marking operator
+  // holds events for a full window).
+  Pattern p = Nseq();
+  auto oracle = test::OracleMatchSet(p, workload_);
+  for (int interval : {1, 13, 256, 4096}) {
+    ExecutorOptions options;
+    options.watermark_interval = interval;
+    EXPECT_EQ(RunWithExecutorOptions(p, options), oracle)
+        << "watermark_interval=" << interval;
+  }
+}
+
+TEST_F(InvarianceTest, WatermarkIntervalDoesNotChangeFcepMatches) {
+  Pattern p = Seq3();
+  auto oracle = test::OracleMatchSet(p, workload_);
+  for (int interval : {1, 17, 512}) {
+    auto compiled = BuildCepJob(p, workload_.MakeSourceFactory());
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    ExecutorOptions options;
+    options.watermark_interval = interval;
+    ExecutionResult result = RunJob(&compiled->graph, compiled->sink, options);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(test::MatchSet(compiled->sink->tuples()), oracle)
+        << "watermark_interval=" << interval;
+  }
+}
+
+TEST_F(InvarianceTest, QueueCapacityDoesNotChangeThreadedMatches) {
+  Pattern p = Seq3();
+  auto oracle = test::OracleMatchSet(p, workload_);
+  for (size_t capacity : {size_t{2}, size_t{64}, size_t{8192}}) {
+    auto compiled = TranslatePattern(p, {}, workload_.MakeSourceFactory());
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    ThreadedExecutorOptions options;
+    options.queue_capacity = capacity;
+    ThreadedExecutor executor(&compiled->graph, options);
+    ExecutionResult result = executor.Run(compiled->sink);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(test::MatchSet(compiled->sink->tuples()), oracle)
+        << "queue_capacity=" << capacity;
+  }
+}
+
+TEST_F(InvarianceTest, StateSamplingDoesNotChangeResults) {
+  Pattern p = Seq3();
+  ExecutorOptions sampled;
+  sampled.state_sample_interval = 64;
+  sampled.watermark_interval = 32;
+  ExecutorOptions unsampled;
+  unsampled.state_sample_interval = 0;
+  unsampled.watermark_interval = 32;
+  EXPECT_EQ(RunWithExecutorOptions(p, sampled),
+            RunWithExecutorOptions(p, unsampled));
+}
+
+TEST_F(InvarianceTest, InterleavedSourceOrderIrrelevantForO1) {
+  // Interval-join plans are duplicate-free, so even raw emission counts
+  // must be invariant to watermark cadence.
+  Pattern p = Seq3();
+  TranslatorOptions o1;
+  o1.use_interval_join = true;
+  std::vector<std::string> reference;
+  for (int interval : {1, 50, 997}) {
+    ExecutorOptions options;
+    options.watermark_interval = interval;
+    auto matches = RunWithExecutorOptions(p, options, o1);
+    if (reference.empty()) reference = matches;
+    EXPECT_EQ(matches, reference) << "watermark_interval=" << interval;
+  }
+}
+
+}  // namespace
+}  // namespace cep2asp

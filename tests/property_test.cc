@@ -1,0 +1,219 @@
+// Randomized property tests: for many seeds and pattern classes, the
+// translated ASP query (under every optimization combination), the
+// order-based CEP engine (where FCEP supports the operator), and the
+// formal SEA semantics must produce identical match sets after duplicate
+// elimination — the paper's definition of semantic equivalence (§4).
+
+#include <gtest/gtest.h>
+
+#include "runtime/threaded_executor.h"
+#include "tests/test_util.h"
+#include "translator/translator.h"
+#include "workload/generator.h"
+
+namespace cep2asp {
+namespace {
+
+constexpr Timestamp kMin = kMillisPerMinute;
+
+struct PropertyCase {
+  std::string name;
+  uint64_t seed;
+  int sensors;
+  Timestamp window;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  return info.param.name;
+}
+
+class PropertyTest : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  void SetUp() override {
+    a_ = EventTypeRegistry::Global()->RegisterOrGet("PropA");
+    b_ = EventTypeRegistry::Global()->RegisterOrGet("PropB");
+    c_ = EventTypeRegistry::Global()->RegisterOrGet("PropC");
+  }
+
+  Workload MakeWorkload() {
+    const PropertyCase& param = GetParam();
+    Workload w;
+    for (EventTypeId type : {a_, b_, c_}) {
+      StreamSpec spec;
+      spec.type = type;
+      spec.num_sensors = param.sensors;
+      spec.events_per_sensor = 50;
+      spec.period = kMin;
+      spec.seed = param.seed * 7919 + type;
+      spec.align_to_period = true;  // slide = 1 min is lossless
+      w.AddStream(spec);
+    }
+    return w;
+  }
+
+  Predicate Below(double threshold) {
+    Predicate p;
+    p.Add(Comparison::AttrConst({0, Attribute::kValue}, CmpOp::kLt, threshold));
+    return p;
+  }
+
+  /// Checks FASP under four option sets + FCEP (if supported) + the
+  /// threaded executor against the oracle.
+  void CheckAllPaths(const Pattern& pattern, const Workload& workload,
+                     bool fcep_supported) {
+    auto oracle = test::OracleMatchSet(pattern, workload);
+
+    struct OptionCase {
+      const char* name;
+      TranslatorOptions options;
+    };
+    TranslatorOptions o1;
+    o1.use_interval_join = true;
+    TranslatorOptions o3;
+    o3.use_equi_join_keys = true;
+    TranslatorOptions dedup;
+    dedup.deduplicate_output = true;
+    std::vector<OptionCase> cases = {
+        {"plain", {}}, {"o1", o1}, {"o3", o3}, {"dedup", dedup}};
+    for (const OptionCase& option_case : cases) {
+      auto fasp = test::RunFasp(pattern, workload, option_case.options);
+      ASSERT_TRUE(fasp.result.ok)
+          << option_case.name << ": " << fasp.result.error;
+      EXPECT_EQ(fasp.match_set, oracle) << "FASP options: " << option_case.name;
+    }
+
+    if (fcep_supported) {
+      auto fcep = test::RunFcep(pattern, workload);
+      ASSERT_TRUE(fcep.result.ok) << fcep.result.error;
+      EXPECT_EQ(fcep.match_set, oracle);
+    }
+
+    // Threaded executor: same plan, parallel pipeline, same match set.
+    auto compiled =
+        TranslatePattern(pattern, {}, workload.MakeSourceFactory());
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    ThreadedExecutor threaded(&compiled->graph);
+    ExecutionResult result = threaded.Run(compiled->sink);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(test::MatchSet(compiled->sink->tuples()), oracle)
+        << "threaded executor";
+  }
+
+  EventTypeId a_ = 0, b_ = 0, c_ = 0;
+};
+
+TEST_P(PropertyTest, SeqTwoTypes) {
+  Workload w = MakeWorkload();
+  Pattern p = PatternBuilder()
+                  .Seq(PatternBuilder::Atom(a_, "e1", Below(40)),
+                       PatternBuilder::Atom(b_, "e2", Below(40)))
+                  .Within(GetParam().window)
+                  .Build()
+                  .ValueOrDie();
+  CheckAllPaths(p, w, /*fcep_supported=*/true);
+}
+
+TEST_P(PropertyTest, SeqThreeTypesWithCrossPredicate) {
+  Workload w = MakeWorkload();
+  Pattern p = PatternBuilder()
+                  .Seq(PatternBuilder::Atom(a_, "e1", Below(50)),
+                       PatternBuilder::Atom(b_, "e2", Below(50)),
+                       PatternBuilder::Atom(c_, "e3", Below(50)))
+                  .Where(Comparison::AttrAttr({0, Attribute::kValue}, CmpOp::kLe,
+                                              {2, Attribute::kValue}))
+                  .Within(GetParam().window)
+                  .Build()
+                  .ValueOrDie();
+  CheckAllPaths(p, w, /*fcep_supported=*/true);
+}
+
+TEST_P(PropertyTest, Conjunction) {
+  Workload w = MakeWorkload();
+  Pattern p = PatternBuilder()
+                  .And(PatternBuilder::Atom(a_, "e1", Below(30)),
+                       PatternBuilder::Atom(b_, "e2", Below(30)))
+                  .Within(GetParam().window)
+                  .Build()
+                  .ValueOrDie();
+  CheckAllPaths(p, w, /*fcep_supported=*/false);
+}
+
+TEST_P(PropertyTest, Disjunction) {
+  Workload w = MakeWorkload();
+  Pattern p = PatternBuilder()
+                  .Or(PatternBuilder::Atom(a_, "e1", Below(20)),
+                      PatternBuilder::Atom(b_, "e2", Below(20)))
+                  .Within(GetParam().window)
+                  .Build()
+                  .ValueOrDie();
+  CheckAllPaths(p, w, /*fcep_supported=*/false);
+}
+
+TEST_P(PropertyTest, IterationBounded) {
+  Workload w = MakeWorkload();
+  Pattern p = PatternBuilder()
+                  .Root(PatternBuilder::Iter(a_, "v", 3, Below(35)))
+                  .Within(GetParam().window)
+                  .Build()
+                  .ValueOrDie();
+  CheckAllPaths(p, w, /*fcep_supported=*/true);
+}
+
+TEST_P(PropertyTest, IterationWithConsecutiveConstraint) {
+  Workload w = MakeWorkload();
+  Pattern p = PatternBuilder()
+                  .Root(PatternBuilder::Iter(
+                      a_, "v", 3, Below(60),
+                      ConsecutiveConstraint{Attribute::kValue, CmpOp::kLt}))
+                  .Within(GetParam().window)
+                  .Build()
+                  .ValueOrDie();
+  CheckAllPaths(p, w, /*fcep_supported=*/true);
+}
+
+TEST_P(PropertyTest, NegatedSequence) {
+  Workload w = MakeWorkload();
+  Pattern p = PatternBuilder()
+                  .Nseq({a_, "e1", Below(40)}, {b_, "e2", Below(25)},
+                        {c_, "e3", Below(40)})
+                  .Within(GetParam().window)
+                  .Build()
+                  .ValueOrDie();
+  CheckAllPaths(p, w, /*fcep_supported=*/true);
+}
+
+TEST_P(PropertyTest, KeyedSequence) {
+  Workload w = MakeWorkload();
+  PatternBuilder builder;
+  builder.Seq(PatternBuilder::Atom(a_, "e1", Below(60)),
+              PatternBuilder::Atom(b_, "e2", Below(60)));
+  builder.Where(Comparison::AttrAttr({0, Attribute::kId}, CmpOp::kEq,
+                                     {1, Attribute::kId}));
+  Pattern p = builder.Within(GetParam().window).Build().ValueOrDie();
+  auto oracle = test::OracleMatchSet(p, w);
+  for (bool o1 : {false, true}) {
+    TranslatorOptions options;
+    options.use_equi_join_keys = true;
+    options.use_interval_join = o1;
+    auto fasp = test::RunFasp(p, w, options);
+    ASSERT_TRUE(fasp.result.ok) << fasp.result.error;
+    EXPECT_EQ(fasp.match_set, oracle) << "o1=" << o1;
+  }
+  CepJobOptions keyed;
+  keyed.keyed = true;
+  auto fcep = test::RunFcep(p, w, keyed);
+  ASSERT_TRUE(fcep.result.ok) << fcep.result.error;
+  EXPECT_EQ(fcep.match_set, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PropertyTest,
+    ::testing::Values(PropertyCase{"s1_narrow", 1, 1, 3 * kMin},
+                      PropertyCase{"s2_mid", 2, 2, 5 * kMin},
+                      PropertyCase{"s3_wide", 3, 1, 10 * kMin},
+                      PropertyCase{"s4_multisensor", 4, 4, 5 * kMin},
+                      PropertyCase{"s5_edgewindow", 5, 2, 7 * kMin}),
+    CaseName);
+
+}  // namespace
+}  // namespace cep2asp

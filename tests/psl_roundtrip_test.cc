@@ -1,0 +1,105 @@
+// PSL round-trip sweep: a catalogue of declarative pattern texts must
+// parse, validate, translate, execute, and agree with the formal SEA
+// semantics — the full pipeline the paper's future-work parser enables.
+
+#include <gtest/gtest.h>
+
+#include "sea/parser.h"
+#include "tests/test_util.h"
+#include "workload/presets.h"
+
+namespace cep2asp {
+namespace {
+
+struct PslCase {
+  std::string name;
+  std::string text;
+  bool fcep_supported;
+};
+
+class PslRoundTripTest : public ::testing::TestWithParam<PslCase> {
+ protected:
+  static Workload MakeWorkload() {
+    PresetOptions preset;
+    preset.num_sensors = 3;
+    preset.events_per_sensor = 60;
+    preset.seed = 77;
+    return MakeCombinedWorkload(preset);
+  }
+};
+
+TEST_P(PslRoundTripTest, ParseTranslateRunAgree) {
+  const PslCase& param = GetParam();
+  SensorTypes::Get();  // register the canonical type names for the parser
+  auto pattern = sea::ParsePattern(param.text);
+  ASSERT_TRUE(pattern.ok()) << pattern.status();
+  ASSERT_TRUE(pattern->Validate().ok());
+
+  Workload w = MakeWorkload();
+  auto oracle = test::OracleMatchSet(*pattern, w);
+
+  auto fasp = test::RunFasp(*pattern, w, {});
+  ASSERT_TRUE(fasp.result.ok) << fasp.result.error;
+  EXPECT_EQ(fasp.match_set, oracle);
+
+  TranslatorOptions o1;
+  o1.use_interval_join = true;
+  auto fasp_o1 = test::RunFasp(*pattern, w, o1);
+  ASSERT_TRUE(fasp_o1.result.ok) << fasp_o1.result.error;
+  EXPECT_EQ(fasp_o1.match_set, oracle);
+
+  auto fcep = test::RunFcep(*pattern, w);
+  if (param.fcep_supported) {
+    ASSERT_TRUE(fcep.result.ok) << fcep.result.error;
+    EXPECT_EQ(fcep.match_set, oracle);
+  } else {
+    EXPECT_FALSE(fcep.result.ok);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalogue, PslRoundTripTest,
+    ::testing::Values(
+        PslCase{"listing2",
+                "PATTERN SEQ(Q q1, V v1) WHERE q1.value <= v1.value AND "
+                "v1.value <= 30 WITHIN 4 MINUTES",
+                true},
+        PslCase{"seq3_mixed_sources",
+                "PATTERN SEQ(Q q1, PM10 p1, Hum h1) WHERE q1.value <= 40 "
+                "WITHIN 12 MINUTES",
+                true},
+        PslCase{"and_pair",
+                "PATTERN AND(Q q1, Temp t1) WHERE q1.value >= 70 AND "
+                "t1.value >= 70 WITHIN 6 MINUTES",
+                false},
+        PslCase{"or_pair",
+                "PATTERN OR(PM10 p1, PM25 p2) WHERE p1.value >= 90 AND "
+                "p2.value >= 90 WITHIN 5 MINUTES",
+                false},
+        PslCase{"iter3",
+                "PATTERN ITER3(V v) WHERE v.value <= 25 WITHIN 10 MINUTES",
+                true},
+        PslCase{"nseq_keyword",
+                "PATTERN NSEQ(Q q1, !PM10 p1, V v1) WHERE q1.value <= 35 AND "
+                "v1.value <= 35 AND p1.value <= 20 WITHIN 8 MINUTES",
+                true},
+        PslCase{"nseq_bang_form",
+                "PATTERN SEQ(Temp t1, !Hum h1, PM25 p1) WHERE t1.value >= 60 "
+                "AND p1.value >= 60 AND h1.value >= 80 WITHIN 8 MINUTES",
+                true},
+        PslCase{"nested_seq",
+                "PATTERN SEQ(Q q1, SEQ(V v1, PM10 p1)) WHERE q1.value <= 30 "
+                "WITHIN 9 MINUTES",
+                true},
+        PslCase{"explicit_slide",
+                "PATTERN SEQ(Q q1, V v1) WHERE q1.value <= 20 WITHIN 240 "
+                "SECONDS SLIDE 60 SECONDS",
+                true},
+        PslCase{"return_clause",
+                "PATTERN SEQ(Q q1, V v1) WHERE q1.value <= 20 WITHIN 4 "
+                "MINUTES RETURN *",
+                true}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace cep2asp

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "asp/stateless.h"
+#include "runtime/bounded_queue.h"
+#include "runtime/executor.h"
+#include "runtime/job_graph.h"
+#include "runtime/sink.h"
+#include "runtime/threaded_executor.h"
+#include "runtime/vector_source.h"
+#include "tests/test_util.h"
+
+namespace cep2asp {
+namespace {
+
+using test::Ev;
+
+std::vector<SimpleEvent> MakeEvents(EventTypeId type, int count,
+                                    Timestamp step = 1000) {
+  std::vector<SimpleEvent> events;
+  for (int i = 0; i < count; ++i) {
+    events.push_back(Ev(type, i, static_cast<Timestamp>(i) * step,
+                        static_cast<double>(i)));
+  }
+  return events;
+}
+
+// --- BoundedQueue -----------------------------------------------------------
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(4);
+  q.Push(1);
+  q.Push(2);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenEnds) {
+  BoundedQueue<int> q(4);
+  q.Push(7);
+  q.Close();
+  EXPECT_EQ(q.Pop().value(), 7);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_FALSE(q.Push(8));
+}
+
+TEST(BoundedQueueTest, BlocksProducerAtCapacity) {
+  BoundedQueue<int> q(1);
+  q.Push(1);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.Push(2);
+    pushed = true;
+  });
+  // Producer must be blocked while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.Pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.Pop().value(), 2);
+}
+
+// --- JobGraph ----------------------------------------------------------------
+
+TEST(JobGraphTest, ValidatesMissingInput) {
+  JobGraph graph;
+  graph.AddOperator(std::make_unique<UnionOperator>(2));
+  EXPECT_FALSE(graph.Validate().ok());
+}
+
+TEST(JobGraphTest, ValidatesDoubleConnection) {
+  JobGraph graph;
+  NodeId src = graph.AddSource(
+      std::make_unique<VectorSource>("s", MakeEvents(0, 1)));
+  NodeId op = graph.AddOperator(std::make_unique<UnionOperator>(1));
+  ASSERT_TRUE(graph.Connect(src, op, 0).ok());
+  ASSERT_TRUE(graph.Connect(src, op, 0).ok());  // second edge into port 0
+  EXPECT_FALSE(graph.Validate().ok());
+}
+
+TEST(JobGraphTest, RejectsConnectIntoSource) {
+  JobGraph graph;
+  NodeId a = graph.AddSource(
+      std::make_unique<VectorSource>("a", MakeEvents(0, 1)));
+  NodeId b = graph.AddSource(
+      std::make_unique<VectorSource>("b", MakeEvents(0, 1)));
+  EXPECT_FALSE(graph.Connect(a, b, 0).ok());
+}
+
+TEST(JobGraphTest, RejectsBadPort) {
+  JobGraph graph;
+  NodeId src = graph.AddSource(
+      std::make_unique<VectorSource>("s", MakeEvents(0, 1)));
+  NodeId op = graph.AddOperator(std::make_unique<UnionOperator>(1));
+  EXPECT_FALSE(graph.Connect(src, op, 1).ok());
+}
+
+TEST(JobGraphTest, TopologicalOrderSourcesFirst) {
+  JobGraph graph;
+  NodeId src = graph.AddSource(
+      std::make_unique<VectorSource>("s", MakeEvents(0, 1)));
+  NodeId op = graph.AddOperatorAfter(src, std::make_unique<UnionOperator>(1));
+  NodeId sink = graph.AddOperatorAfter(op, std::make_unique<CollectSink>());
+  auto order = graph.TopologicalOrder();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], src);
+  EXPECT_EQ(order[2], sink);
+}
+
+// --- PipelineExecutor ----------------------------------------------------------
+
+TEST(ExecutorTest, PassthroughDeliversAllTuples) {
+  JobGraph graph;
+  NodeId src = graph.AddSource(
+      std::make_unique<VectorSource>("s", MakeEvents(0, 100)));
+  auto sink_op = std::make_unique<CollectSink>();
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(src, std::move(sink_op));
+  ExecutionResult result = RunJob(&graph, sink);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.tuples_ingested, 100);
+  EXPECT_EQ(result.matches_emitted, 100);
+  EXPECT_EQ(sink->tuples().size(), 100u);
+}
+
+TEST(ExecutorTest, MergesSourcesInEventTimeOrder) {
+  JobGraph graph;
+  std::vector<SimpleEvent> odd, even;
+  for (int i = 0; i < 10; ++i) {
+    (i % 2 ? odd : even).push_back(Ev(0, i, i * 100, 0));
+  }
+  NodeId a = graph.AddSource(std::make_unique<VectorSource>("odd", odd));
+  NodeId b = graph.AddSource(std::make_unique<VectorSource>("even", even));
+  NodeId u = graph.AddOperator(std::make_unique<UnionOperator>(2));
+  ASSERT_TRUE(graph.Connect(a, u, 0).ok());
+  ASSERT_TRUE(graph.Connect(b, u, 1).ok());
+  auto sink_op = std::make_unique<CollectSink>();
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(u, std::move(sink_op));
+  ExecutionResult result = RunJob(&graph, sink);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(sink->tuples().size(), 10u);
+  for (size_t i = 1; i < sink->tuples().size(); ++i) {
+    EXPECT_LE(sink->tuples()[i - 1].event_time(), sink->tuples()[i].event_time());
+  }
+}
+
+TEST(ExecutorTest, FilterDropsNonMatching) {
+  JobGraph graph;
+  NodeId src = graph.AddSource(
+      std::make_unique<VectorSource>("s", MakeEvents(0, 100)));
+  NodeId filter = graph.AddOperatorAfter(
+      src, std::make_unique<FilterOperator>(
+               [](const Tuple& t) { return t.event(0).value < 10; }));
+  auto sink_op = std::make_unique<CollectSink>();
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(filter, std::move(sink_op));
+  ExecutionResult result = RunJob(&graph, sink);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(sink->count(), 10);
+}
+
+TEST(ExecutorTest, MemoryLimitFailsJob) {
+  // A sink storing every tuple grows state beyond a tiny budget; the
+  // executor reports the simulated memory exhaustion (paper §5.2.3: FCEP
+  // execution failure due to memory exhaustion).
+  JobGraph graph;
+  NodeId src = graph.AddSource(
+      std::make_unique<VectorSource>("s", MakeEvents(0, 100000)));
+  auto sink_op = std::make_unique<CollectSink>(/*store_tuples=*/true);
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(src, std::move(sink_op));
+  ExecutorOptions options;
+  options.memory_limit_bytes = 64 * 1024;
+  ExecutionResult result = RunJob(&graph, sink, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("ResourceExhausted"), std::string::npos);
+}
+
+TEST(ExecutorTest, StateTimelineSampled) {
+  JobGraph graph;
+  NodeId src = graph.AddSource(
+      std::make_unique<VectorSource>("s", MakeEvents(0, 10000)));
+  auto sink_op = std::make_unique<CollectSink>(/*store_tuples=*/true);
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(src, std::move(sink_op));
+  ExecutorOptions options;
+  options.watermark_interval = 64;
+  options.state_sample_interval = 512;
+  ExecutionResult result = RunJob(&graph, sink, options);
+  ASSERT_TRUE(result.ok);
+  EXPECT_GT(result.state_timeline.size(), 5u);
+  EXPECT_GT(result.peak_state_bytes, 0u);
+}
+
+// --- ThreadedExecutor ------------------------------------------------------------
+
+TEST(ThreadedExecutorTest, MatchesSingleThreadedResults) {
+  auto build = [](CollectSink** sink_out) {
+    auto graph = std::make_unique<JobGraph>();
+    NodeId src = graph->AddSource(
+        std::make_unique<VectorSource>("s", MakeEvents(0, 5000)));
+    NodeId filter = graph->AddOperatorAfter(
+        src, std::make_unique<FilterOperator>(
+                 [](const Tuple& t) { return t.event(0).value >= 100; }));
+    auto sink_op = std::make_unique<CollectSink>();
+    *sink_out = sink_op.get();
+    graph->AddOperatorAfter(filter, std::move(sink_op));
+    return graph;
+  };
+
+  CollectSink* sink1 = nullptr;
+  auto graph1 = build(&sink1);
+  ExecutionResult r1 = RunJob(graph1.get(), sink1);
+
+  CollectSink* sink2 = nullptr;
+  auto graph2 = build(&sink2);
+  ThreadedExecutor threaded(graph2.get());
+  ExecutionResult r2 = threaded.Run(sink2);
+
+  ASSERT_TRUE(r1.ok);
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_EQ(r1.matches_emitted, r2.matches_emitted);
+  EXPECT_EQ(test::MatchSet(sink1->tuples()), test::MatchSet(sink2->tuples()));
+}
+
+TEST(ThreadedExecutorTest, TwoSourceUnion) {
+  JobGraph graph;
+  NodeId a = graph.AddSource(
+      std::make_unique<VectorSource>("a", MakeEvents(0, 1000)));
+  NodeId b = graph.AddSource(
+      std::make_unique<VectorSource>("b", MakeEvents(1, 1000)));
+  NodeId u = graph.AddOperator(std::make_unique<UnionOperator>(2));
+  ASSERT_TRUE(graph.Connect(a, u, 0).ok());
+  ASSERT_TRUE(graph.Connect(b, u, 1).ok());
+  auto sink_op = std::make_unique<CollectSink>(/*store_tuples=*/false);
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(u, std::move(sink_op));
+  ThreadedExecutor executor(&graph);
+  ExecutionResult result = executor.Run(sink);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.matches_emitted, 2000);
+}
+
+// --- Metrics ----------------------------------------------------------------------
+
+TEST(MetricsTest, LatencyStatsFromSamples) {
+  std::vector<int64_t> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(i);
+  LatencyStats stats = LatencyStats::FromSamples(samples);
+  EXPECT_EQ(stats.count, 100);
+  EXPECT_DOUBLE_EQ(stats.mean_ms, 50.5);
+  EXPECT_DOUBLE_EQ(stats.max_ms, 100.0);
+  EXPECT_NEAR(stats.p50_ms, 50.0, 1.0);
+  EXPECT_NEAR(stats.p99_ms, 99.0, 1.0);
+}
+
+TEST(MetricsTest, EmptySamples) {
+  LatencyStats stats = LatencyStats::FromSamples({});
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_DOUBLE_EQ(stats.mean_ms, 0.0);
+}
+
+TEST(MetricsTest, ThroughputFromResult) {
+  ExecutionResult result;
+  result.tuples_ingested = 1000;
+  result.elapsed_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(result.throughput_tps(), 500.0);
+}
+
+}  // namespace
+}  // namespace cep2asp

@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include "sea/parser.h"
+#include "sea/pattern.h"
+#include "sea/semantics.h"
+#include "tests/test_util.h"
+
+namespace cep2asp {
+namespace {
+
+using test::Ev;
+using Events = std::vector<SimpleEvent>;
+
+constexpr Timestamp kMin = kMillisPerMinute;
+
+class SeaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_ = EventTypeRegistry::Global();
+    a_ = registry_->RegisterOrGet("SeaA");
+    b_ = registry_->RegisterOrGet("SeaB");
+    c_ = registry_->RegisterOrGet("SeaC");
+  }
+
+  Pattern SeqAB(Timestamp w = 4 * kMin) {
+    return PatternBuilder()
+        .Seq(PatternBuilder::Atom(a_, "e1"), PatternBuilder::Atom(b_, "e2"))
+        .Within(w)
+        .Build()
+        .ValueOrDie();
+  }
+
+  size_t CountMatches(const Pattern& p, const Events& events) {
+    return sea::EvaluateOnSubstream(p, events).size();
+  }
+
+  EventTypeRegistry* registry_ = nullptr;
+  EventTypeId a_ = 0, b_ = 0, c_ = 0;
+};
+
+// --- Pattern construction & validation ----------------------------------------
+
+TEST_F(SeaTest, BuilderFlattensNestedSeq) {
+  std::vector<std::unique_ptr<PatternNode>> inner;
+  inner.push_back(PatternBuilder::Atom(b_, "e2"));
+  inner.push_back(PatternBuilder::Atom(c_, "e3"));
+  auto inner_node = std::make_unique<PatternNode>();
+  inner_node->op = PatternOp::kSeq;
+  inner_node->children = std::move(inner);
+
+  PatternBuilder builder;
+  Pattern p = builder.Seq(PatternBuilder::Atom(a_, "e1"), std::move(inner_node))
+                  .Within(4 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  // SEQ(T1, SEQ(T2, T3)) == SEQ(T1, T2, T3) by associativity (§3.2).
+  EXPECT_EQ(p.root().children.size(), 3u);
+  EXPECT_EQ(p.OutputArity(), 3);
+}
+
+TEST_F(SeaTest, WindowIsMandatory) {
+  auto result = PatternBuilder()
+                    .Seq(PatternBuilder::Atom(a_, "e1"),
+                         PatternBuilder::Atom(b_, "e2"))
+                    .Build();
+  EXPECT_FALSE(result.ok());  // §3.1.4: window operator mandatory
+}
+
+TEST_F(SeaTest, CrossPredicateOutOfRangeRejected) {
+  auto result =
+      PatternBuilder()
+          .Seq(PatternBuilder::Atom(a_, "e1"), PatternBuilder::Atom(b_, "e2"))
+          .Where(Comparison::AttrAttr({0, Attribute::kValue}, CmpOp::kLt,
+                                      {5, Attribute::kValue}))
+          .Within(4 * kMin)
+          .Build();
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(SeaTest, IterCountsPositions) {
+  Pattern p = PatternBuilder()
+                  .Root(PatternBuilder::Iter(a_, "v", 4))
+                  .Within(4 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  EXPECT_EQ(p.OutputArity(), 4);
+}
+
+TEST_F(SeaTest, OrChildrenMustBeAtoms) {
+  auto result = PatternBuilder()
+                    .Or(PatternBuilder::Atom(a_, "e1"),
+                        PatternBuilder::Iter(b_, "v", 2))
+                    .Within(4 * kMin)
+                    .Build();
+  EXPECT_FALSE(result.ok());
+}
+
+// --- Atom / filter semantics (Eq. 3) --------------------------------------------
+
+TEST_F(SeaTest, AtomSelectsByTypeAndFilter) {
+  Predicate filter;
+  filter.Add(Comparison::AttrConst({0, Attribute::kValue}, CmpOp::kLe, 10.0));
+  Pattern p = PatternBuilder()
+                  .Root(PatternBuilder::Atom(a_, "e1", filter))
+                  .Within(4 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  Events events = {Ev(a_, 1, 0, 5), Ev(a_, 1, 1, 15), Ev(b_, 1, 2, 5)};
+  auto matches = sea::EvaluateOnSubstream(p, events);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_DOUBLE_EQ(matches[0].event(0).value, 5.0);
+}
+
+// --- Conjunction (Eq. 9) ----------------------------------------------------------
+
+TEST_F(SeaTest, ConjunctionIsOrderInsensitive) {
+  Pattern p = PatternBuilder()
+                  .And(PatternBuilder::Atom(a_, "e1"),
+                       PatternBuilder::Atom(b_, "e2"))
+                  .Within(4 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  // B occurs before A: still a match.
+  Events events = {Ev(b_, 1, 0, 0), Ev(a_, 1, kMin, 0)};
+  EXPECT_EQ(CountMatches(p, events), 1u);
+}
+
+TEST_F(SeaTest, ConjunctionProductCardinality) {
+  Pattern p = PatternBuilder()
+                  .And(PatternBuilder::Atom(a_, "e1"),
+                       PatternBuilder::Atom(b_, "e2"))
+                  .Within(4 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  Events events;
+  for (int i = 0; i < 3; ++i) events.push_back(Ev(a_, 1, i, 0));
+  for (int i = 0; i < 4; ++i) events.push_back(Ev(b_, 1, 10 + i, 0));
+  EXPECT_EQ(CountMatches(p, events), 12u);  // Cartesian product
+}
+
+// --- Sequence (Eq. 10) --------------------------------------------------------------
+
+TEST_F(SeaTest, SequenceRequiresStrictOrder) {
+  Pattern p = SeqAB();
+  EXPECT_EQ(CountMatches(p, {Ev(a_, 1, 10, 0), Ev(b_, 1, 20, 0)}), 1u);
+  EXPECT_EQ(CountMatches(p, {Ev(a_, 1, 20, 0), Ev(b_, 1, 10, 0)}), 0u);
+  // Simultaneous events do not satisfy e1.ts < e2.ts.
+  EXPECT_EQ(CountMatches(p, {Ev(a_, 1, 10, 0), Ev(b_, 1, 10, 0)}), 0u);
+}
+
+TEST_F(SeaTest, SequenceWithCrossPredicate) {
+  // Listing 2: SEQ(T1 e1, T2 e2) WHERE e1.value <= e2.value.
+  Pattern p = PatternBuilder()
+                  .Seq(PatternBuilder::Atom(a_, "e1"),
+                       PatternBuilder::Atom(b_, "e2"))
+                  .Where(Comparison::AttrAttr({0, Attribute::kValue}, CmpOp::kLe,
+                                              {1, Attribute::kValue}))
+                  .Within(4 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  EXPECT_EQ(CountMatches(p, {Ev(a_, 1, 0, 5), Ev(b_, 1, 1, 7)}), 1u);
+  EXPECT_EQ(CountMatches(p, {Ev(a_, 1, 0, 8), Ev(b_, 1, 1, 7)}), 0u);
+}
+
+TEST_F(SeaTest, NarySequenceOrdersAllChildren) {
+  Pattern p = PatternBuilder()
+                  .Seq(PatternBuilder::Atom(a_, "e1"),
+                       PatternBuilder::Atom(b_, "e2"),
+                       PatternBuilder::Atom(c_, "e3"))
+                  .Within(10 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  EXPECT_EQ(
+      CountMatches(p, {Ev(a_, 1, 0, 0), Ev(b_, 1, 10, 0), Ev(c_, 1, 20, 0)}),
+      1u);
+  // c before b: violates order.
+  EXPECT_EQ(
+      CountMatches(p, {Ev(a_, 1, 0, 0), Ev(c_, 1, 10, 0), Ev(b_, 1, 20, 0)}),
+      0u);
+}
+
+// --- Disjunction (Eq. 11) --------------------------------------------------------------
+
+TEST_F(SeaTest, DisjunctionUnionsSingleEvents) {
+  Pattern p = PatternBuilder()
+                  .Or(PatternBuilder::Atom(a_, "e1"),
+                      PatternBuilder::Atom(b_, "e2"))
+                  .Within(4 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  Events events = {Ev(a_, 1, 0, 0), Ev(b_, 1, 1, 0), Ev(c_, 1, 2, 0)};
+  auto matches = sea::EvaluateOnSubstream(p, events);
+  EXPECT_EQ(matches.size(), 2u);
+  for (const Tuple& m : matches) EXPECT_EQ(m.size(), 1u);
+}
+
+// --- Iteration (Eq. 12) -----------------------------------------------------------------
+
+TEST_F(SeaTest, IterationEnumeratesOrderedCombinations) {
+  Pattern p = PatternBuilder()
+                  .Root(PatternBuilder::Iter(a_, "v", 2))
+                  .Within(10 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  Events events = {Ev(a_, 1, 0, 0), Ev(a_, 1, 10, 0), Ev(a_, 1, 20, 0)};
+  // C(3,2) strictly ordered pairs.
+  EXPECT_EQ(CountMatches(p, events), 3u);
+}
+
+TEST_F(SeaTest, IterationConsecutiveConstraint) {
+  // v_n.value < v_{n+1}.value (§5.2.2 ITER_2).
+  Pattern p = PatternBuilder()
+                  .Root(PatternBuilder::Iter(
+                      a_, "v", 3, Predicate(),
+                      ConsecutiveConstraint{Attribute::kValue, CmpOp::kLt}))
+                  .Within(10 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  Events increasing = {Ev(a_, 1, 0, 1), Ev(a_, 1, 10, 2), Ev(a_, 1, 20, 3)};
+  EXPECT_EQ(CountMatches(p, increasing), 1u);
+  Events dip = {Ev(a_, 1, 0, 1), Ev(a_, 1, 10, 5), Ev(a_, 1, 20, 3)};
+  EXPECT_EQ(CountMatches(p, dip), 0u);
+}
+
+// --- Negated sequence (Eq. 14) ------------------------------------------------------------
+
+TEST_F(SeaTest, NseqBlocksOnIntermediateEvent) {
+  Pattern p = PatternBuilder()
+                  .Nseq({a_, "e1", {}}, {b_, "e2", {}}, {c_, "e3", {}})
+                  .Within(10 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  EXPECT_EQ(CountMatches(p, {Ev(a_, 1, 0, 0), Ev(c_, 1, 20, 0)}), 1u);
+  EXPECT_EQ(
+      CountMatches(p, {Ev(a_, 1, 0, 0), Ev(b_, 1, 10, 0), Ev(c_, 1, 20, 0)}),
+      0u);
+}
+
+TEST_F(SeaTest, NseqIntervalIsOpen) {
+  Pattern p = PatternBuilder()
+                  .Nseq({a_, "e1", {}}, {b_, "e2", {}}, {c_, "e3", {}})
+                  .Within(10 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  // T2 exactly at e1.ts or e3.ts does not block (strictly inside only).
+  EXPECT_EQ(
+      CountMatches(p, {Ev(a_, 1, 0, 0), Ev(b_, 1, 0, 0), Ev(c_, 1, 20, 0)}),
+      1u);
+  EXPECT_EQ(
+      CountMatches(p, {Ev(a_, 1, 0, 0), Ev(b_, 1, 20, 0), Ev(c_, 1, 20, 0)}),
+      1u);
+}
+
+TEST_F(SeaTest, NseqRespectsNegatedFilter) {
+  Predicate b_filter;
+  b_filter.Add(Comparison::AttrConst({0, Attribute::kValue}, CmpOp::kGt, 50.0));
+  Pattern p = PatternBuilder()
+                  .Nseq({a_, "e1", {}}, {b_, "e2", b_filter}, {c_, "e3", {}})
+                  .Within(10 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  // The intermediate B has value 10: filtered out, does not block.
+  EXPECT_EQ(
+      CountMatches(p, {Ev(a_, 1, 0, 0), Ev(b_, 1, 10, 10), Ev(c_, 1, 20, 0)}),
+      1u);
+}
+
+// --- Windowed evaluation: Theorems 1 & 2 ------------------------------------------------------
+
+TEST_F(SeaTest, Theorem2EdgeSpanDetectedWithSlideOne) {
+  // A match whose events are W-1 apart is only caught by the window
+  // starting exactly at the first event; slide <= event granularity
+  // guarantees that window exists.
+  Pattern p = SeqAB(4 * kMin);
+  p.set_slide(kMin);
+  Events stream = {Ev(a_, 1, 7 * kMin, 0), Ev(b_, 1, 11 * kMin - 1, 0)};
+  auto eval = sea::EvaluateWithWindows(p, stream);
+  EXPECT_EQ(eval.matches.size(), 1u);
+}
+
+TEST_F(SeaTest, LargeSlideLosesEdgeMatches) {
+  // Negative control: slide > granularity can miss the worst-case span.
+  Pattern p = SeqAB(4 * kMin);
+  p.set_slide(2 * kMin);
+  Events stream = {Ev(a_, 1, 7 * kMin, 0), Ev(b_, 1, 11 * kMin - 1, 0)};
+  auto eval = sea::EvaluateWithWindows(p, stream);
+  EXPECT_EQ(eval.matches.size(), 0u);
+}
+
+TEST_F(SeaTest, OverlappingWindowsProduceDuplicates) {
+  Pattern p = SeqAB(4 * kMin);
+  p.set_slide(kMin);
+  // 1 minute apart: contained in several overlapping windows.
+  Events stream = {Ev(a_, 1, 10 * kMin, 0), Ev(b_, 1, 11 * kMin, 0)};
+  auto eval = sea::EvaluateWithWindows(p, stream);
+  EXPECT_EQ(eval.matches.size(), 1u);
+  EXPECT_GT(eval.emissions_with_duplicates, 1);
+}
+
+TEST_F(SeaTest, PairwiseWindowConstraintHolds) {
+  // Events W apart never match (|ei.ts - ej.ts| < W required).
+  Pattern p = SeqAB(4 * kMin);
+  Events stream = {Ev(a_, 1, 0, 0), Ev(b_, 1, 4 * kMin, 0)};
+  auto eval = sea::EvaluateWithWindows(p, stream);
+  EXPECT_EQ(eval.matches.size(), 0u);
+}
+
+// --- PSL parser ------------------------------------------------------------------------
+
+TEST_F(SeaTest, ParseListing2Pattern) {
+  auto result = sea::ParsePattern(
+      "PATTERN SEQ(SeaA e1, SeaB e2) "
+      "WHERE e1.value <= e2.value AND e2.value <= 10 "
+      "WITHIN 4 MINUTES");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Pattern& p = *result;
+  EXPECT_EQ(p.root().op, PatternOp::kSeq);
+  EXPECT_EQ(p.window_size(), 4 * kMin);
+  // e1.value <= e2.value is a cross predicate; e2.value <= 10 a filter.
+  EXPECT_EQ(p.cross_predicates().terms().size(), 1u);
+  EXPECT_FALSE(p.root().children[1]->atom.filter.IsTrue());
+}
+
+TEST_F(SeaTest, ParseIterForms) {
+  auto a = sea::ParsePattern("PATTERN ITER3(SeaA v) WITHIN 15 MINUTES");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->root().op, PatternOp::kIter);
+  EXPECT_EQ(a->root().iter_count, 3);
+  auto b = sea::ParsePattern("PATTERN ITER(SeaA v, 5) WITHIN 15 MINUTES");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->root().iter_count, 5);
+  auto c = sea::ParsePattern("PATTERN ITER2+(SeaA v) WITHIN 15 MINUTES");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->root().iter_unbounded);
+}
+
+TEST_F(SeaTest, ParseNseqBothSyntaxes) {
+  auto a = sea::ParsePattern(
+      "PATTERN NSEQ(SeaA e1, !SeaB e2, SeaC e3) WITHIN 10 MINUTES");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->root().op, PatternOp::kNseq);
+  auto b = sea::ParsePattern(
+      "PATTERN SEQ(SeaA e1, !SeaB e2, SeaC e3) WITHIN 10 MINUTES");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(b->root().op, PatternOp::kNseq);
+}
+
+TEST_F(SeaTest, ParseDurationsAndSlide) {
+  auto p = sea::ParsePattern(
+      "PATTERN SEQ(SeaA a1, SeaB b1) WITHIN 120 SECONDS SLIDE 30 SECONDS");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->window_size(), 120 * kMillisPerSecond);
+  EXPECT_EQ(p->slide(), 30 * kMillisPerSecond);
+}
+
+TEST_F(SeaTest, ParseRejectsUnknownType) {
+  auto p =
+      sea::ParsePattern("PATTERN SEQ(NoSuchType x, SeaB y) WITHIN 1 MINUTE");
+  EXPECT_FALSE(p.ok());
+  EXPECT_TRUE(p.status().IsParseError());
+}
+
+TEST_F(SeaTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(sea::ParsePattern("SEQ(SeaA a, SeaB b) WITHIN 1 MINUTE").ok());
+  EXPECT_FALSE(sea::ParsePattern("PATTERN SEQ(SeaA a, SeaB b)").ok());
+  EXPECT_FALSE(
+      sea::ParsePattern("PATTERN SEQ(SeaA a SeaB b) WITHIN 1 MINUTE").ok());
+  EXPECT_FALSE(sea::ParsePattern(
+                   "PATTERN SEQ(SeaA a, SeaB b) WHERE a.value < WITHIN 1 MINUTE")
+                   .ok());
+  EXPECT_FALSE(sea::ParsePattern("PATTERN SEQ(SeaA a, !SeaB b) WITHIN 1 MINUTE")
+                   .ok());  // negation needs ternary SEQ
+}
+
+TEST_F(SeaTest, ParseDuplicateVariableRejected) {
+  EXPECT_FALSE(
+      sea::ParsePattern("PATTERN SEQ(SeaA x, SeaB x) WITHIN 1 MINUTE").ok());
+}
+
+TEST_F(SeaTest, ParsedPatternEvaluates) {
+  auto p = sea::ParsePattern(
+      "PATTERN SEQ(SeaA e1, SeaB e2) WHERE e1.value <= e2.value "
+      "WITHIN 4 MINUTES");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(CountMatches(*p, {Ev(a_, 1, 0, 5), Ev(b_, 1, kMin, 9)}), 1u);
+}
+
+TEST_F(SeaTest, ParseAndOr) {
+  auto a = sea::ParsePattern("PATTERN AND(SeaA x, SeaB y) WITHIN 2 MINUTES");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->root().op, PatternOp::kAnd);
+  auto o = sea::ParsePattern("PATTERN OR(SeaA x, SeaB y) WITHIN 2 MINUTES");
+  ASSERT_TRUE(o.ok());
+  EXPECT_EQ(o->root().op, PatternOp::kOr);
+}
+
+}  // namespace
+}  // namespace cep2asp

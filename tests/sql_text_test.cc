@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "runtime/executor.h"
+#include "runtime/rate_limited_source.h"
+#include "runtime/vector_source.h"
+#include "tests/test_util.h"
+#include "translator/sql_text.h"
+#include "translator/translator.h"
+
+namespace cep2asp {
+namespace {
+
+using test::Ev;
+
+constexpr Timestamp kMin = kMillisPerMinute;
+
+class SqlTextTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = EventTypeRegistry::Global()->RegisterOrGet("SqlA");
+    b_ = EventTypeRegistry::Global()->RegisterOrGet("SqlB");
+    c_ = EventTypeRegistry::Global()->RegisterOrGet("SqlC");
+  }
+
+  EventTypeId a_ = 0, b_ = 0, c_ = 0;
+};
+
+TEST_F(SqlTextTest, SeqRendersThetaJoin) {
+  // Listing 8 shape: FROM all streams, consecutive ts predicates, window.
+  Pattern p = PatternBuilder()
+                  .Seq(PatternBuilder::Atom(a_, "e1"),
+                       PatternBuilder::Atom(b_, "e2"),
+                       PatternBuilder::Atom(c_, "e3"))
+                  .Within(15 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  std::string sql = RenderSqlQuery(p).ValueOrDie();
+  EXPECT_NE(sql.find("FROM Stream SqlA e1, Stream SqlB e2, Stream SqlC e3"),
+            std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("e1.ts < e2.ts"), std::string::npos);
+  EXPECT_NE(sql.find("e2.ts < e3.ts"), std::string::npos);
+  EXPECT_NE(sql.find("WINDOW [Range 15min"), std::string::npos);
+}
+
+TEST_F(SqlTextTest, FiltersAndCrossPredicatesRendered) {
+  Predicate filter;
+  filter.Add(Comparison::AttrConst({0, Attribute::kValue}, CmpOp::kLe, 10));
+  Pattern p = PatternBuilder()
+                  .Seq(PatternBuilder::Atom(a_, "e1"),
+                       PatternBuilder::Atom(b_, "e2", filter))
+                  .Where(Comparison::AttrAttr({0, Attribute::kValue}, CmpOp::kLe,
+                                              {1, Attribute::kValue}))
+                  .Within(4 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  std::string sql = RenderSqlQuery(p).ValueOrDie();
+  EXPECT_NE(sql.find("e2.value <= 10"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("e1.value <= e2.value"), std::string::npos) << sql;
+}
+
+TEST_F(SqlTextTest, NseqRendersNotExists) {
+  // Listing 6 shape.
+  Pattern p = PatternBuilder()
+                  .Nseq({a_, "e1", {}}, {b_, "e2", {}}, {c_, "e3", {}})
+                  .Within(10 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  std::string sql = RenderSqlQuery(p).ValueOrDie();
+  EXPECT_NE(sql.find("NOT EXISTS (SELECT * FROM Stream SqlB e2"),
+            std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("e1.ts < e2.ts"), std::string::npos);
+  EXPECT_NE(sql.find("e2.ts < e3.ts"), std::string::npos);
+  // The outer query joins T1 and T3 only.
+  EXPECT_NE(sql.find("FROM Stream SqlA e1, Stream SqlC e3"), std::string::npos);
+}
+
+TEST_F(SqlTextTest, OrRendersUnion) {
+  Pattern p = PatternBuilder()
+                  .Or(PatternBuilder::Atom(a_, "x"),
+                      PatternBuilder::Atom(b_, "y"))
+                  .Within(5 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  std::string sql = RenderSqlQuery(p).ValueOrDie();
+  EXPECT_NE(sql.find("UNION"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("Stream SqlA"), std::string::npos);
+  EXPECT_NE(sql.find("Stream SqlB"), std::string::npos);
+}
+
+TEST_F(SqlTextTest, IterRendersSelfJoins) {
+  Pattern p = PatternBuilder()
+                  .Root(PatternBuilder::Iter(
+                      a_, "v", 3, Predicate(),
+                      ConsecutiveConstraint{Attribute::kValue, CmpOp::kLt}))
+                  .Within(15 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  std::string sql = RenderSqlQuery(p).ValueOrDie();
+  EXPECT_NE(sql.find("Stream SqlA v1, Stream SqlA v2, Stream SqlA v3"),
+            std::string::npos)
+      << sql;
+  EXPECT_NE(sql.find("v1.value < v2.value"), std::string::npos);
+  EXPECT_NE(sql.find("v1.ts < v2.ts"), std::string::npos);
+}
+
+TEST_F(SqlTextTest, ConjunctionHasNoOrderPredicate) {
+  Pattern p = PatternBuilder()
+                  .And(PatternBuilder::Atom(a_, "e1"),
+                       PatternBuilder::Atom(b_, "e2"))
+                  .Within(5 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  std::string sql = RenderSqlQuery(p).ValueOrDie();
+  EXPECT_EQ(sql.find(".ts <"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("FROM Stream SqlA e1, Stream SqlB e2"), std::string::npos);
+}
+
+// --- Unbounded iterations (Kleene+) -------------------------------------------
+
+TEST_F(SqlTextTest, UnboundedIterRequiresO2) {
+  Pattern p = PatternBuilder()
+                  .Root(PatternBuilder::Iter(a_, "v", 2, Predicate(),
+                                             std::nullopt, /*unbounded=*/true))
+                  .Within(5 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  Translator plain;
+  EXPECT_TRUE(plain.ToLogicalPlan(p).status().IsUnimplemented());
+
+  TranslatorOptions o2;
+  o2.use_aggregation_for_iter = true;
+  Translator with_o2(o2);
+  LogicalPlan plan = with_o2.ToLogicalPlan(p).ValueOrDie();
+  EXPECT_EQ(plan.root->kind, LogicalOpKind::kAggregate);
+  EXPECT_EQ(plan.root->min_count, 2);
+}
+
+TEST_F(SqlTextTest, UnboundedIterFiresOnCountAtLeastM) {
+  // Kleene+ variant under skip-till-any-match: the window fires iff it
+  // holds >= m qualifying events (§4.3.2).
+  Pattern p = PatternBuilder()
+                  .Root(PatternBuilder::Iter(a_, "v", 3, Predicate(),
+                                             std::nullopt, /*unbounded=*/true))
+                  .Within(5 * kMin)
+                  .SlideBy(5 * kMin)
+                  .Build()
+                  .ValueOrDie();
+  Workload w;
+  // Window [0, 5min): 4 events (>= 3, fires); window [5, 10min): 2 events.
+  w.AddEvents(a_, {Ev(a_, 1, 0, 1), Ev(a_, 1, kMin, 1), Ev(a_, 1, 2 * kMin, 1),
+                   Ev(a_, 1, 3 * kMin, 1), Ev(a_, 1, 6 * kMin, 1),
+                   Ev(a_, 1, 7 * kMin, 1)});
+  TranslatorOptions o2;
+  o2.use_aggregation_for_iter = true;
+  auto fasp = test::RunFasp(p, w, o2);
+  ASSERT_TRUE(fasp.result.ok) << fasp.result.error;
+  EXPECT_EQ(fasp.raw_emissions, 1);
+}
+
+// --- RateLimitedSource ---------------------------------------------------------
+
+TEST(RateLimitedSourceTest, PacesEmission) {
+  std::vector<SimpleEvent> events;
+  for (int i = 0; i < 500; ++i) events.push_back(Ev(0, 1, i, 0));
+  auto source = std::make_unique<RateLimitedSource>(
+      std::make_unique<VectorSource>("s", events), /*tuples_per_second=*/5000);
+  SystemClock* clock = SystemClock::Get();
+  int64_t begin = clock->NowNanos();
+  Tuple t;
+  int count = 0;
+  while (source->Next(&t)) ++count;
+  double elapsed_s = static_cast<double>(clock->NowNanos() - begin) / 1e9;
+  EXPECT_EQ(count, 500);
+  // 500 tuples at 5k/s ~ 0.1 s (allow generous slack for sleep jitter).
+  EXPECT_GE(elapsed_s, 0.08);
+  EXPECT_LT(elapsed_s, 0.5);
+}
+
+TEST(RateLimitedSourceTest, ForwardsWatermarks) {
+  std::vector<SimpleEvent> events = {Ev(0, 1, 100, 0), Ev(0, 1, 200, 0)};
+  RateLimitedSource source(std::make_unique<VectorSource>("s", events), 1e9);
+  Tuple t;
+  ASSERT_TRUE(source.Next(&t));
+  EXPECT_EQ(source.CurrentWatermark(), 100);
+  ASSERT_TRUE(source.Next(&t));
+  EXPECT_EQ(source.CurrentWatermark(), 200);
+  EXPECT_FALSE(source.Next(&t));
+  EXPECT_EQ(source.emitted(), 2);
+}
+
+}  // namespace
+}  // namespace cep2asp

@@ -1,0 +1,86 @@
+#ifndef CEP2ASP_TESTS_TEST_UTIL_H_
+#define CEP2ASP_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "runtime/executor.h"
+#include "sea/semantics.h"
+#include "translator/translator.h"
+#include "workload/generator.h"
+
+namespace cep2asp::test {
+
+/// Shorthand event constructor.
+inline SimpleEvent Ev(EventTypeId type, int64_t id, Timestamp ts,
+                      double value = 0.0) {
+  SimpleEvent e;
+  e.type = type;
+  e.id = id;
+  e.ts = ts;
+  e.value = value;
+  return e;
+}
+
+/// Sorted, de-duplicated match identities (the paper's semantic
+/// equivalence is set equality after duplicate elimination).
+inline std::vector<std::string> MatchSet(const std::vector<Tuple>& tuples) {
+  std::vector<std::string> keys;
+  keys.reserve(tuples.size());
+  for (const Tuple& t : tuples) keys.push_back(MatchKey(t));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+struct RunOutcome {
+  ExecutionResult result;
+  std::vector<std::string> match_set;
+  int64_t raw_emissions = 0;
+};
+
+/// Translates, compiles, and runs a FASP query over the workload.
+inline RunOutcome RunFasp(const Pattern& pattern, const Workload& workload,
+                          TranslatorOptions options = {}) {
+  RunOutcome outcome;
+  auto compiled =
+      TranslatePattern(pattern, options, workload.MakeSourceFactory());
+  if (!compiled.ok()) {
+    outcome.result.ok = false;
+    outcome.result.error = compiled.status().ToString();
+    return outcome;
+  }
+  outcome.result = RunJob(&compiled->graph, compiled->sink);
+  outcome.raw_emissions = compiled->sink->count();
+  outcome.match_set = MatchSet(compiled->sink->tuples());
+  return outcome;
+}
+
+/// Builds and runs the FCEP baseline job.
+inline RunOutcome RunFcep(const Pattern& pattern, const Workload& workload,
+                          CepJobOptions options = {}) {
+  RunOutcome outcome;
+  auto compiled = BuildCepJob(pattern, workload.MakeSourceFactory(), options);
+  if (!compiled.ok()) {
+    outcome.result.ok = false;
+    outcome.result.error = compiled.status().ToString();
+    return outcome;
+  }
+  outcome.result = RunJob(&compiled->graph, compiled->sink);
+  outcome.raw_emissions = compiled->sink->count();
+  outcome.match_set = MatchSet(compiled->sink->tuples());
+  return outcome;
+}
+
+/// Ground-truth matches from the SEA formal semantics.
+inline std::vector<std::string> OracleMatchSet(const Pattern& pattern,
+                                               const Workload& workload) {
+  sea::WindowedEvaluation eval =
+      sea::EvaluateWithWindows(pattern, workload.MergedEvents());
+  return MatchSet(eval.matches);
+}
+
+}  // namespace cep2asp::test
+
+#endif  // CEP2ASP_TESTS_TEST_UTIL_H_

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workload/csv.h"
+#include "workload/generator.h"
+#include "workload/presets.h"
+
+namespace cep2asp {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedVolume) {
+  StreamSpec spec;
+  spec.type = EventTypeRegistry::Global()->RegisterOrGet("GenA");
+  spec.num_sensors = 4;
+  spec.events_per_sensor = 25;
+  auto events = GenerateStream(spec);
+  EXPECT_EQ(events.size(), 100u);
+}
+
+TEST(GeneratorTest, TimestampsOrderedAndPerSensorIncreasing) {
+  StreamSpec spec;
+  spec.type = EventTypeRegistry::Global()->RegisterOrGet("GenB");
+  spec.num_sensors = 8;
+  spec.events_per_sensor = 50;
+  auto events = GenerateStream(spec);
+  Timestamp last_per_sensor[8] = {kMinTimestamp, kMinTimestamp, kMinTimestamp,
+                                  kMinTimestamp, kMinTimestamp, kMinTimestamp,
+                                  kMinTimestamp, kMinTimestamp};
+  Timestamp last = kMinTimestamp;
+  for (const SimpleEvent& e : events) {
+    EXPECT_GE(e.ts, last);  // globally ordered
+    last = e.ts;
+    // §2.1: each producer emits strictly increasing timestamps.
+    EXPECT_GT(e.ts, last_per_sensor[e.id]);
+    last_per_sensor[e.id] = e.ts;
+  }
+}
+
+TEST(GeneratorTest, StaggeredTimestampsAreStaggerMultiples) {
+  StreamSpec spec;
+  spec.type = EventTypeRegistry::Global()->RegisterOrGet("GenC");
+  spec.num_sensors = 7;  // period not divisible by sensors
+  spec.period = kMillisPerMinute;
+  spec.events_per_sensor = 10;
+  auto events = GenerateStream(spec);
+  Timestamp stagger = spec.stagger();
+  for (const SimpleEvent& e : events) {
+    EXPECT_EQ(e.ts % stagger, 0) << "Theorem 2 slide condition";
+  }
+}
+
+TEST(GeneratorTest, AlignedModeSharesTicks) {
+  StreamSpec spec;
+  spec.type = EventTypeRegistry::Global()->RegisterOrGet("GenD");
+  spec.num_sensors = 5;
+  spec.period = kMillisPerMinute;
+  spec.events_per_sensor = 3;
+  spec.align_to_period = true;
+  auto events = GenerateStream(spec);
+  for (const SimpleEvent& e : events) {
+    EXPECT_EQ(e.ts % kMillisPerMinute, 0);
+  }
+}
+
+TEST(GeneratorTest, ValuesWithinRangeAndDeterministic) {
+  StreamSpec spec;
+  spec.type = EventTypeRegistry::Global()->RegisterOrGet("GenE");
+  spec.num_sensors = 2;
+  spec.events_per_sensor = 100;
+  spec.value_min = 10;
+  spec.value_max = 20;
+  auto a = GenerateStream(spec);
+  auto b = GenerateStream(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i].value, 10.0);
+    EXPECT_LT(a[i].value, 20.0);
+    EXPECT_DOUBLE_EQ(a[i].value, b[i].value);  // same seed, same stream
+  }
+  spec.seed = 99;
+  auto c = GenerateStream(spec);
+  bool any_different = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].value != c[i].value) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(GeneratorTest, FilterSelectivityMatchesThreshold) {
+  StreamSpec spec;
+  spec.type = EventTypeRegistry::Global()->RegisterOrGet("GenF");
+  spec.num_sensors = 1;
+  spec.events_per_sensor = 20000;
+  auto events = GenerateStream(spec);
+  int below = 0;
+  for (const SimpleEvent& e : events) {
+    if (e.value < 25.0) ++below;
+  }
+  // Uniform [0,100): value < 25 keeps ~25%.
+  EXPECT_NEAR(static_cast<double>(below) / static_cast<double>(events.size()),
+              0.25, 0.02);
+}
+
+TEST(WorkloadTest, MergedEventsOrdered) {
+  PresetOptions preset;
+  preset.num_sensors = 3;
+  preset.events_per_sensor = 20;
+  Workload w = MakeCombinedWorkload(preset);
+  auto merged = w.MergedEvents();
+  EXPECT_EQ(static_cast<int64_t>(merged.size()), w.TotalEvents());
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].ts, merged[i].ts);
+  }
+}
+
+TEST(WorkloadTest, SourceFactoryServesKnownTypesOnly) {
+  SensorTypes types = SensorTypes::Get();
+  PresetOptions preset;
+  preset.num_sensors = 1;
+  preset.events_per_sensor = 5;
+  Workload w = MakeQnVWorkload(preset);
+  SourceFactory factory = w.MakeSourceFactory();
+  EXPECT_NE(factory(types.q), nullptr);
+  EXPECT_NE(factory(types.v), nullptr);
+  EXPECT_EQ(factory(types.pm10), nullptr);
+}
+
+TEST(WorkloadTest, StatisticsReflectRates) {
+  SensorTypes types = SensorTypes::Get();
+  PresetOptions preset;
+  preset.num_sensors = 10;
+  preset.events_per_sensor = 100;
+  Workload w = MakeQnVWorkload(preset);
+  StreamStatistics stats = w.Statistics();
+  // 10 sensors at one reading/minute: ~10 events per minute.
+  EXPECT_NEAR(stats.EffectiveRate(types.q), 10.0, 1.5);
+}
+
+TEST(WorkloadTest, CombinedScalesAqRounds) {
+  SensorTypes types = SensorTypes::Get();
+  PresetOptions preset;
+  preset.num_sensors = 1;
+  preset.events_per_sensor = 80;  // 80 minutes of QnV
+  Workload w = MakeCombinedWorkload(preset);
+  // AQ at 4-minute period should cover a similar span with ~20 events.
+  EXPECT_NEAR(static_cast<double>(w.events(types.pm10).size()), 20.0, 2.0);
+}
+
+// --- CSV -------------------------------------------------------------------
+
+TEST(CsvTest, RoundTripPreservesEvents) {
+  StreamSpec spec;
+  spec.type = EventTypeRegistry::Global()->RegisterOrGet("CsvA");
+  spec.num_sensors = 3;
+  spec.events_per_sensor = 40;
+  auto events = GenerateStream(spec);
+
+  const std::string path = "/tmp/cep2asp_csv_test.csv";
+  ASSERT_TRUE(WriteEventsCsv(path, events).ok());
+  auto reloaded = ReadEventsCsv(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  ASSERT_EQ(reloaded->size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ((*reloaded)[i].type, events[i].type);
+    EXPECT_EQ((*reloaded)[i].id, events[i].id);
+    EXPECT_EQ((*reloaded)[i].ts, events[i].ts);
+    EXPECT_NEAR((*reloaded)[i].value, events[i].value, 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileReported) {
+  auto result = ReadEventsCsv("/tmp/definitely_missing_cep2asp.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, MalformedLineReported) {
+  const std::string path = "/tmp/cep2asp_bad.csv";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("type,id,ts,value,lat,lon\nQ,1,not_a_ts,3.5,0,0\n", f);
+    std::fclose(f);
+  }
+  auto result = ReadEventsCsv(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsParseError());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WrongFieldCountReported) {
+  const std::string path = "/tmp/cep2asp_bad2.csv";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("type,id,ts,value,lat,lon\nQ,1,5\n", f);
+    std::fclose(f);
+  }
+  auto result = ReadEventsCsv(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cep2asp
