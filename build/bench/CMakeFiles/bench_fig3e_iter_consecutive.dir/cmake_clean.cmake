@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3e_iter_consecutive.dir/bench_fig3e_iter_consecutive.cc.o"
+  "CMakeFiles/bench_fig3e_iter_consecutive.dir/bench_fig3e_iter_consecutive.cc.o.d"
+  "bench_fig3e_iter_consecutive"
+  "bench_fig3e_iter_consecutive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3e_iter_consecutive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

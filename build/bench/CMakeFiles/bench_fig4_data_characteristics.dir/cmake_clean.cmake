@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_data_characteristics.dir/bench_fig4_data_characteristics.cc.o"
+  "CMakeFiles/bench_fig4_data_characteristics.dir/bench_fig4_data_characteristics.cc.o.d"
+  "bench_fig4_data_characteristics"
+  "bench_fig4_data_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_data_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

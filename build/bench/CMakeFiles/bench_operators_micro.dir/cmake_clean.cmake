@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_operators_micro.dir/bench_operators_micro.cc.o"
+  "CMakeFiles/bench_operators_micro.dir/bench_operators_micro.cc.o.d"
+  "bench_operators_micro"
+  "bench_operators_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_operators_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/air_quality.cpp" "examples/CMakeFiles/air_quality.dir/air_quality.cpp.o" "gcc" "examples/CMakeFiles/air_quality.dir/air_quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/cep2asp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cep2asp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cep2asp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/translator/CMakeFiles/cep2asp_translator.dir/DependInfo.cmake"
+  "/root/repo/build/src/cep/CMakeFiles/cep2asp_cep.dir/DependInfo.cmake"
+  "/root/repo/build/src/sea/CMakeFiles/cep2asp_sea.dir/DependInfo.cmake"
+  "/root/repo/build/src/asp/CMakeFiles/cep2asp_asp.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cep2asp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/cep2asp_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cep2asp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

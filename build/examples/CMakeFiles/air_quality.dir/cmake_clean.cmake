@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_quality.dir/air_quality.cpp.o"
+  "CMakeFiles/air_quality.dir/air_quality.cpp.o.d"
+  "air_quality"
+  "air_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

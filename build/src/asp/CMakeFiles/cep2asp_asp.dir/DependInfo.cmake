@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asp/interval_join.cc" "src/asp/CMakeFiles/cep2asp_asp.dir/interval_join.cc.o" "gcc" "src/asp/CMakeFiles/cep2asp_asp.dir/interval_join.cc.o.d"
+  "/root/repo/src/asp/nseq_mark.cc" "src/asp/CMakeFiles/cep2asp_asp.dir/nseq_mark.cc.o" "gcc" "src/asp/CMakeFiles/cep2asp_asp.dir/nseq_mark.cc.o.d"
+  "/root/repo/src/asp/sliding_window_join.cc" "src/asp/CMakeFiles/cep2asp_asp.dir/sliding_window_join.cc.o" "gcc" "src/asp/CMakeFiles/cep2asp_asp.dir/sliding_window_join.cc.o.d"
+  "/root/repo/src/asp/window_aggregate.cc" "src/asp/CMakeFiles/cep2asp_asp.dir/window_aggregate.cc.o" "gcc" "src/asp/CMakeFiles/cep2asp_asp.dir/window_aggregate.cc.o.d"
+  "/root/repo/src/asp/window_apply.cc" "src/asp/CMakeFiles/cep2asp_asp.dir/window_apply.cc.o" "gcc" "src/asp/CMakeFiles/cep2asp_asp.dir/window_apply.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/cep2asp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/cep2asp_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cep2asp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep2asp_asp.dir/interval_join.cc.o"
+  "CMakeFiles/cep2asp_asp.dir/interval_join.cc.o.d"
+  "CMakeFiles/cep2asp_asp.dir/nseq_mark.cc.o"
+  "CMakeFiles/cep2asp_asp.dir/nseq_mark.cc.o.d"
+  "CMakeFiles/cep2asp_asp.dir/sliding_window_join.cc.o"
+  "CMakeFiles/cep2asp_asp.dir/sliding_window_join.cc.o.d"
+  "CMakeFiles/cep2asp_asp.dir/window_aggregate.cc.o"
+  "CMakeFiles/cep2asp_asp.dir/window_aggregate.cc.o.d"
+  "CMakeFiles/cep2asp_asp.dir/window_apply.cc.o"
+  "CMakeFiles/cep2asp_asp.dir/window_apply.cc.o.d"
+  "libcep2asp_asp.a"
+  "libcep2asp_asp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep2asp_asp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

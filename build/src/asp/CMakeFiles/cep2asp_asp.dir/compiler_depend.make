@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cep2asp_asp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cep/cep_operator.cc" "src/cep/CMakeFiles/cep2asp_cep.dir/cep_operator.cc.o" "gcc" "src/cep/CMakeFiles/cep2asp_cep.dir/cep_operator.cc.o.d"
+  "/root/repo/src/cep/nfa.cc" "src/cep/CMakeFiles/cep2asp_cep.dir/nfa.cc.o" "gcc" "src/cep/CMakeFiles/cep2asp_cep.dir/nfa.cc.o.d"
+  "/root/repo/src/cep/shared_buffer.cc" "src/cep/CMakeFiles/cep2asp_cep.dir/shared_buffer.cc.o" "gcc" "src/cep/CMakeFiles/cep2asp_cep.dir/shared_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sea/CMakeFiles/cep2asp_sea.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cep2asp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/asp/CMakeFiles/cep2asp_asp.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/cep2asp_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cep2asp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep2asp_cep.dir/cep_operator.cc.o"
+  "CMakeFiles/cep2asp_cep.dir/cep_operator.cc.o.d"
+  "CMakeFiles/cep2asp_cep.dir/nfa.cc.o"
+  "CMakeFiles/cep2asp_cep.dir/nfa.cc.o.d"
+  "CMakeFiles/cep2asp_cep.dir/shared_buffer.cc.o"
+  "CMakeFiles/cep2asp_cep.dir/shared_buffer.cc.o.d"
+  "libcep2asp_cep.a"
+  "libcep2asp_cep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep2asp_cep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep2asp_cluster.dir/calibration.cc.o"
+  "CMakeFiles/cep2asp_cluster.dir/calibration.cc.o.d"
+  "CMakeFiles/cep2asp_cluster.dir/sim.cc.o"
+  "CMakeFiles/cep2asp_cluster.dir/sim.cc.o.d"
+  "libcep2asp_cluster.a"
+  "libcep2asp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep2asp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

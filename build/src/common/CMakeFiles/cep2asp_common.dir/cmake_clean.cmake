@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep2asp_common.dir/clock.cc.o"
+  "CMakeFiles/cep2asp_common.dir/clock.cc.o.d"
+  "CMakeFiles/cep2asp_common.dir/logging.cc.o"
+  "CMakeFiles/cep2asp_common.dir/logging.cc.o.d"
+  "CMakeFiles/cep2asp_common.dir/status.cc.o"
+  "CMakeFiles/cep2asp_common.dir/status.cc.o.d"
+  "CMakeFiles/cep2asp_common.dir/strings.cc.o"
+  "CMakeFiles/cep2asp_common.dir/strings.cc.o.d"
+  "libcep2asp_common.a"
+  "libcep2asp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep2asp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep2asp_event.dir/event.cc.o"
+  "CMakeFiles/cep2asp_event.dir/event.cc.o.d"
+  "CMakeFiles/cep2asp_event.dir/event_type.cc.o"
+  "CMakeFiles/cep2asp_event.dir/event_type.cc.o.d"
+  "CMakeFiles/cep2asp_event.dir/predicate.cc.o"
+  "CMakeFiles/cep2asp_event.dir/predicate.cc.o.d"
+  "libcep2asp_event.a"
+  "libcep2asp_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep2asp_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep2asp_harness.dir/bench_util.cc.o"
+  "CMakeFiles/cep2asp_harness.dir/bench_util.cc.o.d"
+  "CMakeFiles/cep2asp_harness.dir/paper_patterns.cc.o"
+  "CMakeFiles/cep2asp_harness.dir/paper_patterns.cc.o.d"
+  "libcep2asp_harness.a"
+  "libcep2asp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep2asp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/executor.cc" "src/runtime/CMakeFiles/cep2asp_runtime.dir/executor.cc.o" "gcc" "src/runtime/CMakeFiles/cep2asp_runtime.dir/executor.cc.o.d"
+  "/root/repo/src/runtime/job_graph.cc" "src/runtime/CMakeFiles/cep2asp_runtime.dir/job_graph.cc.o" "gcc" "src/runtime/CMakeFiles/cep2asp_runtime.dir/job_graph.cc.o.d"
+  "/root/repo/src/runtime/metrics.cc" "src/runtime/CMakeFiles/cep2asp_runtime.dir/metrics.cc.o" "gcc" "src/runtime/CMakeFiles/cep2asp_runtime.dir/metrics.cc.o.d"
+  "/root/repo/src/runtime/threaded_executor.cc" "src/runtime/CMakeFiles/cep2asp_runtime.dir/threaded_executor.cc.o" "gcc" "src/runtime/CMakeFiles/cep2asp_runtime.dir/threaded_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/event/CMakeFiles/cep2asp_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cep2asp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep2asp_runtime.dir/executor.cc.o"
+  "CMakeFiles/cep2asp_runtime.dir/executor.cc.o.d"
+  "CMakeFiles/cep2asp_runtime.dir/job_graph.cc.o"
+  "CMakeFiles/cep2asp_runtime.dir/job_graph.cc.o.d"
+  "CMakeFiles/cep2asp_runtime.dir/metrics.cc.o"
+  "CMakeFiles/cep2asp_runtime.dir/metrics.cc.o.d"
+  "CMakeFiles/cep2asp_runtime.dir/threaded_executor.cc.o"
+  "CMakeFiles/cep2asp_runtime.dir/threaded_executor.cc.o.d"
+  "libcep2asp_runtime.a"
+  "libcep2asp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep2asp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

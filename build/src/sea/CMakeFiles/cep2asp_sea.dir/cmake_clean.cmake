@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep2asp_sea.dir/parser.cc.o"
+  "CMakeFiles/cep2asp_sea.dir/parser.cc.o.d"
+  "CMakeFiles/cep2asp_sea.dir/pattern.cc.o"
+  "CMakeFiles/cep2asp_sea.dir/pattern.cc.o.d"
+  "CMakeFiles/cep2asp_sea.dir/semantics.cc.o"
+  "CMakeFiles/cep2asp_sea.dir/semantics.cc.o.d"
+  "libcep2asp_sea.a"
+  "libcep2asp_sea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep2asp_sea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

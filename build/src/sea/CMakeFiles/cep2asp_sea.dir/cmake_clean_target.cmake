@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcep2asp_sea.a"
+)

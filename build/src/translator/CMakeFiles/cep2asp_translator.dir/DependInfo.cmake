@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/translator/logical_plan.cc" "src/translator/CMakeFiles/cep2asp_translator.dir/logical_plan.cc.o" "gcc" "src/translator/CMakeFiles/cep2asp_translator.dir/logical_plan.cc.o.d"
+  "/root/repo/src/translator/sql_text.cc" "src/translator/CMakeFiles/cep2asp_translator.dir/sql_text.cc.o" "gcc" "src/translator/CMakeFiles/cep2asp_translator.dir/sql_text.cc.o.d"
+  "/root/repo/src/translator/translator.cc" "src/translator/CMakeFiles/cep2asp_translator.dir/translator.cc.o" "gcc" "src/translator/CMakeFiles/cep2asp_translator.dir/translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sea/CMakeFiles/cep2asp_sea.dir/DependInfo.cmake"
+  "/root/repo/build/src/asp/CMakeFiles/cep2asp_asp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cep/CMakeFiles/cep2asp_cep.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cep2asp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/cep2asp_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cep2asp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

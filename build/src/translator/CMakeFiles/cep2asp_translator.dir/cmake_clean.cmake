@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep2asp_translator.dir/logical_plan.cc.o"
+  "CMakeFiles/cep2asp_translator.dir/logical_plan.cc.o.d"
+  "CMakeFiles/cep2asp_translator.dir/sql_text.cc.o"
+  "CMakeFiles/cep2asp_translator.dir/sql_text.cc.o.d"
+  "CMakeFiles/cep2asp_translator.dir/translator.cc.o"
+  "CMakeFiles/cep2asp_translator.dir/translator.cc.o.d"
+  "libcep2asp_translator.a"
+  "libcep2asp_translator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep2asp_translator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cep2asp_workload.dir/csv.cc.o"
+  "CMakeFiles/cep2asp_workload.dir/csv.cc.o.d"
+  "CMakeFiles/cep2asp_workload.dir/generator.cc.o"
+  "CMakeFiles/cep2asp_workload.dir/generator.cc.o.d"
+  "CMakeFiles/cep2asp_workload.dir/presets.cc.o"
+  "CMakeFiles/cep2asp_workload.dir/presets.cc.o.d"
+  "libcep2asp_workload.a"
+  "libcep2asp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cep2asp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asp_operator_test.dir/asp_operator_test.cc.o"
+  "CMakeFiles/asp_operator_test.dir/asp_operator_test.cc.o.d"
+  "asp_operator_test"
+  "asp_operator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asp_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

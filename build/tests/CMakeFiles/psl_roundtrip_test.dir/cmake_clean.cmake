@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psl_roundtrip_test.dir/psl_roundtrip_test.cc.o"
+  "CMakeFiles/psl_roundtrip_test.dir/psl_roundtrip_test.cc.o.d"
+  "psl_roundtrip_test"
+  "psl_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psl_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

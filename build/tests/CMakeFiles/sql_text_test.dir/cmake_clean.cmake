@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_text_test.dir/sql_text_test.cc.o"
+  "CMakeFiles/sql_text_test.dir/sql_text_test.cc.o.d"
+  "sql_text_test"
+  "sql_text_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
