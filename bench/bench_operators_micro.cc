@@ -5,11 +5,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "asp/sliding_window_join.h"
 #include "asp/interval_join.h"
 #include "asp/stateless.h"
 #include "cep/cep_operator.h"
+#include "runtime/bounded_queue.h"
 #include "runtime/executor.h"
+#include "runtime/spsc_ring.h"
+#include "runtime/threaded_executor.h"
 #include "runtime/vector_source.h"
 #include "sea/pattern.h"
 
@@ -162,6 +167,107 @@ void BM_CepOperatorRunHeavy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_CepOperatorRunHeavy)->Arg(3000);
+
+// --- Exchange / channel layer ----------------------------------------------
+//
+// The raw cost of moving elements between two threads: per-item mutex
+// queue vs. batched mutex queue vs. batched lock-free SPSC ring. This is
+// the synchronization cost every inter-operator edge of the threaded
+// executor pays per tuple.
+
+void BM_RawChannelTransfer(benchmark::State& state) {
+  const bool spsc = state.range(0) != 0;
+  const size_t batch = static_cast<size_t>(state.range(1));
+  const int64_t n = 1 << 19;
+  for (auto _ : state) {
+    int64_t consumed_sum = 0;
+    if (spsc) {
+      SpscRing<int64_t> ring(4096);
+      std::thread consumer([&ring, &consumed_sum] {
+        std::vector<int64_t> popped;
+        while (true) {
+          if (ring.PopN(&popped, 64) == 0) break;
+          for (int64_t v : popped) consumed_sum += v;
+        }
+      });
+      std::vector<int64_t> out;
+      out.reserve(batch);
+      for (int64_t i = 0; i < n; ++i) {
+        out.push_back(i);
+        if (out.size() >= batch) ring.PushAll(&out);
+      }
+      ring.PushAll(&out);
+      ring.Close();
+      consumer.join();
+    } else {
+      BoundedQueue<int64_t> queue(4096);
+      std::thread consumer([&queue, &consumed_sum] {
+        std::vector<int64_t> popped;
+        while (queue.PopBatch(&popped, 64) > 0) {
+          for (int64_t v : popped) consumed_sum += v;
+        }
+      });
+      std::vector<int64_t> out;
+      out.reserve(batch);
+      for (int64_t i = 0; i < n; ++i) {
+        out.push_back(i);
+        if (out.size() >= batch) queue.PushBatch(&out);
+      }
+      queue.PushBatch(&out);
+      queue.Close();
+      consumer.join();
+    }
+    benchmark::DoNotOptimize(consumed_sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(std::string(spsc ? "spsc" : "mutex") + " batch=" +
+                 std::to_string(batch));
+}
+BENCHMARK(BM_RawChannelTransfer)
+    ->Args({0, 1})
+    ->Args({0, 64})
+    ->Args({1, 1})
+    ->Args({1, 64})
+    ->UseRealTime();
+
+// End-to-end exchange cost through the threaded executor: a pass-through
+// pipeline (source -> 2 filters -> sink) where per-tuple operator work is
+// trivial, so throughput is dominated by the channel layer. Args are
+// (batch_size, enable_spsc); {1, 0} reproduces the historical per-tuple
+// mutex exchange, {64, 1} is the micro-batched SPSC fast path.
+void BM_ThreadedExchange(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const bool spsc = state.range(1) != 0;
+  const int n = 100000;
+  std::vector<SimpleEvent> events = MakeEvents(TypeA(), n, 10);
+  for (auto _ : state) {
+    JobGraph graph;
+    NodeId src = graph.AddSource(std::make_unique<VectorSource>("s", events));
+    NodeId f1 = graph.AddOperatorAfter(
+        src, std::make_unique<FilterOperator>([](const Tuple&) { return true; }));
+    NodeId f2 = graph.AddOperatorAfter(
+        f1, std::make_unique<FilterOperator>([](const Tuple&) { return true; }));
+    auto sink_op = std::make_unique<CollectSink>(false);
+    CollectSink* sink = sink_op.get();
+    graph.AddOperatorAfter(f2, std::move(sink_op));
+    ThreadedExecutorOptions options;
+    options.batch_size = batch;
+    options.enable_spsc = spsc;
+    ThreadedExecutor executor(&graph, options);
+    ExecutionResult result = executor.Run(sink);
+    benchmark::DoNotOptimize(result.matches_emitted);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel("batch=" + std::to_string(batch) +
+                 (spsc ? " spsc" : " mutex"));
+}
+BENCHMARK(BM_ThreadedExchange)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({8, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace cep2asp

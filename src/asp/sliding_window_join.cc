@@ -55,6 +55,7 @@ Status SlidingWindowJoinOperator::Process(int input, Tuple tuple, Collector*) {
     next_window_ = window_.FirstWindow(tuple.event_time());
     have_window_cursor_ = true;
   }
+  side.min_ts = std::min(side.min_ts, tuple.event_time());
   side.tuples.push_back(std::move(tuple));
   return Status::OK();
 }
@@ -143,6 +144,9 @@ void SlidingWindowJoinOperator::EvictBefore(Timestamp min_keep_ts) {
         state_bytes_ -= e->MemoryBytes();
       }
       side.tuples.erase(side.tuples.begin(), keep_from);
+      // Sides are sorted here, so the surviving front is the new minimum.
+      side.min_ts =
+          side.tuples.empty() ? kMaxTimestamp : side.tuples.front().event_time();
       if (!side.tuples.empty()) all_empty = false;
     }
     if (all_empty) {
@@ -158,10 +162,7 @@ Timestamp SlidingWindowJoinOperator::MinBufferedTs() const {
   for (const auto& [key, key_state] : keys_) {
     (void)key;
     for (const SideBuffer& side : key_state.sides) {
-      for (const Tuple& t : side.tuples) {
-        min_ts = std::min(min_ts, t.event_time());
-        if (side.sorted) break;  // first element is the minimum
-      }
+      min_ts = std::min(min_ts, side.min_ts);
     }
   }
   return min_ts;

@@ -68,6 +68,10 @@ class SlidingWindowJoinOperator : public Operator {
   struct SideBuffer {
     std::vector<Tuple> tuples;
     bool sorted = true;
+    // Smallest buffered event time, maintained incrementally by Process
+    // and re-derived from the sorted front on eviction, so the watermark
+    // path (MinBufferedTs) is O(keys) instead of rescanning every tuple.
+    Timestamp min_ts = kMaxTimestamp;
   };
 
   struct KeyState {

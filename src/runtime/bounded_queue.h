@@ -1,10 +1,14 @@
 #ifndef CEP2ASP_RUNTIME_BOUNDED_QUEUE_H_
 #define CEP2ASP_RUNTIME_BOUNDED_QUEUE_H_
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 namespace cep2asp {
 
@@ -13,6 +17,12 @@ namespace cep2asp {
 /// The capacity bound is what creates backpressure in the threaded
 /// executor: a slow operator fills its input queue and stalls its
 /// producers, transitively throttling the sources (paper §5.2.4).
+///
+/// Besides the historical per-item Push/Pop, the queue moves whole batches
+/// under a single lock acquisition (PushBatch/PopBatch); capacity is always
+/// accounted in items, so batching changes the locking cadence but not the
+/// backpressure semantics (PushBatch of a 1-element batch is equivalent to
+/// Push).
 template <typename T>
 class BoundedQueue {
  public:
@@ -32,6 +42,35 @@ class BoundedQueue {
     return true;
   }
 
+  /// Moves all of `*batch` into the queue under one lock, blocking until
+  /// the whole batch fits (a batch larger than the capacity is admitted
+  /// once the queue is empty, so it cannot deadlock). On success the batch
+  /// is left empty for reuse. Returns false when the queue was closed
+  /// (items dropped). `blocked_nanos`, when non-null, accumulates the time
+  /// spent waiting for space.
+  bool PushBatch(std::vector<T>* batch, int64_t* blocked_nanos = nullptr) {
+    if (batch->empty()) return true;
+    const size_t need = std::min(batch->size(), capacity_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto have_room = [this, need] {
+      return items_.size() + need <= capacity_ || closed_;
+    };
+    if (!have_room()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      not_full_.wait(lock, have_room);
+      if (blocked_nanos) {
+        *blocked_nanos += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      }
+    }
+    if (closed_) return false;
+    for (T& item : *batch) items_.push_back(std::move(item));
+    batch->clear();
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -41,6 +80,27 @@ class BoundedQueue {
     items_.pop_front();
     not_full_.notify_one();
     return item;
+  }
+
+  /// Moves up to `max_items` into `*out` (cleared first) under one lock,
+  /// blocking until at least one item is available. Returns the number
+  /// popped; 0 means the queue was closed and fully drained.
+  size_t PopBatch(std::vector<T>* out, size_t max_items) {
+    out->clear();
+    if (max_items == 0) return 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    const size_t k = std::min(items_.size(), max_items);
+    for (size_t i = 0; i < k; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    if (k > 1) {
+      not_full_.notify_all();
+    } else if (k == 1) {
+      not_full_.notify_one();
+    }
+    return k;
   }
 
   /// Marks the queue closed; pending Pops drain remaining items, then

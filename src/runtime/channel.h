@@ -1,0 +1,182 @@
+#ifndef CEP2ASP_RUNTIME_CHANNEL_H_
+#define CEP2ASP_RUNTIME_CHANNEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "event/event.h"
+#include "runtime/bounded_queue.h"
+#include "runtime/metrics.h"
+#include "runtime/spsc_ring.h"
+
+namespace cep2asp {
+
+/// Kind of element flowing over an inter-thread edge.
+enum class MessageKind : uint8_t { kTuple, kWatermark, kEnd };
+
+/// One element flowing over an inter-thread edge.
+struct Message {
+  MessageKind kind = MessageKind::kTuple;
+  int port = 0;
+  Tuple tuple;
+  Timestamp watermark = kMinTimestamp;
+
+  static Message Data(int port, Tuple tuple) {
+    Message msg;
+    msg.kind = MessageKind::kTuple;
+    msg.port = port;
+    msg.tuple = std::move(tuple);
+    return msg;
+  }
+
+  static Message Control(MessageKind kind, int port, Timestamp watermark) {
+    Message msg;
+    msg.kind = kind;
+    msg.port = port;
+    msg.watermark = watermark;
+    return msg;
+  }
+};
+
+/// A micro-batch of messages: the unit of transfer over a Channel. Callers
+/// reserve `batch_size` up front and reuse the vector after every push, so
+/// the steady state allocates nothing.
+using MessageBatch = std::vector<Message>;
+
+/// \brief One directed exchange channel feeding an operator's input.
+///
+/// Producers hand over whole MessageBatches (one synchronization action per
+/// batch); the consumer drains up to a batch at a time. Capacity is
+/// accounted in messages, so backpressure semantics match the historical
+/// per-message queue: a batch of size 1 behaves bit-for-bit like the old
+/// `BoundedQueue<Message>::Push`.
+///
+/// Push-side counters (batches, messages, fill histogram, nanoseconds
+/// blocked on a full channel) are recorded per channel and surfaced through
+/// ExecutionResult::channel_stats.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Moves the contents of `*batch` into the channel, blocking while full.
+  /// On success the batch is left empty for reuse; returns false (batch
+  /// dropped) when the channel is closed.
+  bool PushBatch(MessageBatch* batch) {
+    if (batch->empty()) return true;
+    const size_t fill = batch->size();
+    int64_t blocked = 0;
+    const bool ok = DoPushBatch(batch, &blocked);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    messages_.fetch_add(static_cast<int64_t>(fill), std::memory_order_relaxed);
+    fill_hist_[ChannelStats::FillBucket(fill)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (blocked > 0) {
+      blocked_push_nanos_.fetch_add(blocked, std::memory_order_relaxed);
+    }
+    return ok;
+  }
+
+  /// Pops up to `max_messages` into `*out` (cleared first), blocking until
+  /// at least one message is available. Returns false when the channel is
+  /// closed and fully drained.
+  virtual bool PopBatch(MessageBatch* out, size_t max_messages) = 0;
+
+  /// Consumer-side probe: true when no message is currently pending. Used
+  /// to flush partially filled output batches before blocking.
+  virtual bool Empty() const = 0;
+
+  /// Closes the channel: blocked producers unwind (PushBatch -> false), the
+  /// consumer drains what was already published and then sees end-of-data.
+  virtual void Close() = 0;
+
+  /// True when this channel runs on the lock-free SPSC fast path.
+  virtual bool is_spsc() const = 0;
+
+  /// Snapshot of the push-side counters; call after producers finished.
+  ChannelStats Snapshot(std::string consumer) const {
+    ChannelStats stats;
+    stats.consumer = std::move(consumer);
+    stats.spsc = is_spsc();
+    stats.batches = batches_.load(std::memory_order_relaxed);
+    stats.messages = messages_.load(std::memory_order_relaxed);
+    stats.blocked_push_nanos = blocked_push_nanos_.load(std::memory_order_relaxed);
+    for (int i = 0; i < ChannelStats::kFillBuckets; ++i) {
+      stats.fill_hist[i] = fill_hist_[i].load(std::memory_order_relaxed);
+    }
+    return stats;
+  }
+
+ protected:
+  virtual bool DoPushBatch(MessageBatch* batch, int64_t* blocked_nanos) = 0;
+
+ private:
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> messages_{0};
+  std::atomic<int64_t> blocked_push_nanos_{0};
+  std::atomic<int64_t> fill_hist_[ChannelStats::kFillBuckets] = {};
+};
+
+/// Mutex+condvar channel over BoundedQueue: the multi-producer fallback,
+/// used when more than one upstream node feeds the same operator input.
+class MpmcChannel : public Channel {
+ public:
+  explicit MpmcChannel(size_t capacity_messages) : queue_(capacity_messages) {}
+
+  bool PopBatch(MessageBatch* out, size_t max_messages) override {
+    return queue_.PopBatch(out, max_messages) > 0;
+  }
+
+  bool Empty() const override { return queue_.size() == 0; }
+  void Close() override { queue_.Close(); }
+  bool is_spsc() const override { return false; }
+
+ protected:
+  bool DoPushBatch(MessageBatch* batch, int64_t* blocked_nanos) override {
+    return queue_.PushBatch(batch, blocked_nanos);
+  }
+
+ private:
+  BoundedQueue<Message> queue_;
+};
+
+/// Lock-free channel over SpscRing: selected automatically for edges with
+/// exactly one producer and one consumer.
+class SpscChannel : public Channel {
+ public:
+  explicit SpscChannel(size_t capacity_messages) : ring_(capacity_messages) {}
+
+  bool PopBatch(MessageBatch* out, size_t max_messages) override {
+    return ring_.PopN(out, max_messages) > 0;
+  }
+
+  bool Empty() const override { return ring_.Empty(); }
+  void Close() override { ring_.Close(); }
+  bool is_spsc() const override { return true; }
+
+ protected:
+  bool DoPushBatch(MessageBatch* batch, int64_t* blocked_nanos) override {
+    return ring_.PushAll(batch, blocked_nanos);
+  }
+
+ private:
+  SpscRing<Message> ring_;
+};
+
+/// Builds the right channel for an input fed by `num_producers` upstream
+/// threads. `capacity_messages` bounds in-flight messages (backpressure).
+inline std::unique_ptr<Channel> MakeChannel(int num_producers,
+                                            size_t capacity_messages,
+                                            bool enable_spsc) {
+  if (enable_spsc && num_producers == 1) {
+    return std::make_unique<SpscChannel>(capacity_messages);
+  }
+  return std::make_unique<MpmcChannel>(capacity_messages);
+}
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_RUNTIME_CHANNEL_H_

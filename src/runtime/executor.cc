@@ -127,6 +127,11 @@ ExecutionResult PipelineExecutor::Run(const CollectSink* sink) {
   start_nanos_ = clock_->NowNanos();
   int since_watermark = 0;
   int since_sample = 0;
+  // create_ts stamp, refreshed every stamp_interval tuples (see
+  // ExecutorOptions::stamp_interval).
+  const int stamp_interval = std::max(1, options_.stamp_interval);
+  Timestamp stamp_now = clock_->NowMillis();
+  int until_restamp = 0;
 
   while (run_status_.ok()) {
     // Pick the live source with the minimum head timestamp.
@@ -141,9 +146,12 @@ ExecutionResult PipelineExecutor::Run(const CollectSink* sink) {
 
     // Stamp creation time for latency accounting, then push downstream.
     Tuple tuple = std::move(next->head);
-    Timestamp now = clock_->NowMillis();
+    if (--until_restamp < 0) {
+      stamp_now = clock_->NowMillis();
+      until_restamp = stamp_interval - 1;
+    }
     for (size_t i = 0; i < tuple.size(); ++i) {
-      tuple.mutable_event(i).create_ts = now;
+      tuple.mutable_event(i).create_ts = stamp_now;
     }
     ++tuples_ingested_;
     for (const JobGraph::Edge& edge : graph_->node(next->id).outputs) {

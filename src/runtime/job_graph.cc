@@ -116,6 +116,9 @@ std::string JobGraph::ToString() const {
     out += "  [" + std::to_string(i) + "] ";
     out += node.is_source() ? ("source " + node.source->name())
                             : node.op->name();
+    if (!node.is_source() && node.num_input_edges > 1) {
+      out += " (fan-in " + std::to_string(node.num_input_edges) + ")";
+    }
     if (!node.outputs.empty()) {
       out += " ->";
       for (const Edge& edge : node.outputs) {

@@ -64,6 +64,11 @@ class JobGraph {
   const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
   Node& mutable_node(NodeId id) { return nodes_[static_cast<size_t>(id)]; }
 
+  /// Number of upstream nodes feeding `id` (edges into any input port).
+  /// The threaded executor uses this to pick the channel implementation:
+  /// exactly one producer allows the lock-free SPSC fast path.
+  int fan_in(NodeId id) const { return node(id).num_input_edges; }
+
   /// Node ids in a topological order (sources first). Requires Validate().
   std::vector<NodeId> TopologicalOrder() const;
 

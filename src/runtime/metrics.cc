@@ -24,6 +24,33 @@ LatencyStats LatencyStats::FromSamples(std::vector<int64_t> samples) {
   return stats;
 }
 
+int ChannelStats::FillBucket(size_t fill) {
+  int bucket = 0;
+  size_t bound = 1;
+  while (bucket < kFillBuckets - 1 && fill > bound) {
+    ++bucket;
+    bound <<= 1;
+  }
+  return bucket;
+}
+
+std::string ChannelStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "->%s %s batches=%lld msgs=%lld avg_fill=%.1f blocked=%.3fms",
+                consumer.c_str(), spsc ? "spsc" : "mpmc",
+                static_cast<long long>(batches), static_cast<long long>(messages),
+                avg_fill(), static_cast<double>(blocked_push_nanos) / 1e6);
+  std::string out = buf;
+  out += " fill_hist=[";
+  for (int i = 0; i < kFillBuckets; ++i) {
+    if (i > 0) out += " ";
+    out += std::to_string(fill_hist[i]);
+  }
+  out += "]";
+  return out;
+}
+
 std::string LatencyStats::ToString() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),

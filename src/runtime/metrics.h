@@ -24,6 +24,38 @@ struct LatencyStats {
   std::string ToString() const;
 };
 
+/// \brief Push-side counters of one exchange channel of the threaded
+/// executor (the input of one operator), snapshot after the run.
+///
+/// Makes the micro-batching win observable: `batches` vs `messages` shows
+/// the achieved amortization (avg_fill), the histogram shows whether
+/// batches actually fill, and `blocked_push_nanos` is the time producers
+/// spent stalled on backpressure.
+struct ChannelStats {
+  std::string consumer;  // name of the operator this channel feeds
+  bool spsc = false;     // lock-free single-producer fast path?
+  int64_t batches = 0;
+  int64_t messages = 0;
+  int64_t blocked_push_nanos = 0;
+
+  /// fill_hist[b] counts pushed batches by fill level: bucket 0 holds
+  /// single-message batches, bucket b>0 holds fills in (2^(b-1), 2^b],
+  /// and the last bucket additionally absorbs anything larger.
+  static constexpr int kFillBuckets = 8;
+  int64_t fill_hist[kFillBuckets] = {0};
+
+  /// Bucket index for a batch of `fill` messages.
+  static int FillBucket(size_t fill);
+
+  /// Average messages per pushed batch.
+  double avg_fill() const {
+    return batches > 0 ? static_cast<double>(messages) / static_cast<double>(batches)
+                       : 0.0;
+  }
+
+  std::string ToString() const;
+};
+
 /// One point of the resource-usage timeline (Figure 5).
 struct StateSample {
   double elapsed_seconds = 0;
@@ -41,6 +73,10 @@ struct ExecutionResult {
   size_t peak_state_bytes = 0;
   std::vector<StateSample> state_timeline;
   LatencyStats latency;
+
+  /// Per-input-channel exchange counters (threaded executor only; empty
+  /// for the single-threaded pipeline executor).
+  std::vector<ChannelStats> channel_stats;
 
   /// Processed tuples per second over the whole run; the maximum
   /// sustainable throughput of the pipeline when the run is CPU-bound

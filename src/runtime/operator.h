@@ -19,6 +19,12 @@ class Collector {
  public:
   virtual ~Collector() = default;
   virtual void Emit(Tuple tuple) = 0;
+
+  /// Hands any internally buffered emissions downstream. Executors whose
+  /// collectors micro-batch (ThreadedExecutor) call this before a thread
+  /// would otherwise go idle; operators never need to call it — control
+  /// events (watermark/end) force a flush on their own.
+  virtual void Flush() {}
 };
 
 /// Discards everything; useful for cost microbenchmarks.

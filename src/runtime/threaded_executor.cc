@@ -10,55 +10,79 @@ namespace cep2asp {
 
 namespace {
 
-enum class MessageKind : uint8_t { kTuple, kWatermark, kEnd };
-
-/// One element flowing over an inter-thread edge.
-struct Message {
-  MessageKind kind = MessageKind::kTuple;
-  int port = 0;
-  Tuple tuple;
-  Timestamp watermark = kMinTimestamp;
-};
-
 struct NodeChannels {
-  std::unique_ptr<BoundedQueue<Message>> input;  // null for sources
+  std::unique_ptr<Channel> input;  // null for sources
 };
 
-/// Collector that forwards an operator's output to all successor queues.
-class QueueCollector : public Collector {
+/// Collector that accumulates an operator's (or source's) output into one
+/// pending MessageBatch per outgoing edge and hands full batches to the
+/// successor channels. Tuples are copied for edges 0..n-2 and moved into
+/// the last edge, so a fan-out of one (the common case) never deep-copies.
+///
+/// Control messages (watermark/end) are appended behind any buffered
+/// tuples and force an immediate flush, which preserves the tuple-before-
+/// watermark ordering guarantee across batch boundaries.
+class BatchingCollector : public Collector {
  public:
-  QueueCollector(const JobGraph* graph, NodeId node,
-                 std::vector<NodeChannels>* channels)
-      : graph_(graph), node_(node), channels_(channels) {}
+  BatchingCollector(const JobGraph* graph, NodeId node,
+                    std::vector<NodeChannels>* channels, size_t batch_size)
+      : batch_size_(std::max<size_t>(1, batch_size)) {
+    for (const JobGraph::Edge& edge : graph->node(node).outputs) {
+      Target target;
+      target.channel = (*channels)[static_cast<size_t>(edge.to)].input.get();
+      target.port = edge.input_port;
+      target.pending.reserve(batch_size_);
+      targets_.push_back(std::move(target));
+    }
+  }
 
   void Emit(Tuple tuple) override {
-    const auto& outputs = graph_->node(node_).outputs;
-    for (const JobGraph::Edge& edge : outputs) {
-      Message msg;
-      msg.kind = MessageKind::kTuple;
-      msg.port = edge.input_port;
-      msg.tuple = tuple;  // copy per fan-out edge
-      (*channels_)[static_cast<size_t>(edge.to)].input->Push(std::move(msg));
+    if (targets_.empty()) return;
+    const size_t last = targets_.size() - 1;
+    for (size_t i = 0; i < last; ++i) {
+      Append(i, Message::Data(targets_[i].port, tuple));  // copy for fan-out
+    }
+    Append(last, Message::Data(targets_[last].port, std::move(tuple)));
+  }
+
+  void Flush() override {
+    for (size_t i = 0; i < targets_.size(); ++i) FlushTarget(i);
+  }
+
+  /// Appends a control message behind the buffered tuples of every edge and
+  /// flushes, so downstream sees all tuples that precede the control event.
+  void EmitControl(MessageKind kind, Timestamp watermark) {
+    for (size_t i = 0; i < targets_.size(); ++i) {
+      targets_[i].pending.push_back(
+          Message::Control(kind, targets_[i].port, watermark));
+      FlushTarget(i);
     }
   }
 
  private:
-  const JobGraph* graph_;
-  NodeId node_;
-  std::vector<NodeChannels>* channels_;
-};
+  struct Target {
+    Channel* channel = nullptr;
+    int port = 0;
+    MessageBatch pending;
+  };
 
-void ForwardControl(const JobGraph* graph, NodeId node,
-                    std::vector<NodeChannels>* channels, MessageKind kind,
-                    Timestamp watermark) {
-  for (const JobGraph::Edge& edge : graph->node(node).outputs) {
-    Message msg;
-    msg.kind = kind;
-    msg.port = edge.input_port;
-    msg.watermark = watermark;
-    (*channels)[static_cast<size_t>(edge.to)].input->Push(std::move(msg));
+  void Append(size_t i, Message msg) {
+    targets_[i].pending.push_back(std::move(msg));
+    if (targets_[i].pending.size() >= batch_size_) FlushTarget(i);
   }
-}
+
+  void FlushTarget(size_t i) {
+    if (!targets_[i].pending.empty()) {
+      // A false return means the channel was closed (error unwind); the
+      // batch is dropped, matching the historical Push behavior.
+      targets_[i].channel->PushBatch(&targets_[i].pending);
+      targets_[i].pending.clear();
+    }
+  }
+
+  const size_t batch_size_;
+  std::vector<Target> targets_;
+};
 
 }  // namespace
 
@@ -74,20 +98,22 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
     return result;
   }
   Clock* clock = options_.clock ? options_.clock : SystemClock::Get();
+  const size_t batch_size = std::max<size_t>(1, options_.batch_size);
 
   const int n = graph_->num_nodes();
   std::vector<NodeChannels> channels(static_cast<size_t>(n));
   for (NodeId id = 0; id < n; ++id) {
     if (!graph_->node(id).is_source()) {
-      channels[static_cast<size_t>(id)].input =
-          std::make_unique<BoundedQueue<Message>>(options_.queue_capacity);
+      channels[static_cast<size_t>(id)].input = MakeChannel(
+          graph_->fan_in(id), options_.queue_capacity, options_.enable_spsc);
     }
   }
 
   std::mutex status_mutex;
   Status run_status;  // guarded by status_mutex
-  // On error, close every queue so producers blocked on Push and consumers
-  // blocked on Pop unwind instead of deadlocking on an abandoned channel.
+  // On error, close every channel so producers blocked on PushBatch and
+  // consumers blocked on PopBatch unwind instead of deadlocking on an
+  // abandoned edge.
   auto record_error = [&status_mutex, &run_status, &channels](const Status& st) {
     std::lock_guard<std::mutex> lock(status_mutex);
     if (run_status.ok()) {
@@ -109,30 +135,52 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
     if (node.is_source()) {
       Source* source = node.source.get();
       threads.emplace_back([&, id, source] {
-        Tuple tuple;
+        BatchingCollector collector(graph_, id, &channels, batch_size);
+        std::vector<Tuple> staged;
+        staged.reserve(batch_size);
         int since_watermark = 0;
-        while (source->Next(&tuple)) {
-          Timestamp now = clock->NowMillis();
-          for (size_t i = 0; i < tuple.size(); ++i) {
-            tuple.mutable_event(i).create_ts = now;
+        // Adaptive staging: one create_ts stamp and one ingest-counter
+        // bump per batch. When the source is slow (rate-limited), filling
+        // a whole batch would sit on tuples, so the staging size halves
+        // whenever the previous batch took longer than the flush timeout
+        // and doubles back while the source keeps up.
+        size_t stage_target = batch_size;
+        const Timestamp flush_timeout = options_.source_flush_timeout_millis;
+        Timestamp last_stamp = clock->NowMillis();
+        bool more = true;
+        while (more) {
+          staged.clear();
+          Tuple tuple;
+          while (staged.size() < stage_target && (more = source->Next(&tuple))) {
+            staged.push_back(std::move(tuple));
           }
-          tuples_ingested.fetch_add(1, std::memory_order_relaxed);
-          for (const JobGraph::Edge& edge : graph_->node(id).outputs) {
-            Message msg;
-            msg.kind = MessageKind::kTuple;
-            msg.port = edge.input_port;
-            msg.tuple = tuple;
-            channels[static_cast<size_t>(edge.to)].input->Push(std::move(msg));
+          if (staged.empty()) break;
+          const Timestamp now = clock->NowMillis();
+          if (flush_timeout > 0 && batch_size > 1) {
+            if (now - last_stamp > flush_timeout) {
+              stage_target = std::max<size_t>(1, stage_target / 2);
+            } else if (stage_target < batch_size) {
+              stage_target = std::min(batch_size, stage_target * 2);
+            }
           }
-          if (++since_watermark >= options_.watermark_interval) {
+          last_stamp = now;
+          for (Tuple& t : staged) {
+            for (size_t i = 0; i < t.size(); ++i) {
+              t.mutable_event(i).create_ts = now;
+            }
+          }
+          tuples_ingested.fetch_add(static_cast<int64_t>(staged.size()),
+                                    std::memory_order_relaxed);
+          for (Tuple& t : staged) collector.Emit(std::move(t));
+          since_watermark += static_cast<int>(staged.size());
+          if (since_watermark >= options_.watermark_interval) {
             since_watermark = 0;
-            ForwardControl(graph_, id, &channels, MessageKind::kWatermark,
-                           source->CurrentWatermark());
+            collector.EmitControl(MessageKind::kWatermark,
+                                  source->CurrentWatermark());
           }
         }
-        ForwardControl(graph_, id, &channels, MessageKind::kWatermark,
-                       kMaxTimestamp);
-        ForwardControl(graph_, id, &channels, MessageKind::kEnd, 0);
+        collector.EmitControl(MessageKind::kWatermark, kMaxTimestamp);
+        collector.EmitControl(MessageKind::kEnd, 0);
       });
     } else {
       Operator* op = node.op.get();
@@ -143,51 +191,58 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
       }
       const int num_ports = op->num_inputs();
       threads.emplace_back([&, id, op, num_ports] {
-        QueueCollector collector(graph_, id, &channels);
+        BatchingCollector collector(graph_, id, &channels, batch_size);
         std::vector<Timestamp> port_watermarks(static_cast<size_t>(num_ports),
                                                kMinTimestamp);
         Timestamp aligned = kMinTimestamp;
         int ended_ports = 0;
-        BoundedQueue<Message>* input = channels[static_cast<size_t>(id)].input.get();
+        Channel* input = channels[static_cast<size_t>(id)].input.get();
+        MessageBatch in;
+        in.reserve(batch_size);
         while (ended_ports < num_ports) {
-          std::optional<Message> msg = input->Pop();
-          if (!msg.has_value()) break;  // queue force-closed on error
-          switch (msg->kind) {
-            case MessageKind::kTuple: {
-              Status st = op->Process(msg->port, std::move(msg->tuple), &collector);
-              if (!st.ok()) {
-                record_error(st.WithContext(op->name()));
-                ended_ports = num_ports;
-              }
-              break;
-            }
-            case MessageKind::kWatermark: {
-              Timestamp& slot = port_watermarks[static_cast<size_t>(msg->port)];
-              slot = std::max(slot, msg->watermark);
-              Timestamp new_aligned = *std::min_element(port_watermarks.begin(),
-                                                        port_watermarks.end());
-              if (new_aligned > aligned) {
-                aligned = new_aligned;
-                Status st = op->OnWatermark(aligned, &collector);
+          if (!input->PopBatch(&in, batch_size)) break;  // closed on error
+          for (Message& msg : in) {
+            if (ended_ports >= num_ports) break;
+            switch (msg.kind) {
+              case MessageKind::kTuple: {
+                Status st = op->Process(msg.port, std::move(msg.tuple), &collector);
                 if (!st.ok()) {
                   record_error(st.WithContext(op->name()));
                   ended_ports = num_ports;
-                } else {
-                  ForwardControl(graph_, id, &channels, MessageKind::kWatermark,
-                                 aligned);
                 }
+                break;
               }
-              break;
-            }
-            case MessageKind::kEnd: {
-              if (++ended_ports == num_ports) {
-                Status st = op->Finish(&collector);
-                if (!st.ok()) record_error(st.WithContext(op->name()));
-                ForwardControl(graph_, id, &channels, MessageKind::kEnd, 0);
+              case MessageKind::kWatermark: {
+                Timestamp& slot = port_watermarks[static_cast<size_t>(msg.port)];
+                slot = std::max(slot, msg.watermark);
+                Timestamp new_aligned = *std::min_element(
+                    port_watermarks.begin(), port_watermarks.end());
+                if (new_aligned > aligned) {
+                  aligned = new_aligned;
+                  Status st = op->OnWatermark(aligned, &collector);
+                  if (!st.ok()) {
+                    record_error(st.WithContext(op->name()));
+                    ended_ports = num_ports;
+                  } else {
+                    collector.EmitControl(MessageKind::kWatermark, aligned);
+                  }
+                }
+                break;
               }
-              break;
+              case MessageKind::kEnd: {
+                if (++ended_ports == num_ports) {
+                  Status st = op->Finish(&collector);
+                  if (!st.ok()) record_error(st.WithContext(op->name()));
+                  collector.EmitControl(MessageKind::kEnd, 0);
+                }
+                break;
+              }
             }
           }
+          // Input drained for now: hand partial output batches downstream
+          // before blocking, so a stalled stream never strands tuples in a
+          // half-filled batch.
+          if (ended_ports < num_ports && input->Empty()) collector.Flush();
         }
       });
     }
@@ -199,6 +254,13 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
       static_cast<double>(clock->NowNanos() - start_nanos) / 1e9;
   result.tuples_ingested = tuples_ingested.load();
   result.peak_state_bytes = graph_->TotalStateBytes();
+  for (NodeId id = 0; id < n; ++id) {
+    const Channel* input = channels[static_cast<size_t>(id)].input.get();
+    if (input != nullptr) {
+      result.channel_stats.push_back(
+          input->Snapshot(graph_->node(id).op->name()));
+    }
+  }
   if (sink != nullptr) {
     result.matches_emitted = sink->count();
     result.latency = LatencyStats::FromSamples(sink->latencies());

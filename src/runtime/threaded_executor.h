@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "runtime/bounded_queue.h"
+#include "runtime/channel.h"
 #include "runtime/executor.h"
 #include "runtime/job_graph.h"
 #include "runtime/metrics.h"
@@ -16,24 +16,45 @@ namespace cep2asp {
 
 /// \brief Options for the multi-threaded executor.
 struct ThreadedExecutorOptions {
-  /// Capacity of each operator input queue; bounds in-flight tuples and
-  /// produces backpressure toward the sources.
+  /// Capacity of each operator input channel, in messages; bounds in-flight
+  /// tuples and produces backpressure toward the sources.
   size_t queue_capacity = 4096;
 
   /// Generate a watermark after this many tuples per source.
   int watermark_interval = 256;
 
+  /// Messages per exchange micro-batch: producers hand over whole batches,
+  /// so each channel synchronizes once per `batch_size` messages instead of
+  /// once per message. 1 reproduces the historical per-message behavior
+  /// bit-for-bit (every message is its own batch).
+  size_t batch_size = 64;
+
+  /// Use the lock-free SPSC ring for single-producer inputs; the mutex
+  /// MPMC queue remains the fallback for fan-in > 1 (and for all inputs
+  /// when disabled). Off is only interesting for ablation benchmarks.
+  bool enable_spsc = true;
+
+  /// Latency bound for source-side batching: when filling the previous
+  /// batch took longer than this, the source halves its staging size (down
+  /// to 1) so slow/rate-limited sources do not sit on tuples; fast sources
+  /// grow back to `batch_size`. 0 disables the adaptation (always stage
+  /// full batches).
+  Timestamp source_flush_timeout_millis = 2;
+
   Clock* clock = nullptr;
 };
 
 /// \brief Executor running each node (source or operator) on its own
-/// thread, connected by bounded queues.
+/// thread, connected by micro-batched exchange channels.
 ///
 /// This realizes the pipeline parallelism that the paper's mapping unlocks
 /// by decomposing the pattern into multiple operators (§1, §5.2.2): the
-/// stages of consecutive joins execute concurrently. The single-threaded
-/// PipelineExecutor remains the deterministic reference; correctness tests
-/// assert both produce identical match sets.
+/// stages of consecutive joins execute concurrently. Tuples cross edges in
+/// MessageBatches (one channel synchronization per batch, not per tuple);
+/// single-producer edges ride a lock-free SPSC ring, multi-producer inputs
+/// fall back to the mutex queue. The single-threaded PipelineExecutor
+/// remains the deterministic reference; correctness tests assert both
+/// produce identical match sets.
 class ThreadedExecutor {
  public:
   ThreadedExecutor(JobGraph* graph, ThreadedExecutorOptions options = {});

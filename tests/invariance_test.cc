@@ -130,6 +130,45 @@ TEST_F(InvarianceTest, QueueCapacityDoesNotChangeThreadedMatches) {
   }
 }
 
+TEST_F(InvarianceTest, BatchSizeDoesNotChangeThreadedMatches) {
+  // The exchange batch size (and channel implementation) is an operational
+  // knob of the threaded runtime: {1, 7, 64} must produce the exact same
+  // MatchKey set as the single-threaded reference on all three paper
+  // pattern shapes (SEQ, ITER, NSEQ). batch=1 reproduces the historical
+  // one-message-per-push exchange.
+  Predicate filter;
+  filter.Add(Comparison::AttrConst({0, Attribute::kValue}, CmpOp::kLt, 60));
+  Pattern iter = PatternBuilder()
+                     .Root(PatternBuilder::Iter(a_, "e", 3, filter))
+                     .Within(6 * kMin)
+                     .Build()
+                     .ValueOrDie();
+  struct Case {
+    const char* name;
+    Pattern pattern;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"SEQ", Seq3()});
+  cases.push_back({"ITER", std::move(iter)});
+  cases.push_back({"NSEQ", Nseq()});
+  for (const Case& c : cases) {
+    auto reference = RunWithExecutorOptions(c.pattern, ExecutorOptions{});
+    ASSERT_FALSE(reference.empty()) << c.name;
+    for (size_t batch : {size_t{1}, size_t{7}, size_t{64}}) {
+      auto compiled =
+          TranslatePattern(c.pattern, {}, workload_.MakeSourceFactory());
+      ASSERT_TRUE(compiled.ok()) << compiled.status();
+      ThreadedExecutorOptions options;
+      options.batch_size = batch;
+      ThreadedExecutor executor(&compiled->graph, options);
+      ExecutionResult result = executor.Run(compiled->sink);
+      ASSERT_TRUE(result.ok) << result.error;
+      EXPECT_EQ(test::MatchSet(compiled->sink->tuples()), reference)
+          << c.name << " batch_size=" << batch;
+    }
+  }
+}
+
 TEST_F(InvarianceTest, StateSamplingDoesNotChangeResults) {
   Pattern p = Seq3();
   ExecutorOptions sampled;

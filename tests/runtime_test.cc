@@ -5,9 +5,12 @@
 
 #include "asp/stateless.h"
 #include "runtime/bounded_queue.h"
+#include "runtime/channel.h"
 #include "runtime/executor.h"
 #include "runtime/job_graph.h"
+#include "runtime/rate_limited_source.h"
 #include "runtime/sink.h"
+#include "runtime/spsc_ring.h"
 #include "runtime/threaded_executor.h"
 #include "runtime/vector_source.h"
 #include "tests/test_util.h"
@@ -61,6 +64,202 @@ TEST(BoundedQueueTest, BlocksProducerAtCapacity) {
   producer.join();
   EXPECT_TRUE(pushed.load());
   EXPECT_EQ(q.Pop().value(), 2);
+}
+
+TEST(BoundedQueueTest, PushBatchAccountsCapacityInItems) {
+  BoundedQueue<int> q(4);
+  std::vector<int> batch = {1, 2, 3};
+  ASSERT_TRUE(q.PushBatch(&batch));
+  EXPECT_TRUE(batch.empty());  // moved out, reusable
+  EXPECT_EQ(q.size(), 3u);
+
+  // A second batch of 3 exceeds the capacity of 4: the producer must block
+  // until the consumer frees space.
+  batch = {4, 5, 6};
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.PushBatch(&batch);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  std::vector<int> popped;
+  ASSERT_EQ(q.PopBatch(&popped, 64), 3u);
+  EXPECT_EQ(popped, (std::vector<int>{1, 2, 3}));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_EQ(q.PopBatch(&popped, 2), 2u);
+  EXPECT_EQ(popped, (std::vector<int>{4, 5}));
+}
+
+TEST(BoundedQueueTest, OversizedBatchAdmittedIntoEmptyQueue) {
+  BoundedQueue<int> q(2);
+  std::vector<int> batch = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(q.PushBatch(&batch));  // must not deadlock
+  std::vector<int> popped;
+  EXPECT_EQ(q.PopBatch(&popped, 64), 5u);
+}
+
+TEST(BoundedQueueTest, PopBatchDrainsThenSignalsClose) {
+  BoundedQueue<int> q(8);
+  std::vector<int> batch = {7, 8};
+  ASSERT_TRUE(q.PushBatch(&batch));
+  q.Close();
+  std::vector<int> popped;
+  EXPECT_EQ(q.PopBatch(&popped, 64), 2u);
+  EXPECT_EQ(q.PopBatch(&popped, 64), 0u);
+  batch = {9};
+  EXPECT_FALSE(q.PushBatch(&batch));
+}
+
+// --- SpscRing ----------------------------------------------------------------
+
+TEST(SpscRingTest, FifoOrderWithWraparound) {
+  SpscRing<int> ring(4);  // rounds to a small power of two
+  ASSERT_EQ(ring.capacity(), 4u);
+  int next_push = 0, next_pop = 0;
+  // Push/pop interleaved so the indices wrap the ring many times.
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(ring.Push(next_push++));
+    for (int i = 0; i < 3; ++i) {
+      auto v = ring.Pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, next_pop++);
+    }
+  }
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(SpscRingTest, CrossThreadTransferPreservesOrder) {
+  SpscRing<int64_t> ring(64);
+  constexpr int64_t kCount = 20000;
+  std::thread producer([&ring] {
+    std::vector<int64_t> batch;
+    for (int64_t i = 0; i < kCount; ++i) {
+      batch.push_back(i);
+      if (batch.size() == 7) {
+        ASSERT_TRUE(ring.PushAll(&batch));
+      }
+    }
+    ASSERT_TRUE(ring.PushAll(&batch));
+    ring.Close();
+  });
+  std::vector<int64_t> popped;
+  int64_t expected = 0;
+  while (ring.PopN(&popped, 13) > 0) {
+    for (int64_t v : popped) EXPECT_EQ(v, expected++);
+  }
+  producer.join();
+  EXPECT_EQ(expected, kCount);
+}
+
+TEST(SpscRingTest, CloseUnblocksProducerMidBatch) {
+  SpscRing<int> ring(4);
+  // Fill the ring, then push a batch that cannot fully fit: the producer
+  // publishes a partial chunk and blocks for the rest.
+  std::vector<int> fill = {0, 1, 2, 3};
+  ASSERT_TRUE(ring.PushAll(&fill));
+  std::atomic<bool> returned{false};
+  std::atomic<bool> result{true};
+  std::thread producer([&] {
+    std::vector<int> batch = {4, 5, 6};
+    result = ring.PushAll(&batch);
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  ring.Close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_FALSE(result.load());  // remaining items dropped
+  // The consumer still drains everything published before the close.
+  std::vector<int> popped;
+  size_t drained = 0;
+  while (ring.PopN(&popped, 64) > 0) drained += popped.size();
+  EXPECT_GE(drained, 4u);
+}
+
+TEST(SpscRingTest, CloseUnblocksConsumer) {
+  SpscRing<int> ring(4);
+  std::atomic<bool> got_end{false};
+  std::thread consumer([&] {
+    std::vector<int> popped;
+    while (ring.PopN(&popped, 8) > 0) {
+    }
+    got_end = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ring.Close();
+  consumer.join();
+  EXPECT_TRUE(got_end.load());
+}
+
+// --- Channels ----------------------------------------------------------------
+
+std::unique_ptr<Channel> MakeTestChannel(bool spsc) {
+  return MakeChannel(spsc ? 1 : 2, /*capacity_messages=*/1024,
+                     /*enable_spsc=*/true);
+}
+
+TEST(ChannelTest, SelectionByFanIn) {
+  EXPECT_TRUE(MakeChannel(1, 16, true)->is_spsc());
+  EXPECT_FALSE(MakeChannel(2, 16, true)->is_spsc());   // MPMC fallback
+  EXPECT_FALSE(MakeChannel(1, 16, false)->is_spsc());  // knob off
+}
+
+TEST(ChannelTest, ControlStaysBehindTuplesAcrossBatchBoundaries) {
+  for (bool spsc : {false, true}) {
+    auto channel = MakeTestChannel(spsc);
+    ASSERT_EQ(channel->is_spsc(), spsc);
+    MessageBatch batch;
+    for (int i = 0; i < 5; ++i) {
+      batch.push_back(Message::Data(0, Tuple(test::Ev(0, i, 1000 + i))));
+    }
+    batch.push_back(Message::Control(MessageKind::kWatermark, 0, 999));
+    ASSERT_TRUE(channel->PushBatch(&batch));
+    batch.push_back(Message::Control(MessageKind::kEnd, 0, 0));
+    ASSERT_TRUE(channel->PushBatch(&batch));
+    channel->Close();
+
+    // Pop with a smaller batch limit than was pushed: order must hold.
+    std::vector<MessageKind> kinds;
+    MessageBatch in;
+    while (channel->PopBatch(&in, 2)) {
+      for (const Message& m : in) kinds.push_back(m.kind);
+    }
+    ASSERT_EQ(kinds.size(), 7u) << (spsc ? "spsc" : "mpmc");
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(kinds[i], MessageKind::kTuple);
+    EXPECT_EQ(kinds[5], MessageKind::kWatermark);
+    EXPECT_EQ(kinds[6], MessageKind::kEnd);
+  }
+}
+
+TEST(ChannelTest, SnapshotCountsBatchesAndMessages) {
+  auto channel = MakeTestChannel(true);
+  MessageBatch batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back(Message::Data(0, Tuple(test::Ev(0, i, i))));
+  }
+  ASSERT_TRUE(channel->PushBatch(&batch));
+  batch.push_back(Message::Data(0, Tuple(test::Ev(0, 64, 64))));
+  ASSERT_TRUE(channel->PushBatch(&batch));
+  ChannelStats stats = channel->Snapshot("op");
+  EXPECT_EQ(stats.batches, 2);
+  EXPECT_EQ(stats.messages, 65);
+  EXPECT_EQ(stats.fill_hist[ChannelStats::FillBucket(64)], 1);
+  EXPECT_EQ(stats.fill_hist[ChannelStats::FillBucket(1)], 1);
+  EXPECT_TRUE(stats.spsc);
+  EXPECT_DOUBLE_EQ(stats.avg_fill(), 32.5);
+}
+
+TEST(ChannelStatsTest, FillBuckets) {
+  EXPECT_EQ(ChannelStats::FillBucket(1), 0);
+  EXPECT_EQ(ChannelStats::FillBucket(2), 1);
+  EXPECT_EQ(ChannelStats::FillBucket(3), 2);
+  EXPECT_EQ(ChannelStats::FillBucket(4), 2);
+  EXPECT_EQ(ChannelStats::FillBucket(5), 3);
+  EXPECT_EQ(ChannelStats::FillBucket(64), 6);
+  EXPECT_EQ(ChannelStats::FillBucket(1000), 7);
 }
 
 // --- JobGraph ----------------------------------------------------------------
@@ -243,6 +442,118 @@ TEST(ThreadedExecutorTest, TwoSourceUnion) {
   ExecutionResult result = executor.Run(sink);
   ASSERT_TRUE(result.ok) << result.error;
   EXPECT_EQ(result.matches_emitted, 2000);
+}
+
+TEST(ThreadedExecutorTest, BatchSizeDoesNotChangeResults) {
+  auto build = [](CollectSink** sink_out) {
+    auto graph = std::make_unique<JobGraph>();
+    NodeId src = graph->AddSource(
+        std::make_unique<VectorSource>("s", MakeEvents(0, 3000)));
+    NodeId filter = graph->AddOperatorAfter(
+        src, std::make_unique<FilterOperator>(
+                 [](const Tuple& t) { return t.event(0).value >= 100; }));
+    auto sink_op = std::make_unique<CollectSink>();
+    *sink_out = sink_op.get();
+    graph->AddOperatorAfter(filter, std::move(sink_op));
+    return graph;
+  };
+
+  CollectSink* ref_sink = nullptr;
+  auto ref_graph = build(&ref_sink);
+  ExecutionResult ref = RunJob(ref_graph.get(), ref_sink);
+  ASSERT_TRUE(ref.ok);
+  auto ref_set = test::MatchSet(ref_sink->tuples());
+
+  for (size_t batch : {size_t{1}, size_t{7}, size_t{64}}) {
+    for (bool spsc : {false, true}) {
+      CollectSink* sink = nullptr;
+      auto graph = build(&sink);
+      ThreadedExecutorOptions options;
+      options.batch_size = batch;
+      options.enable_spsc = spsc;
+      ThreadedExecutor executor(graph.get(), options);
+      ExecutionResult result = executor.Run(sink);
+      ASSERT_TRUE(result.ok) << result.error;
+      EXPECT_EQ(result.matches_emitted, ref.matches_emitted)
+          << "batch=" << batch << " spsc=" << spsc;
+      EXPECT_EQ(test::MatchSet(sink->tuples()), ref_set)
+          << "batch=" << batch << " spsc=" << spsc;
+    }
+  }
+}
+
+TEST(ThreadedExecutorTest, SingleProducerEdgesUseSpscFastPath) {
+  JobGraph graph;
+  NodeId src = graph.AddSource(
+      std::make_unique<VectorSource>("s", MakeEvents(0, 500)));
+  NodeId filter = graph.AddOperatorAfter(
+      src, std::make_unique<FilterOperator>([](const Tuple&) { return true; }));
+  auto sink_op = std::make_unique<CollectSink>(false);
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(filter, std::move(sink_op));
+  ThreadedExecutor executor(&graph);
+  ExecutionResult result = executor.Run(sink);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.channel_stats.size(), 2u);
+  int64_t total_batches = 0;
+  for (const ChannelStats& stats : result.channel_stats) {
+    EXPECT_TRUE(stats.spsc) << stats.ToString();
+    // 500 tuples + watermarks + end, batched: far fewer pushes than
+    // messages.
+    EXPECT_GE(stats.messages, 500);
+    EXPECT_LT(stats.batches, stats.messages);
+    total_batches += stats.batches;
+  }
+  EXPECT_GT(total_batches, 0);
+}
+
+TEST(ThreadedExecutorTest, TwoProducerInputFallsBackToMpmcQueue) {
+  JobGraph graph;
+  NodeId a = graph.AddSource(
+      std::make_unique<VectorSource>("a", MakeEvents(0, 300)));
+  NodeId b = graph.AddSource(
+      std::make_unique<VectorSource>("b", MakeEvents(1, 300)));
+  NodeId u = graph.AddOperator(std::make_unique<UnionOperator>(2));
+  ASSERT_TRUE(graph.Connect(a, u, 0).ok());
+  ASSERT_TRUE(graph.Connect(b, u, 1).ok());
+  auto sink_op = std::make_unique<CollectSink>(false);
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(u, std::move(sink_op));
+  ThreadedExecutor executor(&graph);
+  ExecutionResult result = executor.Run(sink);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.matches_emitted, 600);
+  ASSERT_EQ(result.channel_stats.size(), 2u);
+  bool saw_union = false, saw_sink = false;
+  for (const ChannelStats& stats : result.channel_stats) {
+    if (stats.consumer.rfind("union", 0) == 0) {
+      EXPECT_FALSE(stats.spsc) << "two producers must use the MPMC queue";
+      saw_union = true;
+    } else {
+      EXPECT_TRUE(stats.spsc) << stats.ToString();
+      saw_sink = true;
+    }
+  }
+  EXPECT_TRUE(saw_union);
+  EXPECT_TRUE(saw_sink);
+}
+
+TEST(ThreadedExecutorTest, RateLimitedSourceStillFlushesPartialBatches) {
+  // A slow source must not strand tuples in half-filled batches: the
+  // adaptive staging plus flush-on-idle keeps matches flowing.
+  JobGraph graph;
+  NodeId src = graph.AddSource(std::make_unique<RateLimitedSource>(
+      std::make_unique<VectorSource>("s", MakeEvents(0, 50)), 5000.0));
+  auto sink_op = std::make_unique<CollectSink>(false);
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(src, std::move(sink_op));
+  ThreadedExecutorOptions options;
+  options.batch_size = 64;
+  options.source_flush_timeout_millis = 2;
+  ThreadedExecutor executor(&graph, options);
+  ExecutionResult result = executor.Run(sink);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.matches_emitted, 50);
 }
 
 // --- Metrics ----------------------------------------------------------------------
