@@ -53,7 +53,8 @@ int Main() {
   const double kDuration = 30 * 60;  // 30 minutes, as in the paper
   const double kSample = 5 * 60;     // 5-minute readout granularity
 
-  for (const std::string& pattern : {"SEQ7", "ITER4"}) {
+  for (const char* pattern_name : {"SEQ7", "ITER4"}) {
+    const std::string pattern = pattern_name;
     ResultTable table(
         "Figure 5 (" + pattern + "): memory (GB) and CPU (%) over time",
         {"approach", "keys", "t=0m", "t=5m", "t=10m", "t=15m", "t=20m",

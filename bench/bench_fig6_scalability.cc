@@ -47,7 +47,8 @@ int Main() {
       {"pattern", "workers", "approach", "max sustainable", "speedup vs 1",
        "status"});
 
-  for (const std::string& pattern : {"SEQ7", "ITER4"}) {
+  for (const char* pattern_name : {"SEQ7", "ITER4"}) {
+    const std::string pattern = pattern_name;
     for (SimApproach approach :
          {SimApproach::kFcep, SimApproach::kFaspSliding,
           SimApproach::kFaspInterval, SimApproach::kFaspAggregate}) {

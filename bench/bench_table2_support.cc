@@ -72,7 +72,8 @@ int Main() {
 
   std::vector<std::string> fasp_row = {"FASP"};
   std::vector<std::string> fcep_row = {"FCEP"};
-  for (const std::string& op : {"AND", "SEQ", "OR", "ITER", "NSEQ"}) {
+  for (const char* op_name : {"AND", "SEQ", "OR", "ITER", "NSEQ"}) {
+    const std::string op = op_name;
     auto pattern = BuildOperatorPattern(op, types);
     if (!pattern.ok()) {
       std::fprintf(stderr, "pattern %s: %s\n", op.c_str(),

@@ -1,0 +1,37 @@
+#include "analysis/analyzer.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "event/event.h"
+#include "runtime/vector_source.h"
+
+namespace cep2asp {
+
+Result<QueryAnalysis> AnalyzeQuery(const Pattern& pattern,
+                                   const TranslatorOptions& options) {
+  QueryAnalysis analysis;
+  analysis.pattern_report = AnalyzePattern(pattern);
+  if (analysis.pattern_report.has_errors()) return analysis;
+
+  Translator translator(options);
+  auto plan_result = translator.ToLogicalPlan(pattern);
+  if (!plan_result.ok()) return plan_result.status();
+  const LogicalPlan plan = std::move(plan_result).ValueOrDie();
+  analysis.plan_report = AnalyzeLogicalPlan(plan, &pattern);
+  if (analysis.plan_report.has_errors()) return analysis;
+
+  // Graph lints inspect topology and operator traits only, so empty stub
+  // sources suffice; nothing is executed.
+  auto stub_sources = [](EventTypeId type) {
+    return std::make_unique<VectorSource>(
+        "stub-" + std::to_string(type), std::vector<SimpleEvent>{});
+  };
+  auto compiled = CompilePlan(plan, stub_sources, /*store_matches=*/false);
+  if (!compiled.ok()) return compiled.status();
+  analysis.graph_report = AnalyzeJobGraph(compiled.ValueOrDie().graph);
+  return analysis;
+}
+
+}  // namespace cep2asp

@@ -1,0 +1,41 @@
+#ifndef CEP2ASP_ANALYSIS_ANALYZER_H_
+#define CEP2ASP_ANALYSIS_ANALYZER_H_
+
+#include "analysis/diagnostic.h"
+#include "analysis/graph_rules.h"
+#include "analysis/pattern_rules.h"
+#include "analysis/plan_rules.h"
+#include "common/result.h"
+#include "translator/translator.h"
+
+namespace cep2asp {
+
+/// \brief Findings of a full three-layer query analysis.
+struct QueryAnalysis {
+  DiagnosticReport pattern_report;  // 1xx rules over the SEA pattern
+  DiagnosticReport plan_report;     // 2xx rules over the logical plan
+  DiagnosticReport graph_report;    // 3xx rules over the compiled job graph
+
+  /// All three layers in order (pattern, plan, graph).
+  DiagnosticReport Merged() const {
+    DiagnosticReport all;
+    all.Merge(pattern_report);
+    all.Merge(plan_report);
+    all.Merge(graph_report);
+    return all;
+  }
+};
+
+/// \brief Runs every analysis layer over one query end to end.
+///
+/// Lints the pattern, translates it with `options` and lints the logical
+/// plan, then compiles the plan (against empty stub sources) and lints the
+/// job graph. Pattern-level errors stop the cascade: the later layers
+/// would only mirror them. A translation or compilation *failure* (as
+/// opposed to a lint finding) is returned as the error Status.
+Result<QueryAnalysis> AnalyzeQuery(const Pattern& pattern,
+                                   const TranslatorOptions& options = {});
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_ANALYSIS_ANALYZER_H_

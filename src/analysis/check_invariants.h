@@ -1,0 +1,19 @@
+#ifndef CEP2ASP_ANALYSIS_CHECK_INVARIANTS_H_
+#define CEP2ASP_ANALYSIS_CHECK_INVARIANTS_H_
+
+/// \file
+/// CEP2ASP_CHECK_INVARIANTS gates the debug-build runtime invariant layer:
+/// executor wiring of the InvariantChecker (analysis/invariant_checker.h)
+/// and the capacity-accounting checks inside the exchange queues. It
+/// defaults to on in debug builds and off in release builds — the release
+/// hot path carries zero extra work — and can be forced either way with
+/// -DCEP2ASP_CHECK_INVARIANTS=1 / =0.
+#ifndef CEP2ASP_CHECK_INVARIANTS
+#ifndef NDEBUG
+#define CEP2ASP_CHECK_INVARIANTS 1
+#else
+#define CEP2ASP_CHECK_INVARIANTS 0
+#endif
+#endif
+
+#endif  // CEP2ASP_ANALYSIS_CHECK_INVARIANTS_H_

@@ -1,0 +1,27 @@
+#ifndef CEP2ASP_ANALYSIS_GRAPH_RULES_H_
+#define CEP2ASP_ANALYSIS_GRAPH_RULES_H_
+
+#include "analysis/diagnostic.h"
+#include "runtime/job_graph.h"
+
+namespace cep2asp {
+
+/// \brief Job-graph lint pass (diagnostic codes 3xx).
+///
+/// Subsumes the historical JobGraph::Validate() checks — port coverage
+/// (E301/E302), acyclicity (E303) — and extends them with source coverage
+/// (E304, W305, W306: every operator needs an upstream source to ever see
+/// tuples or watermarks), terminal-sink hygiene (W307), keyed-state vs.
+/// partitioning consistency (W308), fan-in accounting soundness for the
+/// threaded executor's SPSC channel selection (E309), and window-spec
+/// consistency across the job's windowed operators (E310/E311), all driven
+/// by Operator::Traits().
+///
+/// Executors run this pass before starting a job and refuse graphs with
+/// E-level findings; JobGraph::Validate() is a thin wrapper returning the
+/// first error as a Status.
+DiagnosticReport AnalyzeJobGraph(const JobGraph& graph);
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_ANALYSIS_GRAPH_RULES_H_

@@ -1,0 +1,115 @@
+#include "analysis/invariant_checker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cep2asp {
+
+namespace {
+
+std::string ChannelLabel(const JobGraph& graph, NodeId node, int port) {
+  const JobGraph::Node& n = graph.node(node);
+  std::string name = n.is_source() ? n.source->name() : n.op->name();
+  return "node " + std::to_string(node) + " (" + name + ") port " +
+         std::to_string(port);
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(const JobGraph& graph, Options options)
+    : graph_(graph), options_(options) {
+  const int n = graph.num_nodes();
+  last_watermark_.resize(static_cast<size_t>(n));
+  slack_.assign(static_cast<size_t>(n), 0);
+  for (NodeId id = 0; id < n; ++id) {
+    const JobGraph::Node& node = graph.node(id);
+    if (!node.is_source()) {
+      last_watermark_[static_cast<size_t>(id)].assign(
+          static_cast<size_t>(node.op->num_inputs()), kMinTimestamp);
+    }
+  }
+  // Lateness slack: a windowed operator may emit tuples whose event time
+  // lags its input watermark by up to the window span, and the lag adds up
+  // along a path. slack(node) = max over producers p of
+  // slack(p) + window_span(p); sources emit in watermark order (slack 0).
+  for (NodeId id : graph.TopologicalOrder()) {
+    const JobGraph::Node& node = graph.node(id);
+    Timestamp produced_lag = 0;
+    if (!node.is_source()) {
+      OperatorTraits traits = node.op->Traits();
+      if (traits.windowed) produced_lag = traits.window_size;
+    }
+    Timestamp out_slack = slack_[static_cast<size_t>(id)] + produced_lag;
+    for (const JobGraph::Edge& edge : node.outputs) {
+      slack_[static_cast<size_t>(edge.to)] =
+          std::max(slack_[static_cast<size_t>(edge.to)], out_slack);
+    }
+  }
+}
+
+void InvariantChecker::OnTuple(NodeId node, int port, const Tuple& tuple) {
+  Timestamp last = last_watermark_[static_cast<size_t>(node)]
+                                  [static_cast<size_t>(port)];
+  if (last == kMinTimestamp || last == kMaxTimestamp) {
+    // No watermark yet, or final flush: operators drain buffered windows
+    // after the kMaxTimestamp watermark, so event times legitimately lie
+    // arbitrarily far behind it.
+    return;
+  }
+  Timestamp slack = slack_[static_cast<size_t>(node)];
+  if (tuple.event_time() < last - slack) {
+    Report("stale tuple at " + ChannelLabel(graph_, node, port) +
+           ": event time " + std::to_string(tuple.event_time()) +
+           " older than watermark " + std::to_string(last) +
+           " minus lateness slack " + std::to_string(slack));
+  }
+}
+
+void InvariantChecker::OnWatermark(NodeId node, int port, Timestamp watermark) {
+  Timestamp& last = last_watermark_[static_cast<size_t>(node)]
+                                   [static_cast<size_t>(port)];
+  if (last != kMinTimestamp && watermark < last) {
+    Report("watermark regression at " + ChannelLabel(graph_, node, port) +
+           ": " + std::to_string(watermark) + " after " +
+           std::to_string(last));
+  }
+  last = std::max(last, watermark);
+}
+
+void InvariantChecker::OnJobFinished() {
+  for (NodeId id = 0; id < graph_.num_nodes(); ++id) {
+    const JobGraph::Node& node = graph_.node(id);
+    if (node.is_source()) continue;
+    if (node.op->Traits().drains_on_final_watermark &&
+        node.op->StateBytes() != 0) {
+      Report("undrained state at node " + std::to_string(id) + " (" +
+             node.op->name() + "): " + std::to_string(node.op->StateBytes()) +
+             " bytes remain after the final watermark");
+    }
+  }
+}
+
+Timestamp InvariantChecker::LatenessSlack(NodeId node) const {
+  return slack_[static_cast<size_t>(node)];
+}
+
+bool InvariantChecker::ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_.empty();
+}
+
+std::vector<std::string> InvariantChecker::violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_;
+}
+
+void InvariantChecker::Report(const std::string& violation) {
+  if (options_.fatal) {
+    CEP2ASP_LOG(Fatal) << "runtime invariant violated: " << violation;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  violations_.push_back(violation);
+}
+
+}  // namespace cep2asp

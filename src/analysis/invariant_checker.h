@@ -1,0 +1,91 @@
+#ifndef CEP2ASP_ANALYSIS_INVARIANT_CHECKER_H_
+#define CEP2ASP_ANALYSIS_INVARIANT_CHECKER_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/check_invariants.h"
+#include "runtime/job_graph.h"
+
+namespace cep2asp {
+
+/// \brief Runtime cross-check of the executor/operator contract.
+///
+/// Observes tuple and watermark deliveries per (node, input port) and
+/// verifies, while the job runs:
+///   - watermark monotonicity: per channel, watermarks never decrease;
+///   - no stale tuples: a tuple's event time is never older than the last
+///     watermark delivered on its channel, minus the node's lateness slack
+///     (windowed producers legitimately emit results that lag the
+///     watermark by up to their window span, and the lag accumulates along
+///     the path — the slack is the per-node maximum of that sum);
+///   - post-run drainage: operators whose traits promise
+///     drains_on_final_watermark hold no state after the final watermark
+///     and Finish have run.
+///
+/// The class itself is compiled in all build modes so tests can drive it
+/// directly; only the executor wiring is conditional on
+/// CEP2ASP_CHECK_INVARIANTS. With Options::fatal (the default for the
+/// executor wiring) a violation CHECK-aborts at the offending delivery;
+/// with fatal == false violations are recorded and readable via
+/// violations(), which is how the tests inject bad traffic and observe
+/// the detection.
+///
+/// Thread safety: OnTuple / OnWatermark for a given node must come from
+/// that node's consumer thread (the natural call sites in both
+/// executors); per-channel state is unshared. The violation list is
+/// mutex-protected, so concurrent violations from different nodes are
+/// safe to record.
+class InvariantChecker {
+ public:
+  struct Options {
+    /// Abort on first violation (executor wiring) vs. record and continue
+    /// (tests injecting violations).
+    bool fatal;
+    // Explicit default constructor: a default member initializer here
+    // would make Options() unusable as the constructor's default argument
+    // inside the enclosing class (GCC requires the initializer before the
+    // class is complete).
+    Options() : fatal(true) {}
+  };
+
+  /// The graph must stay alive and structurally unchanged for the
+  /// checker's lifetime.
+  explicit InvariantChecker(const JobGraph& graph,
+                            Options options = Options());
+
+  /// Observes `tuple` arriving at `node` on input `port`.
+  void OnTuple(NodeId node, int port, const Tuple& tuple);
+
+  /// Observes the watermark for (`node`, `port`) advancing to `watermark`.
+  void OnWatermark(NodeId node, int port, Timestamp watermark);
+
+  /// Runs the post-run checks (state drainage). Call after the Finish
+  /// cascade, from a single thread.
+  void OnJobFinished();
+
+  /// Event-time slack tolerated for tuples arriving at `node` (testing
+  /// hook; derived from upstream window spans at construction).
+  Timestamp LatenessSlack(NodeId node) const;
+
+  bool ok() const;
+  std::vector<std::string> violations() const;
+
+ private:
+  void Report(const std::string& violation);
+
+  const JobGraph& graph_;
+  Options options_;
+  /// last_watermark_[node][port], kMinTimestamp before the first delivery.
+  std::vector<std::vector<Timestamp>> last_watermark_;
+  /// Max cumulative upstream window span per node (see class comment).
+  std::vector<Timestamp> slack_;
+
+  mutable std::mutex mu_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_ANALYSIS_INVARIANT_CHECKER_H_

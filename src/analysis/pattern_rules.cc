@@ -1,0 +1,205 @@
+#include "analysis/pattern_rules.h"
+
+#include <cmath>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "event/predicate.h"
+
+namespace cep2asp {
+namespace {
+
+std::string AtomLabel(const PatternAtom& atom) {
+  if (!atom.variable.empty()) return "atom " + atom.variable;
+  return "atom type " + std::to_string(atom.type);
+}
+
+/// Interval bounds accumulated for one attribute of a single-event filter.
+struct AttrBounds {
+  double lower = -HUGE_VAL;
+  bool lower_strict = false;
+  double upper = HUGE_VAL;
+  bool upper_strict = false;
+  std::optional<double> eq;
+  std::vector<double> ne;
+  bool contradictory = false;  // e.g. x < x, or two different equalities
+
+  void AddLower(double v, bool strict) {
+    if (v > lower || (v == lower && strict && !lower_strict)) {
+      lower = v;
+      lower_strict = strict;
+    }
+  }
+  void AddUpper(double v, bool strict) {
+    if (v < upper || (v == upper && strict && !upper_strict)) {
+      upper = v;
+      upper_strict = strict;
+    }
+  }
+
+  bool Unsatisfiable() const {
+    if (contradictory) return true;
+    if (lower > upper) return true;
+    if (lower == upper && (lower_strict || upper_strict)) return true;
+    if (eq.has_value()) {
+      const double v = *eq;
+      if (v < lower || (v == lower && lower_strict)) return true;
+      if (v > upper || (v == upper && upper_strict)) return true;
+      for (double banned : ne) {
+        if (banned == v) return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// Conservative satisfiability check of a single-variable filter: only
+/// attribute-vs-constant terms (and self-comparisons) are interpreted, so a
+/// "unsatisfiable" verdict is sound while satisfiable filters may pass
+/// undetected. All variable references in an atom filter address the atom
+/// itself, so rhs attribute terms compare two attributes of one event.
+bool FilterUnsatisfiable(const Predicate& filter) {
+  std::map<Attribute, AttrBounds> bounds;
+  for (const Comparison& term : filter.terms()) {
+    if (term.rhs_is_attr) {
+      // Self-comparison on the same attribute with no offset: x < x etc.
+      if (term.lhs.attr == term.rhs_attr.attr && term.rhs_offset == 0.0 &&
+          (term.op == CmpOp::kLt || term.op == CmpOp::kGt ||
+           term.op == CmpOp::kNe)) {
+        return true;
+      }
+      continue;  // cross-attribute terms are not interpreted
+    }
+    AttrBounds& b = bounds[term.lhs.attr];
+    const double v = term.rhs_const;
+    switch (term.op) {
+      case CmpOp::kLt:
+        b.AddUpper(v, /*strict=*/true);
+        break;
+      case CmpOp::kLe:
+        b.AddUpper(v, /*strict=*/false);
+        break;
+      case CmpOp::kGt:
+        b.AddLower(v, /*strict=*/true);
+        break;
+      case CmpOp::kGe:
+        b.AddLower(v, /*strict=*/false);
+        break;
+      case CmpOp::kEq:
+        if (b.eq.has_value() && *b.eq != v) {
+          b.contradictory = true;
+        } else {
+          b.eq = v;
+        }
+        break;
+      case CmpOp::kNe:
+        b.ne.push_back(v);
+        break;
+    }
+  }
+  for (const auto& [attr, b] : bounds) {
+    if (b.Unsatisfiable()) return true;
+  }
+  return false;
+}
+
+void CheckAtomFilter(const PatternAtom& atom, DiagnosticReport* report) {
+  if (FilterUnsatisfiable(atom.filter)) {
+    report->Add(DiagnosticCode::kPatternFilterUnsatisfiable, AtomLabel(atom),
+                "filter " + atom.filter.ToString() +
+                    " is unsatisfiable; the atom can never match");
+  }
+}
+
+void CheckNode(const PatternNode& node, DiagnosticReport* report) {
+  switch (node.op) {
+    case PatternOp::kAtom:
+      CheckAtomFilter(node.atom, report);
+      break;
+    case PatternOp::kIter: {
+      const std::string where = "iter over " + AtomLabel(node.atom);
+      if (node.iter_count < 1) {
+        report->Add(DiagnosticCode::kPatternIterCountInvalid, where,
+                    "iteration count m = " + std::to_string(node.iter_count) +
+                        " can never match (m must be >= 1)");
+      }
+      if (node.iter_constraint.has_value() && node.iter_count == 1 &&
+          !node.iter_unbounded) {
+        report->Add(DiagnosticCode::kPatternIterConstraintUnused, where,
+                    "consecutive-pair constraint never applies: a bounded "
+                    "iteration of exactly one event has no pairs");
+      }
+      CheckAtomFilter(node.atom, report);
+      break;
+    }
+    case PatternOp::kNseq:
+      for (const PatternAtom& atom : node.nseq_atoms) {
+        CheckAtomFilter(atom, report);
+      }
+      break;
+    case PatternOp::kSeq:
+    case PatternOp::kAnd:
+    case PatternOp::kOr:
+      for (const auto& child : node.children) {
+        CheckNode(*child, report);
+      }
+      break;
+  }
+}
+
+void CheckCrossPredicates(const Pattern& pattern, DiagnosticReport* report) {
+  const int arity = pattern.OutputArity();
+  int index = 0;
+  for (const Comparison& term : pattern.cross_predicates().terms()) {
+    const std::string where = "cross predicate #" + std::to_string(index++);
+    const int lhs_var = term.lhs.var;
+    const int rhs_var = term.rhs_is_attr ? term.rhs_attr.var : lhs_var;
+    if (lhs_var < 0 || rhs_var < 0 || term.MaxVar() >= arity) {
+      report->Add(DiagnosticCode::kPatternPredicateVarOutOfRange, where,
+                  "term " + term.ToString() + " references variable index " +
+                      std::to_string(term.MaxVar()) +
+                      " but the pattern binds only " + std::to_string(arity) +
+                      " match positions");
+      continue;
+    }
+    if (term.ReferencesOnly(lhs_var)) {
+      report->Add(DiagnosticCode::kPatternPushdownMissed, where,
+                  "term " + term.ToString() +
+                      " references a single variable; push it into the "
+                      "atom filter so scans drop events before the joins");
+    }
+  }
+}
+
+}  // namespace
+
+DiagnosticReport AnalyzePattern(const Pattern& pattern) {
+  DiagnosticReport report;
+  if (!pattern.has_root()) {
+    report.Add(DiagnosticCode::kPatternNoRoot, "pattern",
+               "pattern has no structure tree; nothing to translate");
+    return report;
+  }
+  if (pattern.window_size() <= 0) {
+    report.Add(DiagnosticCode::kPatternWindowNotPositive, "pattern",
+               "WITHIN window is " + std::to_string(pattern.window_size()) +
+                   "ms; every SEA pattern requires a positive window");
+  }
+  if (pattern.slide() <= 0 ||
+      (pattern.window_size() > 0 && pattern.slide() > pattern.window_size())) {
+    report.Add(DiagnosticCode::kPatternSlideInvalid, "pattern",
+               "slide " + std::to_string(pattern.slide()) +
+                   "ms is invalid for window " +
+                   std::to_string(pattern.window_size()) +
+                   "ms (need 0 < slide <= window, or matches are skipped)");
+  }
+  CheckNode(pattern.root(), &report);
+  CheckCrossPredicates(pattern, &report);
+  return report;
+}
+
+}  // namespace cep2asp

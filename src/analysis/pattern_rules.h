@@ -1,0 +1,21 @@
+#ifndef CEP2ASP_ANALYSIS_PATTERN_RULES_H_
+#define CEP2ASP_ANALYSIS_PATTERN_RULES_H_
+
+#include "analysis/diagnostic.h"
+#include "sea/pattern.h"
+
+namespace cep2asp {
+
+/// \brief SEA pattern lint pass (diagnostic codes 1xx).
+///
+/// Checks the pattern before translation: structural presence (E100),
+/// window/slide sanity (E101/E102), satisfiability of atom filters (W103),
+/// iteration bounds that can never match (E104) and constraints that never
+/// apply (W105), cross-predicate variable ranges (E106), and
+/// single-variable cross predicates that should be pushed into the atom
+/// filter (W107).
+DiagnosticReport AnalyzePattern(const Pattern& pattern);
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_ANALYSIS_PATTERN_RULES_H_

@@ -1,0 +1,166 @@
+// plan_lint: diagnostic driver for the three-layer query analyzer.
+//
+// Modes:
+//   plan_lint              lint every paper evaluation pattern under every
+//                          optimization set (exit 1 when any E-code fires)
+//   plan_lint --codes      print the diagnostic-code registry
+//   plan_lint --psl TEXT   lint one PSL pattern under every optimization set
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "common/clock.h"
+#include "harness/paper_patterns.h"
+#include "runtime/vector_source.h"
+#include "sea/parser.h"
+#include "workload/presets.h"
+
+namespace cep2asp {
+namespace {
+
+struct OptionSet {
+  const char* name;
+  TranslatorOptions options;
+};
+
+std::vector<OptionSet> OptionSets() {
+  std::vector<OptionSet> sets;
+  sets.push_back({"baseline", {}});
+  TranslatorOptions o1;
+  o1.use_interval_join = true;
+  sets.push_back({"O1", o1});
+  TranslatorOptions o2;
+  o2.use_aggregation_for_iter = true;
+  sets.push_back({"O2", o2});
+  TranslatorOptions o3;
+  o3.use_equi_join_keys = true;
+  sets.push_back({"O3", o3});
+  TranslatorOptions all;
+  all.use_interval_join = true;
+  all.use_aggregation_for_iter = true;
+  all.use_equi_join_keys = true;
+  sets.push_back({"O1+O2+O3", all});
+  TranslatorOptions dedup;
+  dedup.deduplicate_output = true;
+  sets.push_back({"dedup", dedup});
+  return sets;
+}
+
+void PrintReport(const DiagnosticReport& report) {
+  for (const Diagnostic& d : report.diagnostics()) {
+    std::printf("    %s\n", d.ToString().c_str());
+  }
+}
+
+/// Lints one pattern under every optimization set (three layers each) and
+/// the FCEP baseline job. Returns the number of E-level findings.
+int LintPattern(const std::string& name, const Pattern& pattern) {
+  int errors = 0;
+  for (const OptionSet& set : OptionSets()) {
+    auto analysis = AnalyzeQuery(pattern, set.options);
+    if (!analysis.ok()) {
+      // Not translatable under this option set (e.g. O2 with cross
+      // predicates over iteration positions) — a translator refusal, not
+      // a lint finding.
+      std::printf("%-22s x %-9s SKIP (%s)\n", name.c_str(), set.name,
+                  analysis.status().ToString().c_str());
+      continue;
+    }
+    const DiagnosticReport merged = analysis.ValueOrDie().Merged();
+    std::printf("%-22s x %-9s %s (%d error(s), %d warning(s))\n", name.c_str(),
+                set.name, merged.has_errors() ? "FAIL" : "OK",
+                merged.error_count(), merged.warning_count());
+    PrintReport(merged);
+    errors += merged.error_count();
+  }
+
+  auto stub_sources = [](EventTypeId type) {
+    return std::make_unique<VectorSource>("stub-" + std::to_string(type),
+                                          std::vector<SimpleEvent>{});
+  };
+  CepJobOptions cep_options;
+  cep_options.store_matches = false;
+  auto cep = BuildCepJob(pattern, stub_sources, cep_options);
+  if (cep.ok()) {
+    const DiagnosticReport report = AnalyzeJobGraph(cep.ValueOrDie().graph);
+    std::printf("%-22s x %-9s %s (%d error(s), %d warning(s))\n", name.c_str(),
+                "fcep", report.has_errors() ? "FAIL" : "OK",
+                report.error_count(), report.warning_count());
+    PrintReport(report);
+    errors += report.error_count();
+  }
+  return errors;
+}
+
+int LintPaperPatterns() {
+  const Timestamp window = 15 * kMillisPerMinute;
+  const Timestamp slide = kMillisPerMinute;
+  PaperPatterns patterns;
+
+  std::vector<std::pair<std::string, Result<Pattern>>> queries;
+  queries.emplace_back("SEQ1(2)", patterns.Seq1(0.5, window, slide));
+  queries.emplace_back("ITER3_1(1)",
+                       patterns.IterThreshold(3, 0.5, window, slide));
+  queries.emplace_back("ITER3_2(1)",
+                       patterns.IterConsecutive(3, 0.5, window, slide));
+  queries.emplace_back("NSEQ1(3)", patterns.Nseq1(0.5, 0.5, window, slide));
+  queries.emplace_back("SEQ4(4)", patterns.SeqN(4, 0.5, window, slide));
+  queries.emplace_back("SEQ7(3)", patterns.Seq7(0.5, window, slide));
+  queries.emplace_back("ITER4(1)", patterns.Iter4(3, 0.5, window, slide));
+
+  int errors = 0;
+  for (auto& [name, result] : queries) {
+    if (!result.ok()) {
+      std::printf("%-22s BUILD FAILED: %s\n", name.c_str(),
+                  result.status().ToString().c_str());
+      ++errors;
+      continue;
+    }
+    errors += LintPattern(name, result.ValueOrDie());
+  }
+  std::printf("\nplan_lint: %d error(s) across %zu pattern(s)\n", errors,
+              queries.size());
+  return errors == 0 ? 0 : 1;
+}
+
+int LintPsl(const std::string& text) {
+  SensorTypes::Get();  // registers the canonical event types for the parser
+  auto pattern = sea::ParsePattern(text);
+  if (!pattern.ok()) {
+    std::printf("parse error: %s\n", pattern.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("pattern: %s\n", pattern.ValueOrDie().ToString().c_str());
+  return LintPattern("psl", pattern.ValueOrDie()) == 0 ? 0 : 1;
+}
+
+int PrintCodes() {
+  for (DiagnosticCode code : AllDiagnosticCodes()) {
+    std::printf("%-14s %s\n", DiagnosticCodeName(code).c_str(),
+                DiagnosticCodeDescription(code));
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: plan_lint             lint the paper evaluation "
+               "patterns\n"
+               "       plan_lint --codes     list the diagnostic registry\n"
+               "       plan_lint --psl TEXT  lint one PSL pattern\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace cep2asp
+
+int main(int argc, char** argv) {
+  if (argc == 1) return cep2asp::LintPaperPatterns();
+  const std::string mode = argv[1];
+  if (mode == "--codes" && argc == 2) return cep2asp::PrintCodes();
+  if (mode == "--psl" && argc == 3) return cep2asp::LintPsl(argv[2]);
+  return cep2asp::Usage();
+}

@@ -1,0 +1,550 @@
+#include "analysis/plan_rules.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "asp/window.h"
+
+namespace cep2asp {
+namespace {
+
+std::string PositionsToString(const std::vector<int>& positions) {
+  std::string s = "[";
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(positions[i]);
+  }
+  s += "]";
+  return s;
+}
+
+std::string NodeLabel(const LogicalOp& op) {
+  return std::string(LogicalOpKindToString(op.kind)) +
+         PositionsToString(op.positions);
+}
+
+bool IsJoin(LogicalOpKind kind) {
+  return kind == LogicalOpKind::kWindowJoin ||
+         kind == LogicalOpKind::kIntervalJoin;
+}
+
+/// The join MarkRootJoinComplete targets: the topmost join reached from the
+/// plan root through order/selection-preserving unary wrappers.
+const LogicalOp* FindRootJoin(const LogicalOp* node) {
+  while (node != nullptr && (node->kind == LogicalOpKind::kReorder ||
+                             node->kind == LogicalOpKind::kFilter)) {
+    node = node->inputs.empty() ? nullptr : node->inputs[0].get();
+  }
+  return (node != nullptr && IsJoin(node->kind)) ? node : nullptr;
+}
+
+// --- E200: node shape ------------------------------------------------------
+
+void CheckShape(const LogicalOp& op, DiagnosticReport* report) {
+  for (const auto& input : op.inputs) {
+    if (input == nullptr) {
+      report->Add(DiagnosticCode::kPlanNodeMalformed, NodeLabel(op),
+                  "node has a null input");
+      return;
+    }
+  }
+
+  int want = 1;
+  bool at_least = false;
+  switch (op.kind) {
+    case LogicalOpKind::kScan:
+      want = 0;
+      break;
+    case LogicalOpKind::kWindowJoin:
+    case LogicalOpKind::kIntervalJoin:
+      want = 2;
+      break;
+    case LogicalOpKind::kUnion:
+      want = 2;
+      at_least = true;
+      break;
+    default:
+      want = 1;
+      break;
+  }
+  const int have = static_cast<int>(op.inputs.size());
+  if (at_least ? have < want : have != want) {
+    report->Add(DiagnosticCode::kPlanNodeMalformed, NodeLabel(op),
+                std::string(LogicalOpKindToString(op.kind)) + " needs " +
+                    (at_least ? ">= " : "") + std::to_string(want) +
+                    " input(s) but has " + std::to_string(have));
+    return;  // downstream checks assume the arity holds
+  }
+
+  if (op.positions.empty()) {
+    report->Add(DiagnosticCode::kPlanNodeMalformed, NodeLabel(op),
+                "node covers no match positions");
+    return;
+  }
+
+  switch (op.kind) {
+    case LogicalOpKind::kFilter:
+    case LogicalOpKind::kKeyByAttr:
+    case LogicalOpKind::kKeyByConst:
+    case LogicalOpKind::kNseqMark:
+      if (op.positions != op.inputs[0]->positions) {
+        report->Add(DiagnosticCode::kPlanNodeMalformed, NodeLabel(op),
+                    "pass-through node changes match positions: input covers " +
+                        PositionsToString(op.inputs[0]->positions));
+      }
+      break;
+    case LogicalOpKind::kWindowJoin:
+    case LogicalOpKind::kIntervalJoin: {
+      std::vector<int> combined = op.inputs[0]->positions;
+      combined.insert(combined.end(), op.inputs[1]->positions.begin(),
+                      op.inputs[1]->positions.end());
+      if (op.positions != combined) {
+        report->Add(DiagnosticCode::kPlanNodeMalformed, NodeLabel(op),
+                    "join positions are not the concatenation of its inputs (" +
+                        PositionsToString(combined) + ")");
+      }
+      break;
+    }
+    case LogicalOpKind::kAggregate:
+    case LogicalOpKind::kIterChainApply:
+      if (op.positions.size() != 1) {
+        report->Add(DiagnosticCode::kPlanNodeMalformed, NodeLabel(op),
+                    "window aggregation emits single-event tuples but covers " +
+                        std::to_string(op.positions.size()) + " positions");
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+// --- E201/E202: window parameters ------------------------------------------
+
+void CheckWindow(const LogicalOp& op, const LogicalPlan& plan,
+                 DiagnosticReport* report) {
+  auto span_mismatch = [&](const std::string& detail) {
+    report->Add(DiagnosticCode::kPlanWindowSpanMismatch, NodeLabel(op),
+                detail + "; stateful operators must agree on the pattern "
+                         "window or matches near window borders are lost");
+  };
+  switch (op.kind) {
+    case LogicalOpKind::kWindowJoin:
+    case LogicalOpKind::kAggregate:
+    case LogicalOpKind::kIterChainApply:
+      if (!op.window.valid()) {
+        report->Add(DiagnosticCode::kPlanWindowSpecInvalid, NodeLabel(op),
+                    "window (size " + std::to_string(op.window.size) +
+                        ", slide " + std::to_string(op.window.slide) +
+                        ") is not a valid sliding window");
+      } else if (op.window.size != plan.window_size ||
+                 op.window.slide != plan.slide) {
+        span_mismatch("window (" + std::to_string(op.window.size) + "," +
+                      std::to_string(op.window.slide) + ") != plan window (" +
+                      std::to_string(plan.window_size) + "," +
+                      std::to_string(plan.slide) + ")");
+      }
+      break;
+    case LogicalOpKind::kIntervalJoin: {
+      const Timestamp span = op.interval.upper - op.interval.lower;
+      if (span <= 0) {
+        report->Add(DiagnosticCode::kPlanWindowSpecInvalid, NodeLabel(op),
+                    "interval bounds (" + std::to_string(op.interval.lower) +
+                        "," + std::to_string(op.interval.upper) +
+                        ") span no time; the join can never match");
+      } else if (span != plan.window_size && span != 2 * plan.window_size) {
+        // ForSequence spans W, ForConjunction spans 2W.
+        span_mismatch("interval span " + std::to_string(span) +
+                      " matches neither W nor 2W for plan window " +
+                      std::to_string(plan.window_size));
+      }
+      break;
+    }
+    case LogicalOpKind::kNseqMark:
+      if (op.nseq_window <= 0) {
+        report->Add(DiagnosticCode::kPlanWindowSpecInvalid, NodeLabel(op),
+                    "NSEQ horizon " + std::to_string(op.nseq_window) +
+                        "ms is not positive");
+      } else if (op.nseq_window != plan.window_size) {
+        span_mismatch("NSEQ horizon " + std::to_string(op.nseq_window) +
+                      " != plan window " + std::to_string(plan.window_size));
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+// --- E203: predicate index ranges ------------------------------------------
+
+void CheckPredicateIndices(const LogicalOp& op, DiagnosticReport* report) {
+  const int arity = static_cast<int>(op.positions.size());
+  for (const Comparison& term : op.predicate.terms()) {
+    const bool lhs_bad = term.lhs.var < 0 || term.lhs.var >= arity;
+    const bool rhs_bad =
+        term.rhs_is_attr && (term.rhs_attr.var < 0 || term.rhs_attr.var >= arity);
+    if (lhs_bad || rhs_bad) {
+      report->Add(DiagnosticCode::kPlanPredicateIndexOutOfRange, NodeLabel(op),
+                  "term " + term.ToString() +
+                      " addresses a tuple slot outside arity " +
+                      std::to_string(arity));
+    }
+  }
+}
+
+// --- E207/W208: key co-partitioning ----------------------------------------
+
+struct KeyDesc {
+  enum Kind { kUnknown, kNone, kConst, kAttr } kind = kUnknown;
+  int64_t const_key = 0;
+  Attribute attr = Attribute::kId;
+
+  friend bool operator==(const KeyDesc& a, const KeyDesc& b) {
+    if (a.kind != b.kind) return false;
+    if (a.kind == kConst) return a.const_key == b.const_key;
+    if (a.kind == kAttr) return a.attr == b.attr;
+    return true;
+  }
+
+  std::string ToString() const {
+    switch (kind) {
+      case kUnknown: return "unknown";
+      case kNone: return "unkeyed";
+      case kConst: return "const " + std::to_string(const_key);
+      case kAttr: return "attr " + std::to_string(static_cast<int>(attr));
+    }
+    return "unknown";
+  }
+};
+
+/// The partitioning key of a node's output stream. Joins keep the left
+/// key (Tuple::Concat), every other non-key operator passes its input's
+/// key through; a union of differently keyed inputs resolves to unknown
+/// (the mismatch is reported where the union is visited).
+KeyDesc ResolveKey(const LogicalOp& op) {
+  switch (op.kind) {
+    case LogicalOpKind::kScan:
+      return KeyDesc{KeyDesc::kNone, 0, Attribute::kId};
+    case LogicalOpKind::kKeyByAttr:
+      return KeyDesc{KeyDesc::kAttr, 0, op.key_attr};
+    case LogicalOpKind::kKeyByConst:
+      return KeyDesc{KeyDesc::kConst, op.const_key, Attribute::kId};
+    case LogicalOpKind::kUnion: {
+      KeyDesc first;
+      for (size_t i = 0; i < op.inputs.size(); ++i) {
+        if (op.inputs[i] == nullptr) return KeyDesc{};
+        KeyDesc k = ResolveKey(*op.inputs[i]);
+        if (i == 0) {
+          first = k;
+        } else if (!(k == first)) {
+          return KeyDesc{};  // mixed partitioning
+        }
+      }
+      return first;
+    }
+    case LogicalOpKind::kWindowJoin:
+    case LogicalOpKind::kIntervalJoin:
+      return (op.inputs.size() == 2 && op.inputs[0] != nullptr)
+                 ? ResolveKey(*op.inputs[0])
+                 : KeyDesc{};
+    default:
+      return (!op.inputs.empty() && op.inputs[0] != nullptr)
+                 ? ResolveKey(*op.inputs[0])
+                 : KeyDesc{};
+  }
+}
+
+void CheckJoinKeys(const LogicalOp& op, DiagnosticReport* report) {
+  const KeyDesc left = ResolveKey(*op.inputs[0]);
+  const KeyDesc right = ResolveKey(*op.inputs[1]);
+  if (left.kind == KeyDesc::kNone || right.kind == KeyDesc::kNone) {
+    report->Add(DiagnosticCode::kPlanJoinInputUnkeyed, NodeLabel(op),
+                "join input has no key assignment (left " + left.ToString() +
+                    ", right " + right.ToString() +
+                    "); partitions will pair arbitrarily");
+    return;
+  }
+  if (left.kind != KeyDesc::kUnknown && right.kind != KeyDesc::kUnknown &&
+      !(left == right)) {
+    report->Add(DiagnosticCode::kPlanJoinKeyMismatch, NodeLabel(op),
+                "join inputs are partitioned on different keys (left " +
+                    left.ToString() + ", right " + right.ToString() +
+                    "); co-partitioned events never meet");
+  }
+}
+
+void CheckUnionKeys(const LogicalOp& op, DiagnosticReport* report) {
+  KeyDesc first;
+  for (size_t i = 0; i < op.inputs.size(); ++i) {
+    KeyDesc k = ResolveKey(*op.inputs[i]);
+    if (k.kind == KeyDesc::kUnknown) return;
+    if (i == 0) {
+      first = k;
+    } else if (!(k == first)) {
+      report->Add(DiagnosticCode::kPlanJoinKeyMismatch, NodeLabel(op),
+                  "union inputs are partitioned on different keys (" +
+                      first.ToString() + " vs " + k.ToString() +
+                      "); downstream keyed state splits the stream");
+      return;
+    }
+  }
+}
+
+// --- per-node dispatch ------------------------------------------------------
+
+void WalkNode(const LogicalOp& op, const LogicalPlan& plan,
+              const LogicalOp* root_join, DiagnosticReport* report) {
+  CheckShape(op, report);
+  CheckWindow(op, plan, report);
+  CheckPredicateIndices(op, report);
+
+  switch (op.kind) {
+    case LogicalOpKind::kWindowJoin:
+      if (op.inputs.size() == 2 && op.inputs[0] && op.inputs[1]) {
+        if (&op == root_join) {
+          if (op.dedup_pairs) {
+            report->Add(DiagnosticCode::kPlanRootJoinDeduplicated, NodeLabel(op),
+                        "root join still deduplicates window pairs; matches "
+                        "that legitimately repeat across windows are dropped");
+          }
+        } else if (!op.dedup_pairs) {
+          report->Add(DiagnosticCode::kPlanIntermediateJoinDuplicates,
+                      NodeLabel(op),
+                      "intermediate sliding-window join emits one pair per "
+                      "covering window; downstream joins multiply the "
+                      "duplicates (set dedup_pairs)");
+        }
+      }
+      break;
+    case LogicalOpKind::kAggregate:
+    case LogicalOpKind::kIterChainApply:
+      if (op.min_count < 1) {
+        report->Add(DiagnosticCode::kPlanAggregateMinCountInvalid, NodeLabel(op),
+                    "min_count " + std::to_string(op.min_count) +
+                        " fires on every window, including empty ones");
+      }
+      break;
+    case LogicalOpKind::kReorder: {
+      const size_t n = op.positions.size();
+      bool valid = op.reorder_permutation.size() == n &&
+                   (!op.inputs.empty() && op.inputs[0] != nullptr &&
+                    op.inputs[0]->positions.size() == n);
+      if (valid) {
+        std::vector<bool> seen(n, false);
+        for (int slot : op.reorder_permutation) {
+          if (slot < 0 || static_cast<size_t>(slot) >= n || seen[slot]) {
+            valid = false;
+            break;
+          }
+          seen[static_cast<size_t>(slot)] = true;
+        }
+      }
+      if (!valid) {
+        report->Add(DiagnosticCode::kPlanReorderInvalid, NodeLabel(op),
+                    "reorder permutation " +
+                        PositionsToString(op.reorder_permutation) +
+                        " is not a bijection over the input arity");
+      }
+      break;
+    }
+    case LogicalOpKind::kUnion: {
+      for (const auto& input : op.inputs) {
+        if (input == nullptr) continue;
+        if (input->positions.size() != op.positions.size()) {
+          report->Add(DiagnosticCode::kPlanUnionArityMismatch, NodeLabel(op),
+                      "union input " + NodeLabel(*input) + " contributes " +
+                          std::to_string(input->positions.size()) +
+                          " event(s) per tuple, the union expects " +
+                          std::to_string(op.positions.size()));
+        }
+      }
+      if (std::all_of(op.inputs.begin(), op.inputs.end(),
+                      [](const auto& i) { return i != nullptr; })) {
+        CheckUnionKeys(op, report);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  if (IsJoin(op.kind) && op.inputs.size() == 2 && op.inputs[0] &&
+      op.inputs[1]) {
+    std::set<int> left(op.inputs[0]->positions.begin(),
+                       op.inputs[0]->positions.end());
+    for (int p : op.inputs[1]->positions) {
+      if (left.count(p) != 0) {
+        report->Add(DiagnosticCode::kPlanJoinPositionsOverlap, NodeLabel(op),
+                    "both join sides cover match position " +
+                        std::to_string(p) +
+                        "; the same event would appear twice per tuple");
+        break;
+      }
+    }
+    CheckJoinKeys(op, report);
+  }
+
+  for (const auto& input : op.inputs) {
+    if (input != nullptr) WalkNode(*input, plan, root_join, report);
+  }
+}
+
+// --- E204: temporal-order preservation --------------------------------------
+
+/// Replays the translator's match-position assignment over the pattern
+/// tree, collecting the order constraints the pattern semantics require:
+/// all cross-child pairs of a SEQ, consecutive iteration events of an
+/// ITER, and T1 before T3 of an NSEQ. `span` receives the positions the
+/// node covers, in assignment order.
+void CollectRequiredPairs(const PatternNode& node, int* cursor,
+                          std::vector<int>* span,
+                          std::set<std::pair<int, int>>* required) {
+  switch (node.op) {
+    case PatternOp::kAtom:
+    case PatternOp::kOr:  // one output event regardless of alternatives
+      span->push_back((*cursor)++);
+      break;
+    case PatternOp::kIter: {
+      const int base = *cursor;
+      for (int i = 0; i < node.iter_count; ++i) span->push_back((*cursor)++);
+      for (int i = 0; i + 1 < node.iter_count; ++i) {
+        required->insert({base + i, base + i + 1});
+      }
+      break;
+    }
+    case PatternOp::kNseq: {
+      const int p1 = (*cursor)++;
+      const int p3 = (*cursor)++;
+      span->push_back(p1);
+      span->push_back(p3);
+      required->insert({p1, p3});
+      break;
+    }
+    case PatternOp::kSeq: {
+      std::vector<std::vector<int>> child_spans;
+      for (const auto& child : node.children) {
+        std::vector<int> child_span;
+        CollectRequiredPairs(*child, cursor, &child_span, required);
+        span->insert(span->end(), child_span.begin(), child_span.end());
+        child_spans.push_back(std::move(child_span));
+      }
+      for (size_t i = 0; i < child_spans.size(); ++i) {
+        for (size_t j = i + 1; j < child_spans.size(); ++j) {
+          for (int a : child_spans[i]) {
+            for (int b : child_spans[j]) required->insert({a, b});
+          }
+        }
+      }
+      break;
+    }
+    case PatternOp::kAnd:
+      for (const auto& child : node.children) {
+        std::vector<int> child_span;
+        CollectRequiredPairs(*child, cursor, &child_span, required);
+        span->insert(span->end(), child_span.begin(), child_span.end());
+      }
+      break;
+  }
+}
+
+/// Order constraints the plan actually enforces: strict/non-strict ts-ts
+/// comparisons with no offset anywhere in a node predicate (offset terms
+/// are window bounds, not order).
+void CollectEnforcedPairs(const LogicalOp& op,
+                          std::set<std::pair<int, int>>* enforced) {
+  const int arity = static_cast<int>(op.positions.size());
+  for (const Comparison& term : op.predicate.terms()) {
+    if (!term.rhs_is_attr || term.lhs.attr != Attribute::kTs ||
+        term.rhs_attr.attr != Attribute::kTs || term.rhs_offset != 0.0) {
+      continue;
+    }
+    const int l = term.lhs.var;
+    const int r = term.rhs_attr.var;
+    if (l < 0 || l >= arity || r < 0 || r >= arity) continue;
+    if (term.op == CmpOp::kLt || term.op == CmpOp::kLe) {
+      enforced->insert({op.positions[static_cast<size_t>(l)],
+                        op.positions[static_cast<size_t>(r)]});
+    } else if (term.op == CmpOp::kGt || term.op == CmpOp::kGe) {
+      enforced->insert({op.positions[static_cast<size_t>(r)],
+                        op.positions[static_cast<size_t>(l)]});
+    }
+  }
+  for (const auto& input : op.inputs) {
+    if (input != nullptr) CollectEnforcedPairs(*input, enforced);
+  }
+}
+
+void CheckOrderPreserved(const LogicalPlan& plan, const Pattern& pattern,
+                         DiagnosticReport* report) {
+  std::set<std::pair<int, int>> required;
+  std::vector<int> span;
+  int cursor = 0;
+  CollectRequiredPairs(pattern.root(), &cursor, &span, &required);
+  if (required.empty()) return;
+
+  std::set<std::pair<int, int>> enforced;
+  CollectEnforcedPairs(*plan.root, &enforced);
+
+  // Transitive closure over the (small) match-position space.
+  const int n = cursor;
+  std::vector<std::vector<bool>> reach(
+      static_cast<size_t>(n), std::vector<bool>(static_cast<size_t>(n), false));
+  for (const auto& [a, b] : enforced) {
+    if (a >= 0 && a < n && b >= 0 && b < n) {
+      reach[static_cast<size_t>(a)][static_cast<size_t>(b)] = true;
+    }
+  }
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      if (!reach[static_cast<size_t>(i)][static_cast<size_t>(k)]) continue;
+      for (int j = 0; j < n; ++j) {
+        if (reach[static_cast<size_t>(k)][static_cast<size_t>(j)]) {
+          reach[static_cast<size_t>(i)][static_cast<size_t>(j)] = true;
+        }
+      }
+    }
+  }
+
+  // Positions the plan output still carries; an O2 aggregation collapses
+  // iteration positions into one representative, whose internal order the
+  // window function enforces instead of the join predicates.
+  const std::set<int> present(plan.root->positions.begin(),
+                              plan.root->positions.end());
+  for (const auto& [a, b] : required) {
+    if (present.count(a) == 0 || present.count(b) == 0) continue;
+    if (!reach[static_cast<size_t>(a)][static_cast<size_t>(b)]) {
+      report->Add(DiagnosticCode::kPlanSeqOrderLost, "plan",
+                  "the pattern requires position " + std::to_string(a) +
+                      " to precede position " + std::to_string(b) +
+                      " in time, but no chain of join predicates enforces it");
+    }
+  }
+}
+
+}  // namespace
+
+DiagnosticReport AnalyzeLogicalPlan(const LogicalPlan& plan,
+                                    const Pattern* pattern) {
+  DiagnosticReport report;
+  if (plan.root == nullptr) {
+    report.Add(DiagnosticCode::kPlanNodeMalformed, "plan",
+               "plan has no root operator");
+    return report;
+  }
+  if (!SlidingWindowSpec{plan.window_size, plan.slide}.valid()) {
+    report.Add(DiagnosticCode::kPlanWindowSpecInvalid, "plan",
+               "plan window (size " + std::to_string(plan.window_size) +
+                   ", slide " + std::to_string(plan.slide) +
+                   ") is not a valid sliding window");
+  }
+  const LogicalOp* root_join = FindRootJoin(plan.root.get());
+  WalkNode(*plan.root, plan, root_join, &report);
+  if (pattern != nullptr && pattern->has_root()) {
+    CheckOrderPreserved(plan, *pattern, &report);
+  }
+  return report;
+}
+
+}  // namespace cep2asp

@@ -1,0 +1,30 @@
+#ifndef CEP2ASP_ANALYSIS_PLAN_RULES_H_
+#define CEP2ASP_ANALYSIS_PLAN_RULES_H_
+
+#include "analysis/diagnostic.h"
+#include "sea/pattern.h"
+#include "translator/logical_plan.h"
+
+namespace cep2asp {
+
+/// \brief Logical-plan lint pass (diagnostic codes 2xx).
+///
+/// Checks the translator's IR before physical compilation: node shape and
+/// input arity (E200), window-parameter consistency across stateful
+/// operators (E201/E202), predicate index ranges against the concatenated
+/// tuple space (E203), preservation of SEQ/ITER/NSEQ temporal order through
+/// the join predicates (E204, needs `pattern`), duplicate handling of
+/// intermediate vs. root window joins (E205/W206), key co-partitioning of
+/// join inputs (E207/W208), iteration thresholds (W209), reorder
+/// permutations (E210), union arity (E211), and join position overlap
+/// (E212).
+///
+/// `pattern` is optional; when null, the order-preservation rule (E204) is
+/// skipped because the required order cannot be reconstructed from the plan
+/// alone.
+DiagnosticReport AnalyzeLogicalPlan(const LogicalPlan& plan,
+                                    const Pattern* pattern = nullptr);
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_ANALYSIS_PLAN_RULES_H_

@@ -24,6 +24,14 @@ class DedupOperator : public Operator {
 
   std::string name() const override { return "dedup"; }
 
+  OperatorTraits Traits() const override {
+    OperatorTraits traits;
+    traits.stateful = true;  // unkeyed: a match's duplicates may arrive on
+                             // any partition after the merging root join
+    traits.drains_on_final_watermark = true;
+    return traits;
+  }
+
   Status Process(int input, Tuple tuple, Collector* out) override {
     (void)input;
     std::string key = MatchKey(tuple);

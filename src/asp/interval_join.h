@@ -59,6 +59,19 @@ class IntervalJoinOperator : public Operator {
   std::string name() const override { return label_; }
   int num_inputs() const override { return 2; }
 
+  OperatorTraits Traits() const override {
+    OperatorTraits traits;
+    traits.stateful = true;
+    traits.keyed = true;
+    traits.windowed = true;
+    // Content-based windows: the time horizon is the bound span, with no
+    // slide (each left event anchors its own window).
+    traits.window_size = bounds_.upper - bounds_.lower;
+    traits.window_slide = 0;
+    traits.drains_on_final_watermark = true;
+    return traits;
+  }
+
   Status Open() override;
   Status Process(int input, Tuple tuple, Collector* out) override;
   Status OnWatermark(Timestamp watermark, Collector* out) override;

@@ -32,6 +32,17 @@ class NseqMarkOperator : public Operator {
 
   std::string name() const override { return label_; }
 
+  OperatorTraits Traits() const override {
+    OperatorTraits traits;
+    traits.stateful = true;
+    traits.keyed = true;
+    traits.windowed = true;
+    traits.window_size = window_size_;
+    traits.window_slide = 0;  // content-based: one lookahead per T1 event
+    traits.drains_on_final_watermark = true;
+    return traits;
+  }
+
   Status Process(int input, Tuple tuple, Collector* out) override;
   Status OnWatermark(Timestamp watermark, Collector* out) override;
   size_t StateBytes() const override { return state_bytes_; }

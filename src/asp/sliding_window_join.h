@@ -55,6 +55,18 @@ class SlidingWindowJoinOperator : public Operator {
   std::string name() const override { return label_; }
   int num_inputs() const override { return 2; }
 
+  OperatorTraits Traits() const override {
+    OperatorTraits traits;
+    traits.stateful = true;
+    traits.keyed = true;
+    traits.windowed = true;
+    traits.window_size = window_.size;
+    traits.window_slide = window_.slide;
+    traits.emits_window_duplicates = !dedup_pairs_;
+    traits.drains_on_final_watermark = true;
+    return traits;
+  }
+
   Status Open() override;
   Status Process(int input, Tuple tuple, Collector* out) override;
   Status OnWatermark(Timestamp watermark, Collector* out) override;

@@ -58,8 +58,11 @@ class MapOperator : public Operator {
  public:
   using Fn = std::function<Tuple(Tuple)>;
 
-  explicit MapOperator(Fn fn, std::string label = "map")
-      : fn_(std::move(fn)), label_(std::move(label)) {}
+  /// `assigns_key` declares (for the plan analyzer) that `fn` rewrites the
+  /// partition key; the key-assigning factories below set it.
+  explicit MapOperator(Fn fn, std::string label = "map",
+                       bool assigns_key = false)
+      : fn_(std::move(fn)), label_(std::move(label)), assigns_key_(assigns_key) {}
 
   /// Map assigning a constant partition key: the paper's workaround for
   /// missing Cartesian-product support (§4.2.1) — a precedent map
@@ -70,7 +73,7 @@ class MapOperator : public Operator {
           t.set_key(key);
           return t;
         },
-        "map(key:=const)");
+        "map(key:=const)", /*assigns_key=*/true);
   }
 
   /// Map assigning the key from an attribute of one constituent event
@@ -82,10 +85,16 @@ class MapOperator : public Operator {
           t.set_key(static_cast<int64_t>(GetAttribute(t.event(event_index), attr)));
           return t;
         },
-        "map(key:=attr)");
+        "map(key:=attr)", /*assigns_key=*/true);
   }
 
   std::string name() const override { return label_; }
+
+  OperatorTraits Traits() const override {
+    OperatorTraits traits;
+    traits.assigns_key = assigns_key_;
+    return traits;
+  }
 
   Status Process(int input, Tuple tuple, Collector* out) override {
     (void)input;
@@ -96,6 +105,7 @@ class MapOperator : public Operator {
  private:
   Fn fn_;
   std::string label_;
+  bool assigns_key_;
 };
 
 /// \brief Set union of n input streams (paper Eq. 11 target). Streams

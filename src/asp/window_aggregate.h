@@ -37,6 +37,17 @@ class WindowAggregateOperator : public Operator {
 
   std::string name() const override { return label_; }
 
+  OperatorTraits Traits() const override {
+    OperatorTraits traits;
+    traits.stateful = true;
+    traits.keyed = true;
+    traits.windowed = true;
+    traits.window_size = window_.size;
+    traits.window_slide = window_.slide;
+    traits.drains_on_final_watermark = true;
+    return traits;
+  }
+
   Status Open() override;
   Status Process(int input, Tuple tuple, Collector* out) override;
   Status OnWatermark(Timestamp watermark, Collector* out) override;

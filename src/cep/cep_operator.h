@@ -54,6 +54,17 @@ class CepOperator : public Operator {
 
   std::string name() const override { return label_; }
 
+  OperatorTraits Traits() const override {
+    OperatorTraits traits;
+    traits.stateful = true;
+    traits.keyed = options_.keyed;
+    // Implicit windowing: WITHIN bounds run lifetime (0 = unwindowed NFA).
+    traits.windowed = spec_.window_size > 0;
+    traits.window_size = spec_.window_size;
+    traits.window_slide = 0;
+    return traits;
+  }
+
   Status Process(int input, Tuple tuple, Collector* out) override;
   Status OnWatermark(Timestamp watermark, Collector* out) override;
   size_t StateBytes() const override;

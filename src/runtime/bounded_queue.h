@@ -10,6 +10,9 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/check_invariants.h"
+#include "common/logging.h"
+
 namespace cep2asp {
 
 /// \brief Blocking bounded multi-producer multi-consumer queue.
@@ -38,6 +41,11 @@ class BoundedQueue {
     not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+#if CEP2ASP_CHECK_INVARIANTS
+    CEP2ASP_CHECK(items_.size() <= capacity_)
+        << "bounded queue holds " << items_.size()
+        << " items over capacity " << capacity_;
+#endif
     not_empty_.notify_one();
     return true;
   }
@@ -65,8 +73,19 @@ class BoundedQueue {
       }
     }
     if (closed_) return false;
+#if CEP2ASP_CHECK_INVARIANTS
+    const size_t pushed = batch->size();
+#endif
     for (T& item : *batch) items_.push_back(std::move(item));
     batch->clear();
+#if CEP2ASP_CHECK_INVARIANTS
+    // An over-capacity batch is admitted whole into an empty queue, so the
+    // bound is the larger of capacity and that batch.
+    CEP2ASP_CHECK(items_.size() <= std::max(capacity_, pushed))
+        << "bounded queue holds " << items_.size()
+        << " items over capacity " << capacity_ << " after a batch of "
+        << pushed;
+#endif
     not_empty_.notify_one();
     return true;
   }

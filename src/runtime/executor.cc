@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/graph_rules.h"
+#include "analysis/invariant_checker.h"
 #include "common/logging.h"
 
 namespace cep2asp {
@@ -33,8 +35,13 @@ PipelineExecutor::PipelineExecutor(JobGraph* graph, ExecutorOptions options)
   clock_ = options_.clock ? options_.clock : SystemClock::Get();
 }
 
+PipelineExecutor::~PipelineExecutor() = default;
+
 void PipelineExecutor::DeliverTuple(NodeId node, int port, Tuple tuple) {
   if (!run_status_.ok()) return;
+#if CEP2ASP_CHECK_INVARIANTS
+  invariants_->OnTuple(node, port, tuple);
+#endif
   Operator* op = graph_->mutable_node(node).op.get();
   RoutingCollector collector(this, node);
   Status st = op->Process(port, std::move(tuple), &collector);
@@ -44,6 +51,9 @@ void PipelineExecutor::DeliverTuple(NodeId node, int port, Tuple tuple) {
 void PipelineExecutor::DeliverWatermark(NodeId node, int port,
                                         Timestamp watermark) {
   if (!run_status_.ok()) return;
+#if CEP2ASP_CHECK_INVARIANTS
+  invariants_->OnWatermark(node, port, watermark);
+#endif
   NodeState& state = states_[static_cast<size_t>(node)];
   Timestamp& slot = state.input_watermarks[static_cast<size_t>(port)];
   if (watermark <= slot) return;
@@ -83,11 +93,16 @@ bool PipelineExecutor::CheckMemory() {
 
 ExecutionResult PipelineExecutor::Run(const CollectSink* sink) {
   ExecutionResult result;
-  run_status_ = graph_->Validate();
+  DiagnosticReport report = AnalyzeJobGraph(*graph_);
+  result.diagnostics = report.diagnostics();
+  run_status_ = report.ToStatus();
   if (!run_status_.ok()) {
     result.error = run_status_.ToString();
     return result;
   }
+#if CEP2ASP_CHECK_INVARIANTS
+  invariants_ = std::make_unique<InvariantChecker>(*graph_);
+#endif
 
   const int n = graph_->num_nodes();
   states_.assign(static_cast<size_t>(n), NodeState{});
@@ -204,6 +219,9 @@ ExecutionResult PipelineExecutor::Run(const CollectSink* sink) {
       }
     }
     CheckMemory();
+#if CEP2ASP_CHECK_INVARIANTS
+    if (run_status_.ok()) invariants_->OnJobFinished();
+#endif
   }
 
   result.elapsed_seconds =

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "common/clock.h"
@@ -12,6 +13,8 @@
 #include "runtime/sink.h"
 
 namespace cep2asp {
+
+class InvariantChecker;
 
 /// \brief Tuning knobs of the single-process executor.
 struct ExecutorOptions {
@@ -51,9 +54,16 @@ struct ExecutorOptions {
 class PipelineExecutor {
  public:
   PipelineExecutor(JobGraph* graph, ExecutorOptions options = {});
+  ~PipelineExecutor();
 
   /// Runs the job to completion. On simulated OOM the result carries
   /// ok=false and the partial metrics.
+  ///
+  /// Before starting, the analyzer's job-graph lint pass runs over the
+  /// graph; its findings land in ExecutionResult::diagnostics, and a graph
+  /// with E-level findings is refused without executing. In debug builds
+  /// (CEP2ASP_CHECK_INVARIANTS) an InvariantChecker additionally observes
+  /// every tuple and watermark delivery and aborts on contract violations.
   ExecutionResult Run(const CollectSink* sink = nullptr);
 
  private:
@@ -72,6 +82,7 @@ class PipelineExecutor {
   JobGraph* graph_;
   ExecutorOptions options_;
   Clock* clock_;
+  std::unique_ptr<InvariantChecker> invariants_;  // debug builds only
   std::vector<NodeState> states_;
   Status run_status_;
   int64_t tuples_ingested_ = 0;

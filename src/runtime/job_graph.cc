@@ -2,6 +2,7 @@
 
 #include <queue>
 
+#include "analysis/graph_rules.h"
 #include "common/logging.h"
 
 namespace cep2asp {
@@ -44,37 +45,9 @@ Status JobGraph::Connect(NodeId from, NodeId to, int input_port) {
 }
 
 Status JobGraph::Validate() const {
-  // Every operator input port must be fed by exactly one edge.
-  std::vector<std::vector<int>> port_counts(nodes_.size());
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    const Node& node = nodes_[i];
-    if (!node.is_source()) {
-      port_counts[i].assign(static_cast<size_t>(node.op->num_inputs()), 0);
-    }
-  }
-  for (const Node& node : nodes_) {
-    for (const Edge& edge : node.outputs) {
-      port_counts[static_cast<size_t>(edge.to)]
-                 [static_cast<size_t>(edge.input_port)]++;
-    }
-  }
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    const Node& node = nodes_[i];
-    if (node.is_source()) continue;
-    for (size_t port = 0; port < port_counts[i].size(); ++port) {
-      if (port_counts[i][port] != 1) {
-        return Status::FailedPrecondition(
-            "operator " + node.op->name() + " input port " +
-            std::to_string(port) + " has " +
-            std::to_string(port_counts[i][port]) + " incoming edges");
-      }
-    }
-  }
-  // Cycle check via Kahn's algorithm.
-  if (TopologicalOrder().size() != nodes_.size()) {
-    return Status::FailedPrecondition("job graph contains a cycle");
-  }
-  return Status::OK();
+  // Thin wrapper over the analyzer's job-graph rules: the lint pass holds
+  // the single definition of graph well-formedness.
+  return AnalyzeJobGraph(*this).ToStatus();
 }
 
 std::vector<NodeId> JobGraph::TopologicalOrder() const {

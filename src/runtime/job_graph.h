@@ -40,8 +40,12 @@ class JobGraph {
   /// `input_port` of operator `to`.
   Status Connect(NodeId from, NodeId to, int input_port = 0);
 
-  /// Validates the topology: every operator input port has exactly one
-  /// incoming edge, sources have no inputs, graph is acyclic.
+  /// Validates the topology by running the analyzer's job-graph lint pass
+  /// (analysis/graph_rules.h) and returning its first E-level finding:
+  /// every operator input port fed by exactly one edge, acyclicity, source
+  /// coverage, fan-in accounting, and window-spec consistency. Warnings
+  /// (W3xx) do not fail validation; callers wanting the full report use
+  /// AnalyzeJobGraph directly.
   Status Validate() const;
 
   // --- Introspection used by executors -----------------------------------
@@ -69,7 +73,11 @@ class JobGraph {
   /// exactly one producer allows the lock-free SPSC fast path.
   int fan_in(NodeId id) const { return node(id).num_input_edges; }
 
-  /// Node ids in a topological order (sources first). Requires Validate().
+  /// Node ids in a topological order (sources first). Precondition: the
+  /// graph must be acyclic — on a cyclic graph the returned order is
+  /// incomplete (fewer than num_nodes() entries, which is exactly how the
+  /// analyzer's cycle rule detects the situation). Run Validate() or
+  /// AnalyzeJobGraph first when the topology is untrusted.
   std::vector<NodeId> TopologicalOrder() const;
 
   /// Sum of StateBytes over all operators (job state footprint).

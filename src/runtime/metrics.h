@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.h"
 #include "common/clock.h"
 
 namespace cep2asp {
@@ -77,6 +78,12 @@ struct ExecutionResult {
   /// Per-input-channel exchange counters (threaded executor only; empty
   /// for the single-threaded pipeline executor).
   std::vector<ChannelStats> channel_stats;
+
+  /// Findings of the pre-run job-graph lint pass (analysis/graph_rules.h).
+  /// Executors refuse to run graphs with E-level findings: `ok` is then
+  /// false and `error` carries the first error. Warnings are reported here
+  /// but do not prevent execution.
+  std::vector<Diagnostic> diagnostics;
 
   /// Processed tuples per second over the whole run; the maximum
   /// sustainable throughput of the pipeline when the run is CPU-bound

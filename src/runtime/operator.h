@@ -33,6 +33,38 @@ class NullCollector : public Collector {
   void Emit(Tuple) override {}
 };
 
+/// \brief Static self-description of an operator, consumed by the plan
+/// analyzer's job-graph rules and by the debug-build invariant checker.
+///
+/// Traits let analyses reason about arbitrary operators — including ones
+/// defined above the runtime layer — without RTTI: each operator declares
+/// what the analyzer would otherwise have to know about its concrete type.
+struct OperatorTraits {
+  /// Buffers tuples between calls (windows, partial matches, seen-sets).
+  bool stateful = false;
+  /// State is partitioned by the tuple key; correctness then requires a
+  /// key-assigning operator upstream on every input path.
+  bool keyed = false;
+  /// Rewrites the partition key of passing tuples (key-by map).
+  bool assigns_key = false;
+  /// Buffers tuples by event-time window and emits on watermark passage.
+  bool windowed = false;
+  /// Window span (ms). For sliding windows the (size, slide) pair; other
+  /// windowed operators (interval joins, NSEQ marking) report their time
+  /// horizon as `window_size` with `window_slide == 0`.
+  Timestamp window_size = 0;
+  Timestamp window_slide = 0;
+  /// Emits each logical match once per overlapping window (the sliding
+  /// semantics of paper §3.1.4) rather than exactly once.
+  bool emits_window_duplicates = false;
+  /// Guarantees StateBytes() == 0 after OnWatermark(kMaxTimestamp): all
+  /// window state is flushed and evicted by the final watermark. The
+  /// invariant checker asserts this in debug builds.
+  bool drains_on_final_watermark = false;
+  /// Terminal by design: consumes tuples without emitting (result sinks).
+  bool is_sink = false;
+};
+
 /// \brief A (possibly stateful) dataflow operator, the unit of the ASP
 /// processing model (paper §2.3).
 ///
@@ -45,6 +77,10 @@ class Operator {
   virtual ~Operator() = default;
 
   virtual std::string name() const = 0;
+
+  /// Static self-description for analyses; defaults describe a stateless
+  /// unary pass-through. Override in stateful / keyed / windowed operators.
+  virtual OperatorTraits Traits() const { return OperatorTraits{}; }
 
   /// Number of distinct input ports (1 for unary, 2 for joins; union may
   /// declare more).

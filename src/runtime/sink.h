@@ -26,6 +26,13 @@ class CollectSink : public Operator {
 
   std::string name() const override { return "sink"; }
 
+  OperatorTraits Traits() const override {
+    OperatorTraits traits;
+    traits.stateful = true;  // retained tuples/latencies are job state
+    traits.is_sink = true;
+    return traits;
+  }
+
   Status Process(int input, Tuple tuple, Collector* out) override {
     (void)input;
     (void)out;

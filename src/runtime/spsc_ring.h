@@ -8,6 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/check_invariants.h"
+#include "common/logging.h"
+
 namespace cep2asp {
 
 namespace spsc_internal {
@@ -109,6 +112,13 @@ class SpscRing {
       tail += chunk;
       tail_.store(tail, std::memory_order_release);
       pushed += chunk;
+#if CEP2ASP_CHECK_INVARIANTS
+      CEP2ASP_CHECK(static_cast<size_t>(
+                        tail - head_.load(std::memory_order_acquire)) <=
+                    capacity())
+          << "spsc ring index accounting broken: more items in flight than "
+          << "capacity " << capacity();
+#endif
     }
     items->clear();
     return true;
@@ -147,6 +157,11 @@ class SpscRing {
         avail = static_cast<size_t>(cached_tail_ - head);
       }
     }
+#if CEP2ASP_CHECK_INVARIANTS
+    CEP2ASP_CHECK(avail <= capacity())
+        << "spsc ring index accounting broken: " << avail
+        << " items visible over capacity " << capacity();
+#endif
     const size_t k = std::min(avail, max_items);
     for (size_t i = 0; i < k; ++i) {
       out->push_back(std::move(slots_[static_cast<size_t>(head + i) & mask_]));

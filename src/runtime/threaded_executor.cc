@@ -4,6 +4,8 @@
 #include <mutex>
 #include <thread>
 
+#include "analysis/graph_rules.h"
+#include "analysis/invariant_checker.h"
 #include "common/logging.h"
 
 namespace cep2asp {
@@ -92,11 +94,16 @@ ThreadedExecutor::ThreadedExecutor(JobGraph* graph,
 
 ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
   ExecutionResult result;
-  Status validate = graph_->Validate();
+  DiagnosticReport report = AnalyzeJobGraph(*graph_);
+  result.diagnostics = report.diagnostics();
+  Status validate = report.ToStatus();
   if (!validate.ok()) {
     result.error = validate.ToString();
     return result;
   }
+#if CEP2ASP_CHECK_INVARIANTS
+  InvariantChecker invariants(*graph_);
+#endif
   Clock* clock = options_.clock ? options_.clock : SystemClock::Get();
   const size_t batch_size = std::max<size_t>(1, options_.batch_size);
 
@@ -205,6 +212,9 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
             if (ended_ports >= num_ports) break;
             switch (msg.kind) {
               case MessageKind::kTuple: {
+#if CEP2ASP_CHECK_INVARIANTS
+                invariants.OnTuple(id, msg.port, msg.tuple);
+#endif
                 Status st = op->Process(msg.port, std::move(msg.tuple), &collector);
                 if (!st.ok()) {
                   record_error(st.WithContext(op->name()));
@@ -213,6 +223,9 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
                 break;
               }
               case MessageKind::kWatermark: {
+#if CEP2ASP_CHECK_INVARIANTS
+                invariants.OnWatermark(id, msg.port, msg.watermark);
+#endif
                 Timestamp& slot = port_watermarks[static_cast<size_t>(msg.port)];
                 slot = std::max(slot, msg.watermark);
                 Timestamp new_aligned = *std::min_element(
@@ -249,6 +262,13 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
   }
 
   for (std::thread& t : threads) t.join();
+
+#if CEP2ASP_CHECK_INVARIANTS
+  {
+    std::lock_guard<std::mutex> lock(status_mutex);
+    if (run_status.ok()) invariants.OnJobFinished();
+  }
+#endif
 
   result.elapsed_seconds =
       static_cast<double>(clock->NowNanos() - start_nanos) / 1e9;

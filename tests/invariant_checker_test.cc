@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/invariant_checker.h"
+#include "asp/sliding_window_join.h"
+#include "asp/stateless.h"
+#include "runtime/job_graph.h"
+#include "runtime/sink.h"
+#include "runtime/vector_source.h"
+#include "test_util.h"
+
+namespace cep2asp {
+namespace {
+
+constexpr Timestamp kWin = 10000;
+constexpr Timestamp kSlide = 1000;
+
+Tuple Tup(Timestamp ts) { return Tuple(test::Ev(0, /*id=*/1, ts, 0.0)); }
+
+InvariantChecker::Options NonFatal() {
+  InvariantChecker::Options options;
+  options.fatal = false;
+  return options;
+}
+
+/// Operator that advertises drains_on_final_watermark and reports whatever
+/// state size the test sets; lets the drainage check be exercised without a
+/// real windowed pipeline.
+class FakeDrainOp : public Operator {
+ public:
+  explicit FakeDrainOp(size_t state_bytes) : state_bytes_(state_bytes) {}
+
+  std::string name() const override { return "fake-drain"; }
+  OperatorTraits Traits() const override {
+    OperatorTraits traits;
+    traits.stateful = true;
+    traits.drains_on_final_watermark = true;
+    return traits;
+  }
+  Status Process(int, Tuple tuple, Collector* out) override {
+    out->Emit(std::move(tuple));
+    return Status::OK();
+  }
+  size_t StateBytes() const override { return state_bytes_; }
+
+ private:
+  size_t state_bytes_;
+};
+
+struct PipelineGraph {
+  JobGraph graph;
+  NodeId source = -1;
+  NodeId op = -1;
+  NodeId sink = -1;
+};
+
+PipelineGraph MakePipeline(std::unique_ptr<Operator> op) {
+  PipelineGraph g;
+  g.source = g.graph.AddSource(std::make_unique<VectorSource>(
+      "src", std::vector<SimpleEvent>{}));
+  g.op = g.graph.AddOperatorAfter(g.source, std::move(op));
+  g.sink = g.graph.AddOperatorAfter(g.op, std::make_unique<CollectSink>());
+  return g;
+}
+
+TEST(InvariantCheckerTest, InOrderTrafficIsClean) {
+  PipelineGraph g = MakePipeline(std::make_unique<UnionOperator>(1));
+  InvariantChecker checker(g.graph, NonFatal());
+  checker.OnTuple(g.op, 0, Tup(10));
+  checker.OnWatermark(g.op, 0, 100);
+  checker.OnTuple(g.op, 0, Tup(150));
+  checker.OnWatermark(g.op, 0, 200);
+  checker.OnWatermark(g.op, 0, 200);  // equal watermark is not a regression
+  checker.OnJobFinished();
+  EXPECT_TRUE(checker.ok()) << checker.violations().front();
+}
+
+TEST(InvariantCheckerTest, DetectsWatermarkRegression) {
+  PipelineGraph g = MakePipeline(std::make_unique<UnionOperator>(1));
+  InvariantChecker checker(g.graph, NonFatal());
+  checker.OnWatermark(g.op, 0, 100);
+  checker.OnWatermark(g.op, 0, 50);
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.violations().front().find("watermark regression"),
+            std::string::npos)
+      << checker.violations().front();
+}
+
+TEST(InvariantCheckerTest, DetectsStaleTuple) {
+  PipelineGraph g = MakePipeline(std::make_unique<UnionOperator>(1));
+  InvariantChecker checker(g.graph, NonFatal());
+  checker.OnWatermark(g.op, 0, 1000);
+  checker.OnTuple(g.op, 0, Tup(10));
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.violations().front().find("stale tuple"),
+            std::string::npos)
+      << checker.violations().front();
+}
+
+TEST(InvariantCheckerTest, NoWatermarkMeansNoStaleness) {
+  // Before the first watermark there is no reference point.
+  PipelineGraph g = MakePipeline(std::make_unique<UnionOperator>(1));
+  InvariantChecker checker(g.graph, NonFatal());
+  checker.OnTuple(g.op, 0, Tup(10));
+  EXPECT_TRUE(checker.ok());
+}
+
+TEST(InvariantCheckerTest, FinalWatermarkAllowsDrainedTuples) {
+  // After the kMaxTimestamp watermark, operators flush buffered windows
+  // whose event times lie arbitrarily far behind.
+  PipelineGraph g = MakePipeline(std::make_unique<UnionOperator>(1));
+  InvariantChecker checker(g.graph, NonFatal());
+  checker.OnWatermark(g.op, 0, kMaxTimestamp);
+  checker.OnTuple(g.op, 0, Tup(10));
+  EXPECT_TRUE(checker.ok());
+}
+
+TEST(InvariantCheckerTest, SlackAccumulatesBelowWindowedOperators) {
+  // src -> key -> join(window kWin) -> sink: the join may emit results up
+  // to one window span behind its input watermark, so the sink tolerates
+  // exactly that lag and no more.
+  JobGraph graph;
+  NodeId s1 = graph.AddSource(
+      std::make_unique<VectorSource>("s1", std::vector<SimpleEvent>{}));
+  NodeId s2 = graph.AddSource(
+      std::make_unique<VectorSource>("s2", std::vector<SimpleEvent>{}));
+  NodeId k1 = graph.AddOperatorAfter(s1, MapOperator::AssignConstantKey(0));
+  NodeId k2 = graph.AddOperatorAfter(s2, MapOperator::AssignConstantKey(0));
+  NodeId join = graph.AddOperator(std::make_unique<SlidingWindowJoinOperator>(
+      SlidingWindowSpec{kWin, kSlide}, Predicate(), TimestampMode::kMax));
+  ASSERT_TRUE(graph.Connect(k1, join, 0).ok());
+  ASSERT_TRUE(graph.Connect(k2, join, 1).ok());
+  NodeId sink = graph.AddOperatorAfter(join, std::make_unique<CollectSink>());
+
+  InvariantChecker checker(graph, NonFatal());
+  EXPECT_EQ(checker.LatenessSlack(join), 0);
+  EXPECT_EQ(checker.LatenessSlack(sink), kWin);
+
+  // A join result lagging the watermark by less than the window is fine...
+  checker.OnWatermark(sink, 0, 2 * kWin);
+  checker.OnTuple(sink, 0, Tup(2 * kWin - kWin));
+  EXPECT_TRUE(checker.ok()) << checker.violations().front();
+  // ...but beyond the slack it is stale even at the sink.
+  checker.OnTuple(sink, 0, Tup(2 * kWin - kWin - 1));
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(InvariantCheckerTest, DetectsUndrainedState) {
+  PipelineGraph g = MakePipeline(std::make_unique<FakeDrainOp>(128));
+  InvariantChecker checker(g.graph, NonFatal());
+  checker.OnJobFinished();
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.violations().front().find("undrained state"),
+            std::string::npos)
+      << checker.violations().front();
+}
+
+TEST(InvariantCheckerTest, DrainedStateIsClean) {
+  PipelineGraph g = MakePipeline(std::make_unique<FakeDrainOp>(0));
+  InvariantChecker checker(g.graph, NonFatal());
+  checker.OnJobFinished();
+  EXPECT_TRUE(checker.ok());
+}
+
+TEST(InvariantCheckerTest, ViolationsAccumulate) {
+  PipelineGraph g = MakePipeline(std::make_unique<UnionOperator>(1));
+  InvariantChecker checker(g.graph, NonFatal());
+  checker.OnWatermark(g.op, 0, 100);
+  checker.OnWatermark(g.op, 0, 50);
+  checker.OnTuple(g.op, 0, Tup(1));
+  EXPECT_EQ(checker.violations().size(), 2u);
+}
+
+}  // namespace
+}  // namespace cep2asp

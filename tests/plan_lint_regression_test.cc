@@ -1,0 +1,155 @@
+// Regression: every paper evaluation pattern, under every optimization set
+// the translator accepts, lints clean at all three analysis layers — and so
+// does the FCEP baseline job. New rules that fire on shipped plans (or plan
+// changes that trip existing rules) fail here before they reach the
+// benchmarks.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "common/clock.h"
+#include "harness/paper_patterns.h"
+#include "runtime/vector_source.h"
+#include "sea/parser.h"
+#include "workload/presets.h"
+
+namespace cep2asp {
+namespace {
+
+std::vector<std::pair<std::string, TranslatorOptions>> OptionSets() {
+  std::vector<std::pair<std::string, TranslatorOptions>> sets;
+  sets.emplace_back("baseline", TranslatorOptions{});
+  TranslatorOptions o1;
+  o1.use_interval_join = true;
+  sets.emplace_back("O1", o1);
+  TranslatorOptions o2;
+  o2.use_aggregation_for_iter = true;
+  sets.emplace_back("O2", o2);
+  TranslatorOptions o3;
+  o3.use_equi_join_keys = true;
+  sets.emplace_back("O3", o3);
+  TranslatorOptions all;
+  all.use_interval_join = true;
+  all.use_aggregation_for_iter = true;
+  all.use_equi_join_keys = true;
+  sets.emplace_back("O1+O2+O3", all);
+  TranslatorOptions dedup;
+  dedup.deduplicate_output = true;
+  sets.emplace_back("dedup", dedup);
+  return sets;
+}
+
+std::vector<std::pair<std::string, Result<Pattern>>> PaperQueries() {
+  const Timestamp window = 15 * kMillisPerMinute;
+  const Timestamp slide = kMillisPerMinute;
+  PaperPatterns patterns;
+  std::vector<std::pair<std::string, Result<Pattern>>> queries;
+  queries.emplace_back("SEQ1", patterns.Seq1(0.5, window, slide));
+  queries.emplace_back("ITER3_1", patterns.IterThreshold(3, 0.5, window, slide));
+  queries.emplace_back("ITER3_2",
+                       patterns.IterConsecutive(3, 0.5, window, slide));
+  queries.emplace_back("NSEQ1", patterns.Nseq1(0.5, 0.5, window, slide));
+  queries.emplace_back("SEQ4", patterns.SeqN(4, 0.5, window, slide));
+  queries.emplace_back("SEQ7", patterns.Seq7(0.5, window, slide));
+  queries.emplace_back("ITER4", patterns.Iter4(3, 0.5, window, slide));
+  return queries;
+}
+
+TEST(PlanLintRegressionTest, AllPaperPlansLintClean) {
+  int combinations_checked = 0;
+  for (auto& [name, query] : PaperQueries()) {
+    ASSERT_TRUE(query.ok()) << name << ": " << query.status().ToString();
+    const Pattern& pattern = query.ValueOrDie();
+    for (const auto& [set_name, options] : OptionSets()) {
+      auto analysis = AnalyzeQuery(pattern, options);
+      if (!analysis.ok()) {
+        // The translator refuses some (pattern, option) combinations, e.g.
+        // O2 aggregation under per-pair cross predicates. A refusal is not
+        // a lint regression.
+        continue;
+      }
+      const DiagnosticReport merged = analysis.ValueOrDie().Merged();
+      EXPECT_TRUE(merged.empty())
+          << name << " x " << set_name << ":\n" << merged.ToString();
+      ++combinations_checked;
+    }
+  }
+  // Guard against the translator silently refusing everything: most of the
+  // 7 x 6 grid must actually have been analyzed.
+  EXPECT_GE(combinations_checked, 30);
+}
+
+// The patterns shipped under examples/ (quickstart, air_quality,
+// traffic_monitoring) must stay lint-clean too.
+TEST(PlanLintRegressionTest, ExamplePatternsLintClean) {
+  const SensorTypes types = SensorTypes::Get();
+
+  std::vector<std::pair<std::string, Result<Pattern>>> queries;
+  queries.emplace_back("quickstart",
+                       sea::ParsePattern("PATTERN SEQ(Q q1, V v1) "
+                                         "WHERE q1.value >= 80 AND "
+                                         "v1.value <= 10 WITHIN 4 MINUTES"));
+  queries.emplace_back(
+      "air_quality",
+      sea::ParsePattern("PATTERN SEQ(PM10 p1, !Hum h1, PM25 p2) "
+                        "WHERE p1.value >= 85 AND h1.value >= 95 AND "
+                        "p2.value >= 85 WITHIN 30 MINUTES"));
+
+  {
+    Predicate q_high;
+    q_high.Add(Comparison::AttrConst({0, Attribute::kValue}, CmpOp::kGe, 75.0));
+    PatternBuilder builder;
+    builder.Seq(PatternBuilder::Atom(types.q, "q1", q_high),
+                PatternBuilder::Iter(
+                    types.v, "v", 3, Predicate(),
+                    ConsecutiveConstraint{Attribute::kValue, CmpOp::kGt}));
+    builder.Where(Comparison::AttrAttr({0, Attribute::kId}, CmpOp::kEq,
+                                       {1, Attribute::kId}));
+    builder.Where(Comparison::AttrAttr({1, Attribute::kId}, CmpOp::kEq,
+                                       {2, Attribute::kId}));
+    builder.Where(Comparison::AttrAttr({2, Attribute::kId}, CmpOp::kEq,
+                                       {3, Attribute::kId}));
+    queries.emplace_back("traffic_monitoring",
+                         builder.Within(20 * kMillisPerMinute).Build());
+  }
+
+  int combinations_checked = 0;
+  for (auto& [name, query] : queries) {
+    ASSERT_TRUE(query.ok()) << name << ": " << query.status().ToString();
+    for (const auto& [set_name, options] : OptionSets()) {
+      auto analysis = AnalyzeQuery(query.ValueOrDie(), options);
+      if (!analysis.ok()) continue;
+      const DiagnosticReport merged = analysis.ValueOrDie().Merged();
+      EXPECT_TRUE(merged.empty())
+          << name << " x " << set_name << ":\n" << merged.ToString();
+      ++combinations_checked;
+    }
+  }
+  EXPECT_GE(combinations_checked, 6);
+}
+
+TEST(PlanLintRegressionTest, FcepBaselineJobsLintClean) {
+  auto stub_sources = [](EventTypeId type) {
+    return std::make_unique<VectorSource>("stub-" + std::to_string(type),
+                                          std::vector<SimpleEvent>{});
+  };
+  int jobs_checked = 0;
+  for (auto& [name, query] : PaperQueries()) {
+    ASSERT_TRUE(query.ok()) << name << ": " << query.status().ToString();
+    CepJobOptions options;
+    options.store_matches = false;
+    auto job = BuildCepJob(query.ValueOrDie(), stub_sources, options);
+    if (!job.ok()) continue;  // FCEP cannot express every pattern (Table 2)
+    const DiagnosticReport report = AnalyzeJobGraph(job.ValueOrDie().graph);
+    EXPECT_TRUE(report.empty()) << name << ":\n" << report.ToString();
+    ++jobs_checked;
+  }
+  EXPECT_GE(jobs_checked, 5);
+}
+
+}  // namespace
+}  // namespace cep2asp
