@@ -98,6 +98,15 @@ constexpr CodeInfo kRegistry[] = {
      "sliding-window operators of one job disagree on (size, slide)"},
     {DiagnosticCode::kGraphWindowSpecInvalid, DiagnosticSeverity::kError,
      "windowed operator carries an invalid window spec"},
+    {DiagnosticCode::kGraphKeyedParallelNotHashed, DiagnosticSeverity::kError,
+     "keyed stateful operator runs parallel but an input edge is not "
+     "hash-partitioned; keys would spread over subtasks arbitrarily"},
+    {DiagnosticCode::kGraphParallelismExceedsKeys, DiagnosticSeverity::kWarning,
+     "parallelism exceeds the declared key domain; excess subtasks can never "
+     "receive tuples"},
+    {DiagnosticCode::kGraphParallelUnsupported, DiagnosticSeverity::kError,
+     "parallelism > 1 on a node that cannot run data-parallel (no subtask "
+     "clone support, or stateful without keyed partitioning)"},
 };
 
 const CodeInfo* FindInfo(DiagnosticCode code) {

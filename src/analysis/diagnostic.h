@@ -61,6 +61,9 @@ enum class DiagnosticCode : int {
   kGraphFanInAccountingBroken = 309,// E: num_input_edges != actual edges
   kGraphWindowSpanMismatch = 310,   // E: sliding operators disagree on spec
   kGraphWindowSpecInvalid = 311,    // E: windowed operator spec invalid
+  kGraphKeyedParallelNotHashed = 312,  // E: parallel keyed op, non-hash edge
+  kGraphParallelismExceedsKeys = 313,  // W: parallelism > distinct keys
+  kGraphParallelUnsupported = 314,  // E: parallelism > 1 where unsupported
 };
 
 /// Severity a code always carries (the letter in its rendered name).

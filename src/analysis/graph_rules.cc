@@ -214,6 +214,64 @@ void CheckWindows(const JobGraph& graph, DiagnosticReport* report) {
   }
 }
 
+/// Keyed data parallelism: a node expanded into parallelism > 1 subtasks
+/// must actually be splittable. The operator has to provide subtask clones
+/// and, when stateful, partition its state by key (E314). A keyed stateful
+/// parallel operator additionally needs every input edge hash-partitioned
+/// — under forward/rebalance routing the events of one key would spread
+/// over subtasks arbitrarily and cross-stream matches silently vanish
+/// (E312). Parallelism beyond the declared key domain leaves subtasks
+/// permanently idle, since hash routing can address at most one subtask
+/// per key (W313).
+void CheckParallelism(const JobGraph& graph, DiagnosticReport* report) {
+  const int n = graph.num_nodes();
+  for (NodeId id = 0; id < n; ++id) {
+    const JobGraph::Node& node = graph.node(id);
+    if (node.is_source() || node.parallelism <= 1) continue;
+    OperatorTraits traits = node.op->Traits();
+    if (node.op->CloneForSubtask() == nullptr) {
+      report->Add(DiagnosticCode::kGraphParallelUnsupported,
+                  NodeLabel(graph, id),
+                  "parallelism " + std::to_string(node.parallelism) +
+                      " but the operator provides no subtask clone "
+                      "(CloneForSubtask)");
+    } else if (traits.stateful && !traits.keyed) {
+      report->Add(DiagnosticCode::kGraphParallelUnsupported,
+                  NodeLabel(graph, id),
+                  "parallelism " + std::to_string(node.parallelism) +
+                      " on stateful unkeyed state: the subtasks cannot "
+                      "partition it consistently");
+    }
+    if (traits.stateful && traits.keyed) {
+      for (NodeId from = 0; from < n; ++from) {
+        for (const JobGraph::Edge& edge : graph.node(from).outputs) {
+          if (edge.to != id) continue;
+          if (edge.partition != PartitionMode::kHash) {
+            report->Add(
+                DiagnosticCode::kGraphKeyedParallelNotHashed,
+                NodeLabel(graph, id),
+                "input port " + std::to_string(edge.input_port) + " from " +
+                    NodeLabel(graph, from) + " uses " +
+                    PartitionModeToString(edge.partition) +
+                    " routing; keyed state with parallelism " +
+                    std::to_string(node.parallelism) +
+                    " requires hash partitioning");
+          }
+        }
+      }
+    }
+    if (node.key_domain_hint > 0 &&
+        static_cast<int64_t>(node.parallelism) > node.key_domain_hint) {
+      report->Add(DiagnosticCode::kGraphParallelismExceedsKeys,
+                  NodeLabel(graph, id),
+                  "parallelism " + std::to_string(node.parallelism) +
+                      " exceeds the declared key domain of " +
+                      std::to_string(node.key_domain_hint) +
+                      " keys; excess subtasks stay idle");
+    }
+  }
+}
+
 }  // namespace
 
 DiagnosticReport AnalyzeJobGraph(const JobGraph& graph) {
@@ -223,6 +281,7 @@ DiagnosticReport AnalyzeJobGraph(const JobGraph& graph) {
   CheckSourceCoverage(graph, &report);
   CheckKeying(graph, &report);
   CheckWindows(graph, &report);
+  CheckParallelism(graph, &report);
   return report;
 }
 

@@ -8,11 +8,20 @@ namespace cep2asp {
 
 namespace {
 
-std::string ChannelLabel(const JobGraph& graph, NodeId node, int port) {
+std::string NodeName(const JobGraph& graph, NodeId node) {
   const JobGraph::Node& n = graph.node(node);
   std::string name = n.is_source() ? n.source->name() : n.op->name();
-  return "node " + std::to_string(node) + " (" + name + ") port " +
-         std::to_string(port);
+  return "node " + std::to_string(node) + " (" + name + ")";
+}
+
+std::string ChannelLabel(const JobGraph& graph, NodeId node, int port) {
+  return NodeName(graph, node) + " port " + std::to_string(port);
+}
+
+std::string PhysicalLabel(const JobGraph& graph, NodeId node, int subtask,
+                          int slot) {
+  return NodeName(graph, node) + " subtask " + std::to_string(subtask) +
+         " slot " + std::to_string(slot);
 }
 
 }  // namespace
@@ -21,12 +30,19 @@ InvariantChecker::InvariantChecker(const JobGraph& graph, Options options)
     : graph_(graph), options_(options) {
   const int n = graph.num_nodes();
   last_watermark_.resize(static_cast<size_t>(n));
+  phys_last_watermark_.resize(static_cast<size_t>(n));
+  phys_slots_.assign(static_cast<size_t>(n), 0);
   slack_.assign(static_cast<size_t>(n), 0);
   for (NodeId id = 0; id < n; ++id) {
     const JobGraph::Node& node = graph.node(id);
     if (!node.is_source()) {
       last_watermark_[static_cast<size_t>(id)].assign(
           static_cast<size_t>(node.op->num_inputs()), kMinTimestamp);
+      const int slots = graph.physical_fan_in(id);
+      phys_slots_[static_cast<size_t>(id)] = slots;
+      phys_last_watermark_[static_cast<size_t>(id)].assign(
+          static_cast<size_t>(node.parallelism) * static_cast<size_t>(slots),
+          kMinTimestamp);
     }
   }
   // Lateness slack: a windowed operator may emit tuples whose event time
@@ -75,6 +91,53 @@ void InvariantChecker::OnWatermark(NodeId node, int port, Timestamp watermark) {
            std::to_string(last));
   }
   last = std::max(last, watermark);
+}
+
+void InvariantChecker::OnPhysicalTuple(NodeId node, int subtask, int slot,
+                                       const Tuple& tuple) {
+  const size_t idx =
+      static_cast<size_t>(subtask) *
+          static_cast<size_t>(phys_slots_[static_cast<size_t>(node)]) +
+      static_cast<size_t>(slot);
+  Timestamp last = phys_last_watermark_[static_cast<size_t>(node)][idx];
+  if (last == kMinTimestamp || last == kMaxTimestamp) {
+    // Same exemption as OnTuple: nothing delivered yet, or the final flush
+    // legitimately drains arbitrarily old window contents.
+    return;
+  }
+  Timestamp slack = slack_[static_cast<size_t>(node)];
+  if (tuple.event_time() < last - slack) {
+    Report("stale tuple at " + PhysicalLabel(graph_, node, subtask, slot) +
+           ": event time " + std::to_string(tuple.event_time()) +
+           " older than watermark " + std::to_string(last) +
+           " minus lateness slack " + std::to_string(slack));
+  }
+}
+
+void InvariantChecker::OnPhysicalWatermark(NodeId node, int subtask, int slot,
+                                           Timestamp watermark) {
+  const size_t idx =
+      static_cast<size_t>(subtask) *
+          static_cast<size_t>(phys_slots_[static_cast<size_t>(node)]) +
+      static_cast<size_t>(slot);
+  Timestamp& last = phys_last_watermark_[static_cast<size_t>(node)][idx];
+  if (last != kMinTimestamp && watermark < last) {
+    Report("watermark regression at " +
+           PhysicalLabel(graph_, node, subtask, slot) + ": " +
+           std::to_string(watermark) + " after " + std::to_string(last));
+  }
+  last = std::max(last, watermark);
+}
+
+void InvariantChecker::OnSubtaskFinished(NodeId node,
+                                         const Operator& subtask_op) {
+  if (subtask_op.Traits().drains_on_final_watermark &&
+      subtask_op.StateBytes() != 0) {
+    Report("undrained state at subtask clone of node " + std::to_string(node) +
+           " (" + subtask_op.name() + "): " +
+           std::to_string(subtask_op.StateBytes()) +
+           " bytes remain after the final watermark");
+  }
 }
 
 void InvariantChecker::OnJobFinished() {

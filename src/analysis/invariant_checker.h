@@ -61,6 +61,29 @@ class InvariantChecker {
   /// Observes the watermark for (`node`, `port`) advancing to `watermark`.
   void OnWatermark(NodeId node, int port, Timestamp watermark);
 
+  // --- Physical (subtask-level) observation -------------------------------
+  // The threaded executor expands a node into parallelism(node) subtask
+  // instances, each fed by physical_fan_in(node) slots (one per producer
+  // subtask). Watermark monotonicity and tuple staleness then hold per
+  // (subtask, slot) physical channel — not per logical port, where
+  // interleaved producer subtasks would falsely look like regressions.
+  // With parallelism 1 everywhere, (subtask 0, slot) coincides with the
+  // logical port channels.
+
+  /// Observes `tuple` arriving at subtask `subtask` of `node` on physical
+  /// slot `slot`.
+  void OnPhysicalTuple(NodeId node, int subtask, int slot, const Tuple& tuple);
+
+  /// Observes the watermark of physical channel (`node`, `subtask`,
+  /// `slot`) advancing to `watermark`.
+  void OnPhysicalWatermark(NodeId node, int subtask, int slot,
+                           Timestamp watermark);
+
+  /// Post-run drainage check for one executor-owned clone instance of
+  /// `node` (subtasks 1..P-1; the graph's own operator is covered by
+  /// OnJobFinished). Call after the Finish cascade, single-threaded.
+  void OnSubtaskFinished(NodeId node, const Operator& subtask_op);
+
   /// Runs the post-run checks (state drainage). Call after the Finish
   /// cascade, from a single thread.
   void OnJobFinished();
@@ -79,6 +102,11 @@ class InvariantChecker {
   Options options_;
   /// last_watermark_[node][port], kMinTimestamp before the first delivery.
   std::vector<std::vector<Timestamp>> last_watermark_;
+  /// phys_last_watermark_[node][subtask * phys_slots_[node] + slot]:
+  /// per-physical-channel watermark for the subtask-level API.
+  std::vector<std::vector<Timestamp>> phys_last_watermark_;
+  /// Slots per consumer subtask of each node (== physical_fan_in).
+  std::vector<int> phys_slots_;
   /// Max cumulative upstream window span per node (see class comment).
   std::vector<Timestamp> slack_;
 

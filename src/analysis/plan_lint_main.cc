@@ -46,6 +46,11 @@ std::vector<OptionSet> OptionSets() {
   TranslatorOptions dedup;
   dedup.deduplicate_output = true;
   sets.push_back({"dedup", dedup});
+  TranslatorOptions parallel;
+  parallel.use_equi_join_keys = true;
+  parallel.parallelism = 4;
+  parallel.num_keys_hint = 128;
+  sets.push_back({"O3-par4", parallel});
   return sets;
 }
 

@@ -77,6 +77,13 @@ class IntervalJoinOperator : public Operator {
   Status OnWatermark(Timestamp watermark, Collector* out) override;
   size_t StateBytes() const override { return state_bytes_; }
 
+  /// Partition-safe: windows are anchored at individual left events and
+  /// all state is per key.
+  std::unique_ptr<Operator> CloneForSubtask() const override {
+    return std::make_unique<IntervalJoinOperator>(bounds_, condition_,
+                                                  ts_mode_, label_);
+  }
+
   int64_t pairs_evaluated() const { return pairs_evaluated_; }
   /// Windows materialized = completed left events (content-based creation).
   int64_t windows_created() const { return windows_created_; }

@@ -47,6 +47,13 @@ class NseqMarkOperator : public Operator {
   Status OnWatermark(Timestamp watermark, Collector* out) override;
   size_t StateBytes() const override { return state_bytes_; }
 
+  /// Partition-safe: marking is per key (positive and negated events of a
+  /// key meet in the same partition).
+  std::unique_ptr<Operator> CloneForSubtask() const override {
+    return std::make_unique<NseqMarkOperator>(positive_type_, negated_type_,
+                                              window_size_, label_);
+  }
+
  private:
   struct KeyState {
     std::vector<SimpleEvent> pending_t1;  // ordered by ts (sorted lazily)

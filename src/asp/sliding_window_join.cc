@@ -49,12 +49,6 @@ Status SlidingWindowJoinOperator::Process(int input, Tuple tuple, Collector*) {
       tuple.event_time() < side.tuples.back().event_time()) {
     side.sorted = false;
   }
-  if (!have_window_cursor_) {
-    // Skip the (possibly long) run of empty windows preceding the first
-    // event: start firing at the first window that contains it.
-    next_window_ = window_.FirstWindow(tuple.event_time());
-    have_window_cursor_ = true;
-  }
   side.min_ts = std::min(side.min_ts, tuple.event_time());
   side.tuples.push_back(std::move(tuple));
   return Status::OK();
@@ -68,19 +62,32 @@ Status SlidingWindowJoinOperator::OnWatermark(Timestamp watermark,
 
 void SlidingWindowJoinOperator::FireWindows(Timestamp watermark,
                                             Collector* out) {
-  if (!have_window_cursor_) return;
-  while (window_.CanFire(next_window_, watermark)) {
-    // Skip empty stretches: jump to the first window containing any
-    // buffered tuple.
+  while (true) {
     Timestamp min_ts = MinBufferedTs();
     if (min_ts == kMaxTimestamp) {
       // Nothing buffered; the cursor stays where it is (monotone — resuming
-      // at a later event's first window happens via the max() below) so a
+      // at a later event's first window happens via the jump below) so a
       // window can never fire twice.
       return;
     }
-    next_window_ = std::max(next_window_, window_.FirstWindow(min_ts));
-    if (!window_.CanFire(next_window_, watermark)) break;
+    // Skip empty stretches, but only over windows that are provably dead:
+    // a skipped window must hold no buffered tuple (before FirstWindow of
+    // the buffered minimum) AND be closed (before FirstWindow(watermark),
+    // the first window that can still receive on-time tuples). Skipping an
+    // empty-but-open window would silently drop tuples that arrive for it
+    // later — under partitioned input a subtask's buffer is sparse, so the
+    // unclamped jump overshoots. The first firing initializes the cursor
+    // the same way, which also makes it independent of the arrival
+    // interleaving across producer subtasks.
+    const int64_t skip_to = std::min(window_.FirstWindow(min_ts),
+                                     window_.FirstWindow(watermark));
+    if (!have_window_cursor_) {
+      next_window_ = skip_to;
+      have_window_cursor_ = true;
+    } else {
+      next_window_ = std::max(next_window_, skip_to);
+    }
+    if (!window_.CanFire(next_window_, watermark)) return;
     FireWindow(next_window_, out);
     ++next_window_;
     EvictBefore(window_.WindowStart(next_window_));

@@ -72,6 +72,15 @@ class SlidingWindowJoinOperator : public Operator {
   Status OnWatermark(Timestamp watermark, Collector* out) override;
   size_t StateBytes() const override { return state_bytes_; }
 
+  /// Partition-safe: window indices are absolute (derived from event
+  /// time), state is per key, and dedup_pairs dedups within a (key,
+  /// window) scope — so any key-disjoint split of the input reproduces
+  /// the exact match multiset.
+  std::unique_ptr<Operator> CloneForSubtask() const override {
+    return std::make_unique<SlidingWindowJoinOperator>(
+        window_, condition_, ts_mode_, label_, dedup_pairs_);
+  }
+
   /// Total (left, right) pairs evaluated; exposes the duplicate
   /// computation across overlapping windows for benchmarks.
   int64_t pairs_evaluated() const { return pairs_evaluated_; }

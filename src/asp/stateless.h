@@ -46,6 +46,10 @@ class FilterOperator : public Operator {
     return Status::OK();
   }
 
+  std::unique_ptr<Operator> CloneForSubtask() const override {
+    return std::make_unique<FilterOperator>(fn_, label_);
+  }
+
  private:
   Fn fn_;
   std::string label_;
@@ -102,6 +106,10 @@ class MapOperator : public Operator {
     return Status::OK();
   }
 
+  std::unique_ptr<Operator> CloneForSubtask() const override {
+    return std::make_unique<MapOperator>(fn_, label_, assigns_key_);
+  }
+
  private:
   Fn fn_;
   std::string label_;
@@ -125,6 +133,10 @@ class UnionOperator : public Operator {
     (void)input;
     out->Emit(std::move(tuple));
     return Status::OK();
+  }
+
+  std::unique_ptr<Operator> CloneForSubtask() const override {
+    return std::make_unique<UnionOperator>(num_inputs_);
   }
 
  private:

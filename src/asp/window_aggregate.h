@@ -53,6 +53,12 @@ class WindowAggregateOperator : public Operator {
   Status OnWatermark(Timestamp watermark, Collector* out) override;
   size_t StateBytes() const override { return state_bytes_; }
 
+  /// Partition-safe: absolute window indices, per-key state.
+  std::unique_ptr<Operator> CloneForSubtask() const override {
+    return std::make_unique<WindowAggregateOperator>(window_, fn_, attribute_,
+                                                     min_count_, label_);
+  }
+
  private:
   struct KeyState {
     std::vector<SimpleEvent> events;  // head events, kept sorted lazily

@@ -25,10 +25,6 @@ Status WindowApplyOperator::Process(int input, Tuple tuple, Collector*) {
   if (!key_state.events.empty() && event.ts < key_state.events.back().ts) {
     key_state.sorted = false;
   }
-  if (!have_window_cursor_) {
-    next_window_ = window_.FirstWindow(event.ts);
-    have_window_cursor_ = true;
-  }
   key_state.events.push_back(event);
   state_bytes_ += sizeof(SimpleEvent);
   return Status::OK();
@@ -50,14 +46,23 @@ void WindowApplyOperator::SortKey(KeyState* key_state) {
 }
 
 void WindowApplyOperator::FireWindows(Timestamp watermark, Collector* out) {
-  if (!have_window_cursor_) return;
-  while (window_.CanFire(next_window_, watermark)) {
+  while (true) {
     Timestamp min_ts = MinBufferedTs();
     if (min_ts == kMaxTimestamp) {
       return;  // nothing buffered; cursor stays monotone
     }
-    next_window_ = std::max(next_window_, window_.FirstWindow(min_ts));
-    if (!window_.CanFire(next_window_, watermark)) break;
+    // Skip only provably dead windows: empty AND closed (see
+    // SlidingWindowJoinOperator::FireWindows) — an empty-but-open window
+    // may still receive on-time tuples, so the cursor must not pass it.
+    const int64_t skip_to = std::min(window_.FirstWindow(min_ts),
+                                     window_.FirstWindow(watermark));
+    if (!have_window_cursor_) {
+      next_window_ = skip_to;
+      have_window_cursor_ = true;
+    } else {
+      next_window_ = std::max(next_window_, skip_to);
+    }
+    if (!window_.CanFire(next_window_, watermark)) return;
 
     const Timestamp begin = window_.WindowStart(next_window_);
     const Timestamp end = window_.WindowEnd(next_window_);

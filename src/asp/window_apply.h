@@ -48,6 +48,12 @@ class WindowApplyOperator : public Operator {
   Status OnWatermark(Timestamp watermark, Collector* out) override;
   size_t StateBytes() const override { return state_bytes_; }
 
+  /// Partition-safe: absolute window indices, per-key state, and the UDF
+  /// is shared (it must be stateless/thread-compatible by contract).
+  std::unique_ptr<Operator> CloneForSubtask() const override {
+    return std::make_unique<WindowApplyOperator>(window_, fn_, label_);
+  }
+
  private:
   struct KeyState {
     std::vector<SimpleEvent> events;

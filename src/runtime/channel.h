@@ -22,21 +22,31 @@ enum class MessageKind : uint8_t { kTuple, kWatermark, kEnd };
 struct Message {
   MessageKind kind = MessageKind::kTuple;
   int port = 0;
+  /// Physical-channel index at the consumer: identifies the (in-edge,
+  /// producer subtask) pair this message travelled on, dense in
+  /// [0, physical_fan_in). Watermarks are aligned (min) and end-of-stream
+  /// is counted per slot, not per port, because one port may merge several
+  /// producer subtasks under keyed data parallelism. With parallelism 1
+  /// everywhere slots coincide with ports (one edge per port, E301/E302).
+  int slot = 0;
   Tuple tuple;
   Timestamp watermark = kMinTimestamp;
 
-  static Message Data(int port, Tuple tuple) {
+  static Message Data(int port, Tuple tuple, int slot = 0) {
     Message msg;
     msg.kind = MessageKind::kTuple;
     msg.port = port;
+    msg.slot = slot;
     msg.tuple = std::move(tuple);
     return msg;
   }
 
-  static Message Control(MessageKind kind, int port, Timestamp watermark) {
+  static Message Control(MessageKind kind, int port, Timestamp watermark,
+                         int slot = 0) {
     Message msg;
     msg.kind = kind;
     msg.port = port;
+    msg.slot = slot;
     msg.watermark = watermark;
     return msg;
   }
@@ -68,10 +78,15 @@ class Channel {
   bool PushBatch(MessageBatch* batch) {
     if (batch->empty()) return true;
     const size_t fill = batch->size();
+    int64_t data = 0;
+    for (const Message& msg : *batch) {
+      if (msg.kind == MessageKind::kTuple) ++data;
+    }
     int64_t blocked = 0;
     const bool ok = DoPushBatch(batch, &blocked);
     batches_.fetch_add(1, std::memory_order_relaxed);
     messages_.fetch_add(static_cast<int64_t>(fill), std::memory_order_relaxed);
+    if (data > 0) tuples_.fetch_add(data, std::memory_order_relaxed);
     fill_hist_[ChannelStats::FillBucket(fill)].fetch_add(
         1, std::memory_order_relaxed);
     if (blocked > 0) {
@@ -97,12 +112,16 @@ class Channel {
   virtual bool is_spsc() const = 0;
 
   /// Snapshot of the push-side counters; call after producers finished.
-  ChannelStats Snapshot(std::string consumer) const {
+  /// `subtask` identifies the consumer subtask instance this channel feeds
+  /// (0 for parallelism-1 consumers).
+  ChannelStats Snapshot(std::string consumer, int subtask = 0) const {
     ChannelStats stats;
     stats.consumer = std::move(consumer);
+    stats.subtask = subtask;
     stats.spsc = is_spsc();
     stats.batches = batches_.load(std::memory_order_relaxed);
     stats.messages = messages_.load(std::memory_order_relaxed);
+    stats.tuples = tuples_.load(std::memory_order_relaxed);
     stats.blocked_push_nanos = blocked_push_nanos_.load(std::memory_order_relaxed);
     for (int i = 0; i < ChannelStats::kFillBuckets; ++i) {
       stats.fill_hist[i] = fill_hist_[i].load(std::memory_order_relaxed);
@@ -116,6 +135,7 @@ class Channel {
  private:
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> messages_{0};
+  std::atomic<int64_t> tuples_{0};
   std::atomic<int64_t> blocked_push_nanos_{0};
   std::atomic<int64_t> fill_hist_[ChannelStats::kFillBuckets] = {};
 };

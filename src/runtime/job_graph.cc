@@ -1,11 +1,36 @@
 #include "runtime/job_graph.h"
 
+#include <cstdint>
 #include <queue>
 
 #include "analysis/graph_rules.h"
 #include "common/logging.h"
 
 namespace cep2asp {
+
+const char* PartitionModeToString(PartitionMode mode) {
+  switch (mode) {
+    case PartitionMode::kForward:
+      return "forward";
+    case PartitionMode::kHash:
+      return "hash";
+    case PartitionMode::kBroadcast:
+      return "broadcast";
+  }
+  return "?";
+}
+
+int KeyToSubtask(int64_t key, int parallelism) {
+  if (parallelism <= 1) return 0;
+  // splitmix64 finalizer: decorrelates dense/sequential sensor ids.
+  uint64_t x = static_cast<uint64_t>(key);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<int>(x % static_cast<uint64_t>(parallelism));
+}
 
 NodeId JobGraph::AddSource(std::unique_ptr<Source> source) {
   Node node;
@@ -27,7 +52,8 @@ NodeId JobGraph::AddOperatorAfter(NodeId from, std::unique_ptr<Operator> op) {
   return id;
 }
 
-Status JobGraph::Connect(NodeId from, NodeId to, int input_port) {
+Status JobGraph::Connect(NodeId from, NodeId to, int input_port,
+                         PartitionMode mode) {
   if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
     return Status::InvalidArgument("Connect: node id out of range");
   }
@@ -39,9 +65,48 @@ Status JobGraph::Connect(NodeId from, NodeId to, int input_port) {
     return Status::InvalidArgument("Connect: bad input port for " +
                                    target.op->name());
   }
-  nodes_[static_cast<size_t>(from)].outputs.push_back(Edge{to, input_port});
+  nodes_[static_cast<size_t>(from)].outputs.push_back(
+      Edge{to, input_port, mode});
   target.num_input_edges++;
   return Status::OK();
+}
+
+Status JobGraph::SetParallelism(NodeId id, int parallelism) {
+  if (id < 0 || id >= num_nodes()) {
+    return Status::InvalidArgument("SetParallelism: node id out of range");
+  }
+  Node& node = nodes_[static_cast<size_t>(id)];
+  if (node.is_source()) {
+    return Status::InvalidArgument(
+        "SetParallelism: sources run single-instance (" +
+        node.source->name() + ")");
+  }
+  if (parallelism < 1) {
+    return Status::InvalidArgument("SetParallelism: parallelism must be >= 1");
+  }
+  node.parallelism = parallelism;
+  return Status::OK();
+}
+
+Status JobGraph::SetKeyDomainHint(NodeId id, int64_t num_keys) {
+  if (id < 0 || id >= num_nodes()) {
+    return Status::InvalidArgument("SetKeyDomainHint: node id out of range");
+  }
+  if (num_keys < 0) {
+    return Status::InvalidArgument("SetKeyDomainHint: num_keys must be >= 0");
+  }
+  nodes_[static_cast<size_t>(id)].key_domain_hint = num_keys;
+  return Status::OK();
+}
+
+int JobGraph::physical_fan_in(NodeId id) const {
+  int total = 0;
+  for (const Node& node : nodes_) {
+    for (const Edge& edge : node.outputs) {
+      if (edge.to == id) total += node.parallelism;
+    }
+  }
+  return total;
 }
 
 Status JobGraph::Validate() const {
@@ -92,11 +157,17 @@ std::string JobGraph::ToString() const {
     if (!node.is_source() && node.num_input_edges > 1) {
       out += " (fan-in " + std::to_string(node.num_input_edges) + ")";
     }
+    if (node.parallelism > 1) {
+      out += " x" + std::to_string(node.parallelism);
+    }
     if (!node.outputs.empty()) {
       out += " ->";
       for (const Edge& edge : node.outputs) {
         out += " " + std::to_string(edge.to) + ":" +
                std::to_string(edge.input_port);
+        if (edge.partition != PartitionMode::kForward) {
+          out += std::string("[") + PartitionModeToString(edge.partition) + "]";
+        }
       }
     }
     out += "\n";

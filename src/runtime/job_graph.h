@@ -1,6 +1,7 @@
 #ifndef CEP2ASP_RUNTIME_JOB_GRAPH_H_
 #define CEP2ASP_RUNTIME_JOB_GRAPH_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +13,29 @@ namespace cep2asp {
 
 /// Identifies a node (source or operator) within a JobGraph.
 using NodeId = int;
+
+/// How tuples crossing an edge are routed among the consumer's parallel
+/// subtask instances (paper §4.2.3: the Equi Join "is computed per key and
+/// parallelizable").
+enum class PartitionMode : uint8_t {
+  /// Subtask-local hand-off: chained (producer subtask i -> consumer
+  /// subtask i) when both nodes have equal parallelism, round-robin
+  /// rebalance otherwise. The only valid mode into parallelism-1 nodes.
+  kForward,
+  /// Route by the tuple's partition key: KeyToSubtask(key, parallelism).
+  /// Required into keyed stateful operators with parallelism > 1.
+  kHash,
+  /// Copy every tuple to every consumer subtask.
+  kBroadcast,
+};
+
+const char* PartitionModeToString(PartitionMode mode);
+
+/// Deterministic key -> subtask assignment used by the hash-partitioned
+/// exchange (and by tests/benches predicting partition loads). The raw key
+/// goes through a splitmix64-style finalizer first so dense sensor ids do
+/// not all land on neighbouring subtasks modulo small parallelism.
+int KeyToSubtask(int64_t key, int parallelism);
 
 /// \brief Directed acyclic dataflow graph: sources -> operators -> sinks
 /// (paper §2.3: ASPSs use directed graphs as processing model).
@@ -37,8 +61,23 @@ class JobGraph {
   NodeId AddOperatorAfter(NodeId from, std::unique_ptr<Operator> op);
 
   /// Routes the output of `from` (source or operator) into input port
-  /// `input_port` of operator `to`.
-  Status Connect(NodeId from, NodeId to, int input_port = 0);
+  /// `input_port` of operator `to`. `mode` selects how tuples spread over
+  /// the consumer's subtask instances when `to` runs parallel; it is
+  /// irrelevant (and kForward by convention) for parallelism-1 consumers.
+  Status Connect(NodeId from, NodeId to, int input_port = 0,
+                 PartitionMode mode = PartitionMode::kForward);
+
+  /// Sets the number of parallel subtask instances the threaded executor
+  /// materializes for operator `id`. Rejects sources (they stay single;
+  /// scaling ingestion is a source concern) and n < 1. The operator must
+  /// support CloneForSubtask() for n > 1 — enforced by the graph lint
+  /// (E314), not here, so plans can be built before operators are final.
+  Status SetParallelism(NodeId id, int parallelism);
+
+  /// Declares the expected number of distinct partition keys flowing into
+  /// `id` (0 = unknown). Pure metadata for the lint layer: parallelism
+  /// beyond the key count cannot be utilized (W313).
+  Status SetKeyDomainHint(NodeId id, int64_t num_keys);
 
   /// Validates the topology by running the analyzer's job-graph lint pass
   /// (analysis/graph_rules.h) and returning its first E-level finding:
@@ -53,6 +92,7 @@ class JobGraph {
   struct Edge {
     NodeId to = -1;
     int input_port = 0;
+    PartitionMode partition = PartitionMode::kForward;
   };
 
   struct Node {
@@ -60,6 +100,13 @@ class JobGraph {
     std::unique_ptr<Operator> op;
     std::vector<Edge> outputs;
     int num_input_edges = 0;
+    /// Parallel subtask instances (operators only; sources stay 1). The
+    /// threaded executor expands the node into this many physical tasks;
+    /// the single-threaded PipelineExecutor ignores it (it remains the
+    /// deterministic logical reference).
+    int parallelism = 1;
+    /// Expected distinct partition keys (0 = unknown); lint metadata.
+    int64_t key_domain_hint = 0;
 
     bool is_source() const { return source != nullptr; }
   };
@@ -68,10 +115,22 @@ class JobGraph {
   const Node& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
   Node& mutable_node(NodeId id) { return nodes_[static_cast<size_t>(id)]; }
 
-  /// Number of upstream nodes feeding `id` (edges into any input port).
-  /// The threaded executor uses this to pick the channel implementation:
-  /// exactly one producer allows the lock-free SPSC fast path.
+  /// Number of upstream nodes feeding `id` (edges into any input port):
+  /// the *logical* fan-in. With parallel producers the number of physical
+  /// channels differs — see physical_fan_in.
   int fan_in(NodeId id) const { return node(id).num_input_edges; }
+
+  /// Subtask instances of node `id` (1 for sources).
+  int parallelism(NodeId id) const { return node(id).parallelism; }
+
+  /// Number of physical producer subtasks feeding each subtask instance of
+  /// `id`: the sum of producer parallelism over all in-edges. Every
+  /// producer subtask pushes at least control messages (watermarks, end)
+  /// into every consumer subtask, so this — not fan_in — decides the
+  /// channel implementation: exactly one physical producer allows the
+  /// lock-free SPSC fast path. Equals fan_in when all producers run with
+  /// parallelism 1.
+  int physical_fan_in(NodeId id) const;
 
   /// Node ids in a topological order (sources first). Precondition: the
   /// graph must be acyclic — on a cyclic graph the returned order is

@@ -37,10 +37,12 @@ int ChannelStats::FillBucket(size_t fill) {
 std::string ChannelStats::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "->%s %s batches=%lld msgs=%lld avg_fill=%.1f blocked=%.3fms",
-                consumer.c_str(), spsc ? "spsc" : "mpmc",
+                "->%s[%d] %s batches=%lld msgs=%lld tuples=%lld "
+                "avg_fill=%.1f blocked=%.3fms",
+                consumer.c_str(), subtask, spsc ? "spsc" : "mpmc",
                 static_cast<long long>(batches), static_cast<long long>(messages),
-                avg_fill(), static_cast<double>(blocked_push_nanos) / 1e6);
+                static_cast<long long>(tuples), avg_fill(),
+                static_cast<double>(blocked_push_nanos) / 1e6);
   std::string out = buf;
   out += " fill_hist=[";
   for (int i = 0; i < kFillBuckets; ++i) {
@@ -58,6 +60,21 @@ std::string LatencyStats::ToString() const {
                 static_cast<long long>(count), mean_ms, p50_ms, p95_ms, p99_ms,
                 max_ms);
   return buf;
+}
+
+std::string PartitionSkew::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s x%d max=%lld mean=%.1f imbalance=%.2f loads=[",
+                op.c_str(), parallelism, static_cast<long long>(max_tuples),
+                mean_tuples, imbalance());
+  std::string out = buf;
+  for (size_t i = 0; i < tuples_per_subtask.size(); ++i) {
+    if (i > 0) out += " ";
+    out += std::to_string(tuples_per_subtask[i]);
+  }
+  out += "]";
+  return out;
 }
 
 }  // namespace cep2asp

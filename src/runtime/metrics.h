@@ -34,9 +34,11 @@ struct LatencyStats {
 /// spent stalled on backpressure.
 struct ChannelStats {
   std::string consumer;  // name of the operator this channel feeds
+  int subtask = 0;       // consumer subtask instance (keyed parallelism)
   bool spsc = false;     // lock-free single-producer fast path?
   int64_t batches = 0;
-  int64_t messages = 0;
+  int64_t messages = 0;  // all messages, including watermarks/end markers
+  int64_t tuples = 0;    // data messages only: the partition's tuple load
   int64_t blocked_push_nanos = 0;
 
   /// fill_hist[b] counts pushed batches by fill level: bucket 0 holds
@@ -52,6 +54,26 @@ struct ChannelStats {
   double avg_fill() const {
     return batches > 0 ? static_cast<double>(messages) / static_cast<double>(batches)
                        : 0.0;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief Key-skew summary of one hash-partitioned operator: how evenly
+/// the tuple load spread over its parallel subtask instances. Collected
+/// per parallelism > 1 node by the threaded executor so imbalance is
+/// visible in benches, not just aggregate throughput.
+struct PartitionSkew {
+  std::string op;        // operator name
+  int parallelism = 1;
+  std::vector<int64_t> tuples_per_subtask;
+  int64_t max_tuples = 0;
+  double mean_tuples = 0;
+
+  /// max/mean partition load; 1.0 = perfectly balanced, parallelism =
+  /// everything on one subtask. 0 when no tuples flowed.
+  double imbalance() const {
+    return mean_tuples > 0 ? static_cast<double>(max_tuples) / mean_tuples : 0.0;
   }
 
   std::string ToString() const;
@@ -76,8 +98,13 @@ struct ExecutionResult {
   LatencyStats latency;
 
   /// Per-input-channel exchange counters (threaded executor only; empty
-  /// for the single-threaded pipeline executor).
+  /// for the single-threaded pipeline executor). With keyed parallelism
+  /// there is one entry per (operator, subtask) physical channel.
   std::vector<ChannelStats> channel_stats;
+
+  /// Per-partitioned-operator key-skew summaries (parallelism > 1 nodes
+  /// of the threaded executor only).
+  std::vector<PartitionSkew> partition_skew;
 
   /// Findings of the pre-run job-graph lint pass (analysis/graph_rules.h).
   /// Executors refuse to run graphs with E-level findings: `ok` is then

@@ -1,6 +1,7 @@
 #ifndef CEP2ASP_RUNTIME_OPERATOR_H_
 #define CEP2ASP_RUNTIME_OPERATOR_H_
 
+#include <memory>
 #include <string>
 
 #include "common/clock.h"
@@ -109,6 +110,13 @@ class Operator {
   /// Current operator state footprint in bytes (buffered windows, partial
   /// matches, ...). Sampled by the metrics collector.
   virtual size_t StateBytes() const { return 0; }
+
+  /// Fresh, state-empty instance of this operator for one parallel subtask
+  /// (keyed data parallelism: each instance sees a disjoint key subset, so
+  /// construction parameters are shared but runtime state is not). Returns
+  /// null when the operator cannot run data-parallel — the default, and
+  /// the graph lint (E314) rejects parallelism > 1 on such nodes.
+  virtual std::unique_ptr<Operator> CloneForSubtask() const { return nullptr; }
 };
 
 /// \brief A stream source: produces tuples in non-decreasing event time

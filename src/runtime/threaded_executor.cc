@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "analysis/graph_rules.h"
 #include "analysis/invariant_checker.h"
@@ -12,78 +13,187 @@ namespace cep2asp {
 
 namespace {
 
-struct NodeChannels {
-  std::unique_ptr<Channel> input;  // null for sources
+/// Physical expansion of the logical graph: node `id` becomes
+/// parallelism(id) subtask instances, and each consumer subtask owns one
+/// input channel fed by every producer subtask of every in-edge. A "slot"
+/// is the consumer-side dense index of one (in-edge, producer subtask)
+/// pair: watermarks are min-aligned and end-of-stream is counted per slot,
+/// because a single input port may merge several producer subtasks.
+struct PhysicalLayout {
+  /// Slots per consumer node = sum of producer parallelism over in-edges
+  /// (the graph's physical_fan_in).
+  std::vector<int> num_slots;
+  /// edge_slot_base[from][out_idx]: first slot of that edge at the
+  /// consumer; producer subtask s stamps slot base + s.
+  std::vector<std::vector<int>> edge_slot_base;
+
+  explicit PhysicalLayout(const JobGraph& graph) {
+    const int n = graph.num_nodes();
+    num_slots.assign(static_cast<size_t>(n), 0);
+    edge_slot_base.resize(static_cast<size_t>(n));
+    for (NodeId from = 0; from < n; ++from) {
+      const JobGraph::Node& node = graph.node(from);
+      edge_slot_base[static_cast<size_t>(from)].reserve(node.outputs.size());
+      for (const JobGraph::Edge& edge : node.outputs) {
+        edge_slot_base[static_cast<size_t>(from)].push_back(
+            num_slots[static_cast<size_t>(edge.to)]);
+        num_slots[static_cast<size_t>(edge.to)] += node.parallelism;
+      }
+    }
+  }
 };
 
-/// Collector that accumulates an operator's (or source's) output into one
-/// pending MessageBatch per outgoing edge and hands full batches to the
-/// successor channels. Tuples are copied for edges 0..n-2 and moved into
-/// the last edge, so a fan-out of one (the common case) never deep-copies.
+using NodeChannels = std::vector<std::unique_ptr<Channel>>;  // per subtask
+
+/// Collector of one producer subtask: routes emitted tuples to the right
+/// consumer subtask per out-edge (hash by key, chained/rebalance forward,
+/// or broadcast), accumulating one pending MessageBatch per physical
+/// target channel. Tuples are copied for all destinations but the last and
+/// moved into the last, so the common case (one edge, one target) never
+/// deep-copies.
 ///
-/// Control messages (watermark/end) are appended behind any buffered
-/// tuples and force an immediate flush, which preserves the tuple-before-
-/// watermark ordering guarantee across batch boundaries.
-class BatchingCollector : public Collector {
+/// Control messages (watermark/end) go to *every* consumer subtask of
+/// every out-edge regardless of the edge's partition mode — watermarks
+/// must reach all partitions for their windows to fire, and end-of-stream
+/// is counted per slot. They are appended behind any buffered tuples and
+/// force a flush, preserving tuple-before-watermark order per channel.
+class PartitioningCollector : public Collector {
  public:
-  BatchingCollector(const JobGraph* graph, NodeId node,
-                    std::vector<NodeChannels>* channels, size_t batch_size)
+  PartitioningCollector(const JobGraph* graph, NodeId node, int subtask,
+                        const PhysicalLayout* layout,
+                        std::vector<NodeChannels>* channels, size_t batch_size)
       : batch_size_(std::max<size_t>(1, batch_size)) {
-    for (const JobGraph::Edge& edge : graph->node(node).outputs) {
-      Target target;
-      target.channel = (*channels)[static_cast<size_t>(edge.to)].input.get();
-      target.port = edge.input_port;
-      target.pending.reserve(batch_size_);
-      targets_.push_back(std::move(target));
+    const JobGraph::Node& producer = graph->node(node);
+    for (size_t i = 0; i < producer.outputs.size(); ++i) {
+      const JobGraph::Edge& edge = producer.outputs[i];
+      OutEdge out;
+      out.port = edge.input_port;
+      out.mode = edge.partition;
+      out.consumer_parallelism = graph->parallelism(edge.to);
+      out.slot =
+          layout->edge_slot_base[static_cast<size_t>(node)][i] + subtask;
+      out.fixed_target = -1;
+      if (edge.partition == PartitionMode::kForward) {
+        if (out.consumer_parallelism == 1) {
+          out.fixed_target = 0;  // the historical single-instance path
+        } else if (producer.parallelism == out.consumer_parallelism) {
+          out.fixed_target = subtask;  // chained subtask-local hand-off
+        }
+        // else: round-robin rebalance via rr_cursor.
+      }
+      out.first_target = static_cast<int>(targets_.size());
+      for (int s = 0; s < out.consumer_parallelism; ++s) {
+        Target target;
+        target.channel =
+            (*channels)[static_cast<size_t>(edge.to)][static_cast<size_t>(s)]
+                .get();
+        target.pending.reserve(batch_size_);
+        targets_.push_back(std::move(target));
+      }
+      edges_.push_back(out);
     }
   }
 
   void Emit(Tuple tuple) override {
-    if (targets_.empty()) return;
-    const size_t last = targets_.size() - 1;
-    for (size_t i = 0; i < last; ++i) {
-      Append(i, Message::Data(targets_[i].port, tuple));  // copy for fan-out
+    if (edges_.empty()) return;
+    if (edges_.size() == 1 && edges_[0].mode != PartitionMode::kBroadcast) {
+      OutEdge& e = edges_[0];
+      const int t = e.first_target + Route(e, tuple);
+      Append(t, Message::Data(e.port, std::move(tuple), e.slot));
+      return;
     }
-    Append(last, Message::Data(targets_[last].port, std::move(tuple)));
+    // General fan-out: resolve every destination first, then copy to all
+    // but the last and move into the last.
+    destinations_.clear();
+    for (size_t i = 0; i < edges_.size(); ++i) {
+      OutEdge& e = edges_[i];
+      if (e.mode == PartitionMode::kBroadcast) {
+        for (int s = 0; s < e.consumer_parallelism; ++s) {
+          destinations_.push_back({static_cast<int>(i), e.first_target + s});
+        }
+      } else {
+        destinations_.push_back(
+            {static_cast<int>(i), e.first_target + Route(e, tuple)});
+      }
+    }
+    const size_t last = destinations_.size() - 1;
+    for (size_t d = 0; d < last; ++d) {
+      const OutEdge& e = edges_[static_cast<size_t>(destinations_[d].edge)];
+      Append(destinations_[d].target, Message::Data(e.port, tuple, e.slot));
+    }
+    const OutEdge& e = edges_[static_cast<size_t>(destinations_[last].edge)];
+    Append(destinations_[last].target,
+           Message::Data(e.port, std::move(tuple), e.slot));
   }
 
   void Flush() override {
-    for (size_t i = 0; i < targets_.size(); ++i) FlushTarget(i);
+    for (size_t t = 0; t < targets_.size(); ++t) FlushTarget(static_cast<int>(t));
   }
 
-  /// Appends a control message behind the buffered tuples of every edge and
-  /// flushes, so downstream sees all tuples that precede the control event.
+  /// Broadcasts a control message behind the buffered tuples of every
+  /// physical target and flushes.
   void EmitControl(MessageKind kind, Timestamp watermark) {
-    for (size_t i = 0; i < targets_.size(); ++i) {
-      targets_[i].pending.push_back(
-          Message::Control(kind, targets_[i].port, watermark));
-      FlushTarget(i);
+    for (size_t i = 0; i < edges_.size(); ++i) {
+      const OutEdge& e = edges_[i];
+      for (int s = 0; s < e.consumer_parallelism; ++s) {
+        const int t = e.first_target + s;
+        targets_[static_cast<size_t>(t)].pending.push_back(
+            Message::Control(kind, e.port, watermark, e.slot));
+        FlushTarget(t);
+      }
     }
   }
 
  private:
   struct Target {
     Channel* channel = nullptr;
-    int port = 0;
     MessageBatch pending;
   };
 
-  void Append(size_t i, Message msg) {
-    targets_[i].pending.push_back(std::move(msg));
-    if (targets_[i].pending.size() >= batch_size_) FlushTarget(i);
+  struct OutEdge {
+    int port = 0;
+    PartitionMode mode = PartitionMode::kForward;
+    int consumer_parallelism = 1;
+    int slot = 0;          // consumer-side slot this producer subtask owns
+    int fixed_target = -1; // forward short-circuit; -1 = dynamic routing
+    int first_target = 0;  // index of consumer subtask 0 in targets_
+    size_t rr_cursor = 0;  // rebalance state (forward, unequal parallelism)
+  };
+
+  struct Destination {
+    int edge = 0;
+    int target = 0;
+  };
+
+  int Route(OutEdge& e, const Tuple& tuple) {
+    if (e.fixed_target >= 0) return e.fixed_target;
+    if (e.mode == PartitionMode::kHash) {
+      return KeyToSubtask(tuple.key(), e.consumer_parallelism);
+    }
+    return static_cast<int>(e.rr_cursor++ %
+                            static_cast<size_t>(e.consumer_parallelism));
   }
 
-  void FlushTarget(size_t i) {
-    if (!targets_[i].pending.empty()) {
+  void Append(int t, Message msg) {
+    Target& target = targets_[static_cast<size_t>(t)];
+    target.pending.push_back(std::move(msg));
+    if (target.pending.size() >= batch_size_) FlushTarget(t);
+  }
+
+  void FlushTarget(int t) {
+    Target& target = targets_[static_cast<size_t>(t)];
+    if (!target.pending.empty()) {
       // A false return means the channel was closed (error unwind); the
       // batch is dropped, matching the historical Push behavior.
-      targets_[i].channel->PushBatch(&targets_[i].pending);
-      targets_[i].pending.clear();
+      target.channel->PushBatch(&target.pending);
+      target.pending.clear();
     }
   }
 
   const size_t batch_size_;
   std::vector<Target> targets_;
+  std::vector<OutEdge> edges_;
+  std::vector<Destination> destinations_;
 };
 
 }  // namespace
@@ -108,11 +218,20 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
   const size_t batch_size = std::max<size_t>(1, options_.batch_size);
 
   const int n = graph_->num_nodes();
+  const PhysicalLayout layout(*graph_);
+
+  // One input channel per (operator, subtask). Every producer subtask of
+  // every in-edge pushes at least control messages into each of them, so
+  // the SPSC fast path needs physical fan-in 1 — with parallelism 1
+  // everywhere this is the same choice as before.
   std::vector<NodeChannels> channels(static_cast<size_t>(n));
   for (NodeId id = 0; id < n; ++id) {
-    if (!graph_->node(id).is_source()) {
-      channels[static_cast<size_t>(id)].input = MakeChannel(
-          graph_->fan_in(id), options_.queue_capacity, options_.enable_spsc);
+    if (graph_->node(id).is_source()) continue;
+    const int subtasks = graph_->parallelism(id);
+    for (int s = 0; s < subtasks; ++s) {
+      channels[static_cast<size_t>(id)].push_back(
+          MakeChannel(layout.num_slots[static_cast<size_t>(id)],
+                      options_.queue_capacity, options_.enable_spsc));
     }
   }
 
@@ -125,11 +244,28 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
     std::lock_guard<std::mutex> lock(status_mutex);
     if (run_status.ok()) {
       run_status = st;
-      for (NodeChannels& ch : channels) {
-        if (ch.input) ch.input->Close();
+      for (NodeChannels& node_channels : channels) {
+        for (std::unique_ptr<Channel>& ch : node_channels) ch->Close();
       }
     }
   };
+
+  // Subtask instances: subtask 0 runs the graph's own operator, subtasks
+  // 1..P-1 run state-empty clones (lint rule E314 guarantees the operator
+  // supports cloning when parallelism > 1).
+  std::vector<std::vector<std::unique_ptr<Operator>>> clones(
+      static_cast<size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    JobGraph::Node& node = graph_->mutable_node(id);
+    if (node.is_source()) continue;
+    for (int s = 1; s < node.parallelism; ++s) {
+      std::unique_ptr<Operator> clone = node.op->CloneForSubtask();
+      CEP2ASP_CHECK(clone != nullptr)
+          << node.op->name() << " has parallelism " << node.parallelism
+          << " but no CloneForSubtask";
+      clones[static_cast<size_t>(id)].push_back(std::move(clone));
+    }
+  }
 
   std::atomic<int64_t> tuples_ingested{0};
   int64_t start_nanos = clock->NowNanos();
@@ -142,7 +278,8 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
     if (node.is_source()) {
       Source* source = node.source.get();
       threads.emplace_back([&, id, source] {
-        BatchingCollector collector(graph_, id, &channels, batch_size);
+        PartitioningCollector collector(graph_, id, /*subtask=*/0, &layout,
+                                        &channels, batch_size);
         std::vector<Tuple> staged;
         staged.reserve(batch_size);
         int since_watermark = 0;
@@ -189,53 +326,76 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
         collector.EmitControl(MessageKind::kWatermark, kMaxTimestamp);
         collector.EmitControl(MessageKind::kEnd, 0);
       });
-    } else {
-      Operator* op = node.op.get();
+      continue;
+    }
+
+    const int subtasks = node.parallelism;
+    for (int subtask = 0; subtask < subtasks; ++subtask) {
+      Operator* op =
+          subtask == 0
+              ? node.op.get()
+              : clones[static_cast<size_t>(id)][static_cast<size_t>(subtask - 1)]
+                    .get();
       Status open = op->Open();
       if (!open.ok()) {
         record_error(open.WithContext(op->name()));
         continue;
       }
-      const int num_ports = op->num_inputs();
-      threads.emplace_back([&, id, op, num_ports] {
-        BatchingCollector collector(graph_, id, &channels, batch_size);
-        std::vector<Timestamp> port_watermarks(static_cast<size_t>(num_ports),
+      const int num_slots = layout.num_slots[static_cast<size_t>(id)];
+      threads.emplace_back([&, id, subtask, op, num_slots] {
+        PartitioningCollector collector(graph_, id, subtask, &layout,
+                                        &channels, batch_size);
+        if (num_slots == 0) {
+          // No upstream at all (lint warns W306): nothing will ever
+          // arrive; run the shutdown protocol so downstream terminates.
+          Status st = op->OnWatermark(kMaxTimestamp, &collector);
+          if (st.ok()) st = op->Finish(&collector);
+          if (!st.ok()) record_error(st.WithContext(op->name()));
+          collector.EmitControl(MessageKind::kWatermark, kMaxTimestamp);
+          collector.EmitControl(MessageKind::kEnd, 0);
+          return;
+        }
+        std::vector<Timestamp> slot_watermarks(static_cast<size_t>(num_slots),
                                                kMinTimestamp);
         Timestamp aligned = kMinTimestamp;
-        int ended_ports = 0;
-        Channel* input = channels[static_cast<size_t>(id)].input.get();
+        int ended_slots = 0;
+        Channel* input =
+            channels[static_cast<size_t>(id)][static_cast<size_t>(subtask)]
+                .get();
         MessageBatch in;
         in.reserve(batch_size);
-        while (ended_ports < num_ports) {
+        while (ended_slots < num_slots) {
           if (!input->PopBatch(&in, batch_size)) break;  // closed on error
           for (Message& msg : in) {
-            if (ended_ports >= num_ports) break;
+            if (ended_slots >= num_slots) break;
             switch (msg.kind) {
               case MessageKind::kTuple: {
 #if CEP2ASP_CHECK_INVARIANTS
-                invariants.OnTuple(id, msg.port, msg.tuple);
+                invariants.OnPhysicalTuple(id, subtask, msg.slot, msg.tuple);
 #endif
                 Status st = op->Process(msg.port, std::move(msg.tuple), &collector);
                 if (!st.ok()) {
                   record_error(st.WithContext(op->name()));
-                  ended_ports = num_ports;
+                  ended_slots = num_slots;
                 }
                 break;
               }
               case MessageKind::kWatermark: {
 #if CEP2ASP_CHECK_INVARIANTS
-                invariants.OnWatermark(id, msg.port, msg.watermark);
+                invariants.OnPhysicalWatermark(id, subtask, msg.slot,
+                                               msg.watermark);
 #endif
-                Timestamp& slot = port_watermarks[static_cast<size_t>(msg.port)];
+                Timestamp& slot =
+                    slot_watermarks[static_cast<size_t>(msg.slot)];
                 slot = std::max(slot, msg.watermark);
                 Timestamp new_aligned = *std::min_element(
-                    port_watermarks.begin(), port_watermarks.end());
+                    slot_watermarks.begin(), slot_watermarks.end());
                 if (new_aligned > aligned) {
                   aligned = new_aligned;
                   Status st = op->OnWatermark(aligned, &collector);
                   if (!st.ok()) {
                     record_error(st.WithContext(op->name()));
-                    ended_ports = num_ports;
+                    ended_slots = num_slots;
                   } else {
                     collector.EmitControl(MessageKind::kWatermark, aligned);
                   }
@@ -243,7 +403,7 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
                 break;
               }
               case MessageKind::kEnd: {
-                if (++ended_ports == num_ports) {
+                if (++ended_slots == num_slots) {
                   Status st = op->Finish(&collector);
                   if (!st.ok()) record_error(st.WithContext(op->name()));
                   collector.EmitControl(MessageKind::kEnd, 0);
@@ -255,7 +415,7 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
           // Input drained for now: hand partial output batches downstream
           // before blocking, so a stalled stream never strands tuples in a
           // half-filled batch.
-          if (ended_ports < num_ports && input->Empty()) collector.Flush();
+          if (ended_slots < num_slots && input->Empty()) collector.Flush();
         }
       });
     }
@@ -266,7 +426,15 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
 #if CEP2ASP_CHECK_INVARIANTS
   {
     std::lock_guard<std::mutex> lock(status_mutex);
-    if (run_status.ok()) invariants.OnJobFinished();
+    if (run_status.ok()) {
+      invariants.OnJobFinished();
+      for (NodeId id = 0; id < n; ++id) {
+        for (const std::unique_ptr<Operator>& clone :
+             clones[static_cast<size_t>(id)]) {
+          invariants.OnSubtaskFinished(id, *clone);
+        }
+      }
+    }
   }
 #endif
 
@@ -275,10 +443,33 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
   result.tuples_ingested = tuples_ingested.load();
   result.peak_state_bytes = graph_->TotalStateBytes();
   for (NodeId id = 0; id < n; ++id) {
-    const Channel* input = channels[static_cast<size_t>(id)].input.get();
-    if (input != nullptr) {
+    for (const std::unique_ptr<Operator>& clone :
+         clones[static_cast<size_t>(id)]) {
+      result.peak_state_bytes += clone->StateBytes();
+    }
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    const NodeChannels& node_channels = channels[static_cast<size_t>(id)];
+    if (node_channels.empty()) continue;
+    const std::string& name = graph_->node(id).op->name();
+    for (size_t s = 0; s < node_channels.size(); ++s) {
       result.channel_stats.push_back(
-          input->Snapshot(graph_->node(id).op->name()));
+          node_channels[s]->Snapshot(name, static_cast<int>(s)));
+    }
+    if (node_channels.size() > 1) {
+      PartitionSkew skew;
+      skew.op = name;
+      skew.parallelism = static_cast<int>(node_channels.size());
+      int64_t total = 0;
+      for (const std::unique_ptr<Channel>& ch : node_channels) {
+        ChannelStats stats = ch->Snapshot(name);
+        skew.tuples_per_subtask.push_back(stats.tuples);
+        skew.max_tuples = std::max(skew.max_tuples, stats.tuples);
+        total += stats.tuples;
+      }
+      skew.mean_tuples = static_cast<double>(total) /
+                         static_cast<double>(node_channels.size());
+      result.partition_skew.push_back(std::move(skew));
     }
   }
   if (sink != nullptr) {

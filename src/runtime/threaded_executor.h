@@ -44,17 +44,31 @@ struct ThreadedExecutorOptions {
   Clock* clock = nullptr;
 };
 
-/// \brief Executor running each node (source or operator) on its own
-/// thread, connected by micro-batched exchange channels.
+/// \brief Executor running each physical task — one per (node, subtask
+/// instance) — on its own thread, connected by micro-batched exchange
+/// channels.
 ///
-/// This realizes the pipeline parallelism that the paper's mapping unlocks
-/// by decomposing the pattern into multiple operators (§1, §5.2.2): the
-/// stages of consecutive joins execute concurrently. Tuples cross edges in
-/// MessageBatches (one channel synchronization per batch, not per tuple);
-/// single-producer edges ride a lock-free SPSC ring, multi-producer inputs
-/// fall back to the mutex queue. The single-threaded PipelineExecutor
-/// remains the deterministic reference; correctness tests assert both
-/// produce identical match sets.
+/// This realizes both kinds of parallelism the paper's mapping unlocks:
+/// pipeline parallelism from decomposing the pattern into multiple
+/// operators (§1, §5.2.2), and keyed data parallelism from the equi-join
+/// stages being "computed per key and parallelizable" (§4.2.3). A node
+/// with parallelism P expands into P subtask instances — subtask 0 runs
+/// the graph's own operator, subtasks 1..P-1 run executor-owned
+/// CloneForSubtask() instances — and each in-edge routes tuples among them
+/// per its PartitionMode (hash by key, chained/rebalance forward, or
+/// broadcast). Watermarks and end-of-stream markers are always broadcast
+/// to every consumer subtask; each consumer min-aligns watermarks and
+/// counts end markers across its physical slots (one per producer
+/// subtask), so window firing and termination are exact under
+/// partitioning. With parallelism 1 everywhere this reduces to the
+/// historical one-thread-per-node behavior.
+///
+/// Tuples cross edges in MessageBatches (one channel synchronization per
+/// batch, not per tuple); physical-fan-in-1 channels ride a lock-free SPSC
+/// ring, the rest fall back to the mutex queue. The single-threaded
+/// PipelineExecutor remains the deterministic logical reference (it
+/// ignores parallelism); correctness tests assert both produce identical
+/// match sets at every parallelism level.
 class ThreadedExecutor {
  public:
   ThreadedExecutor(JobGraph* graph, ThreadedExecutorOptions options = {});

@@ -47,6 +47,12 @@ struct LogicalOp {
   Predicate predicate;        // kFilter (var 0 = head event) / join condition
                               // in *concatenated output* index space
   Attribute key_attr = Attribute::kId;         // kKeyByAttr
+  /// Keyed stages only (joins/aggregations under O3 attribute keys, and
+  /// the key-assigning maps feeding them): the stage computes per key and
+  /// may run with parallelism > 1 behind a hash-partitioned exchange
+  /// (paper §4.2.3). Constant-key stages stay sequential — every tuple
+  /// shares one key, so hash routing would address a single subtask.
+  bool parallelizable = false;
   int64_t const_key = 0;                       // kKeyByConst
   SlidingWindowSpec window;                    // kWindowJoin/kAggregate/...
   bool dedup_pairs = false;                    // kWindowJoin: intermediate join
@@ -74,6 +80,13 @@ struct LogicalPlan {
   std::unique_ptr<LogicalOp> root;
   Timestamp window_size = 0;
   Timestamp slide = 0;
+  /// Requested subtask count for parallelizable stages (from
+  /// TranslatorOptions::parallelism); physical compilation expands the
+  /// marked stages to this parallelism behind hash-partitioned edges.
+  int parallelism = 1;
+  /// Declared distinct-key count (0 = unknown); becomes the compiled
+  /// nodes' key-domain hint.
+  int64_t num_keys_hint = 0;
 
   std::string ToString() const {
     return root ? root->ToString() : "(empty plan)";

@@ -100,6 +100,7 @@ std::unique_ptr<LogicalOp> MakeKeyOp(const BuildContext& ctx,
                                    : LogicalOpKind::kKeyByConst;
   key->key_attr = ctx.key_plan.attr;
   key->const_key = 0;
+  key->parallelizable = ctx.key_plan.by_attr;
   key->positions = input->positions;
   key->inputs.push_back(std::move(input));
   return key;
@@ -246,6 +247,9 @@ std::unique_ptr<LogicalOp> BuildJoin(BuildContext* ctx,
   }
   join->predicate = std::move(condition);
   join->ts_mode = TimestampMode::kMin;  // partial match; root fixed later
+  // Under O3 attribute keys the join computes per key (§4.2.3) and may
+  // run data-parallel; constant-key joins cannot spread over subtasks.
+  join->parallelizable = ctx->key_plan.by_attr;
   join->positions = std::move(combined);
   join->inputs.push_back(std::move(left));
   join->inputs.push_back(std::move(right));
@@ -315,6 +319,7 @@ Result<std::unique_ptr<LogicalOp>> BuildIterAggregate(BuildContext* ctx,
   }
   agg->min_count = node.iter_count;
   agg->window = SlidingWindowSpec{ctx->window, ctx->slide};
+  agg->parallelizable = ctx->key_plan.by_attr;
   agg->positions = {base_position};  // approximate single-tuple output
   agg->inputs.push_back(std::move(leaf));
   return agg;
@@ -343,6 +348,7 @@ Result<std::unique_ptr<LogicalOp>> BuildNseq(BuildContext* ctx,
   mark->nseq_positive = t1.type;
   mark->nseq_negated = t2.type;
   mark->nseq_window = ctx->window;
+  mark->parallelizable = ctx->key_plan.by_attr;  // marking is per key
   mark->positions = {p1};
   mark->inputs.push_back(std::move(union_op));
 
@@ -526,6 +532,8 @@ Result<LogicalPlan> Translator::ToLogicalPlan(const Pattern& pattern) const {
   plan.root = std::move(root);
   plan.window_size = ctx.window;
   plan.slide = ctx.slide;
+  plan.parallelism = std::max(1, options_.parallelism);
+  plan.num_keys_hint = options_.num_keys_hint;
   (void)ctx.used_sliding_join;
   return plan;
 }
@@ -536,14 +544,45 @@ Result<LogicalPlan> Translator::ToLogicalPlan(const Pattern& pattern) const {
 
 namespace {
 
-Result<NodeId> CompileNode(const LogicalOp& op, const SourceFactory& factory,
-                           JobGraph* graph) {
+struct CompileContext {
+  const SourceFactory* factory = nullptr;
+  JobGraph* graph = nullptr;
+  /// From LogicalPlan: subtask count for parallelizable stages and the
+  /// declared key-domain size (lint metadata).
+  int parallelism = 1;
+  int64_t num_keys_hint = 0;
+};
+
+/// Expands a compiled stage to the requested parallelism when the logical
+/// node is marked parallelizable; no-op for sequential plans.
+Status ApplyParallelism(const LogicalOp& op, NodeId id, CompileContext* ctx) {
+  if (ctx->parallelism <= 1 || !op.parallelizable) return Status::OK();
+  CEP2ASP_RETURN_IF_ERROR(ctx->graph->SetParallelism(id, ctx->parallelism));
+  if (ctx->num_keys_hint > 0) {
+    CEP2ASP_RETURN_IF_ERROR(
+        ctx->graph->SetKeyDomainHint(id, ctx->num_keys_hint));
+  }
+  return Status::OK();
+}
+
+/// Edge mode into a keyed stateful stage: hash-partitioned when the stage
+/// runs parallel (each key's events must meet in one subtask), plain
+/// forward otherwise. Key-assigning maps themselves take forward
+/// (rebalance) input — their tuples carry no partition key yet.
+PartitionMode KeyedInputMode(const LogicalOp& op, const CompileContext& ctx) {
+  return (ctx.parallelism > 1 && op.parallelizable) ? PartitionMode::kHash
+                                                    : PartitionMode::kForward;
+}
+
+Result<NodeId> CompileNode(const LogicalOp& op, CompileContext* ctx) {
   std::vector<NodeId> inputs;
   inputs.reserve(op.inputs.size());
   for (const auto& input : op.inputs) {
-    CEP2ASP_ASSIGN_OR_RETURN(NodeId id, CompileNode(*input, factory, graph));
+    CEP2ASP_ASSIGN_OR_RETURN(NodeId id, CompileNode(*input, ctx));
     inputs.push_back(id);
   }
+  const SourceFactory& factory = *ctx->factory;
+  JobGraph* graph = ctx->graph;
 
   switch (op.kind) {
     case LogicalOpKind::kScan: {
@@ -564,6 +603,7 @@ Result<NodeId> CompileNode(const LogicalOp& op, const SourceFactory& factory,
       NodeId id =
           graph->AddOperator(MapOperator::KeyByAttribute(0, op.key_attr));
       CEP2ASP_RETURN_IF_ERROR(graph->Connect(inputs[0], id, 0));
+      CEP2ASP_RETURN_IF_ERROR(ApplyParallelism(op, id, ctx));
       return id;
     }
     case LogicalOpKind::kKeyByConst: {
@@ -584,21 +624,27 @@ Result<NodeId> CompileNode(const LogicalOp& op, const SourceFactory& factory,
       NodeId id = graph->AddOperator(std::make_unique<SlidingWindowJoinOperator>(
           op.window, op.predicate, op.ts_mode,
           op.dedup_pairs ? "win-join(dedup)" : "win-join", op.dedup_pairs));
-      CEP2ASP_RETURN_IF_ERROR(graph->Connect(inputs[0], id, 0));
-      CEP2ASP_RETURN_IF_ERROR(graph->Connect(inputs[1], id, 1));
+      const PartitionMode mode = KeyedInputMode(op, *ctx);
+      CEP2ASP_RETURN_IF_ERROR(graph->Connect(inputs[0], id, 0, mode));
+      CEP2ASP_RETURN_IF_ERROR(graph->Connect(inputs[1], id, 1, mode));
+      CEP2ASP_RETURN_IF_ERROR(ApplyParallelism(op, id, ctx));
       return id;
     }
     case LogicalOpKind::kIntervalJoin: {
       NodeId id = graph->AddOperator(std::make_unique<IntervalJoinOperator>(
           op.interval, op.predicate, op.ts_mode));
-      CEP2ASP_RETURN_IF_ERROR(graph->Connect(inputs[0], id, 0));
-      CEP2ASP_RETURN_IF_ERROR(graph->Connect(inputs[1], id, 1));
+      const PartitionMode mode = KeyedInputMode(op, *ctx);
+      CEP2ASP_RETURN_IF_ERROR(graph->Connect(inputs[0], id, 0, mode));
+      CEP2ASP_RETURN_IF_ERROR(graph->Connect(inputs[1], id, 1, mode));
+      CEP2ASP_RETURN_IF_ERROR(ApplyParallelism(op, id, ctx));
       return id;
     }
     case LogicalOpKind::kAggregate: {
       NodeId id = graph->AddOperator(std::make_unique<WindowAggregateOperator>(
           op.window, op.aggregate_fn, op.aggregate_attr, op.min_count));
-      CEP2ASP_RETURN_IF_ERROR(graph->Connect(inputs[0], id, 0));
+      CEP2ASP_RETURN_IF_ERROR(
+          graph->Connect(inputs[0], id, 0, KeyedInputMode(op, *ctx)));
+      CEP2ASP_RETURN_IF_ERROR(ApplyParallelism(op, id, ctx));
       return id;
     }
     case LogicalOpKind::kIterChainApply: {
@@ -632,13 +678,17 @@ Result<NodeId> CompileNode(const LogicalOp& op, const SourceFactory& factory,
       };
       NodeId id = graph->AddOperator(std::make_unique<WindowApplyOperator>(
           op.window, chain_fn, "iter-chain"));
-      CEP2ASP_RETURN_IF_ERROR(graph->Connect(inputs[0], id, 0));
+      CEP2ASP_RETURN_IF_ERROR(
+          graph->Connect(inputs[0], id, 0, KeyedInputMode(op, *ctx)));
+      CEP2ASP_RETURN_IF_ERROR(ApplyParallelism(op, id, ctx));
       return id;
     }
     case LogicalOpKind::kNseqMark: {
       NodeId id = graph->AddOperator(std::make_unique<NseqMarkOperator>(
           op.nseq_positive, op.nseq_negated, op.nseq_window));
-      CEP2ASP_RETURN_IF_ERROR(graph->Connect(inputs[0], id, 0));
+      CEP2ASP_RETURN_IF_ERROR(
+          graph->Connect(inputs[0], id, 0, KeyedInputMode(op, *ctx)));
+      CEP2ASP_RETURN_IF_ERROR(ApplyParallelism(op, id, ctx));
       return id;
     }
     case LogicalOpKind::kReorder: {
@@ -668,8 +718,12 @@ Result<CompiledQuery> CompilePlan(const LogicalPlan& plan,
                                   bool store_matches, Clock* clock) {
   if (!plan.root) return Status::InvalidArgument("empty logical plan");
   CompiledQuery query;
-  CEP2ASP_ASSIGN_OR_RETURN(
-      NodeId last, CompileNode(*plan.root, source_factory, &query.graph));
+  CompileContext ctx;
+  ctx.factory = &source_factory;
+  ctx.graph = &query.graph;
+  ctx.parallelism = plan.parallelism;
+  ctx.num_keys_hint = plan.num_keys_hint;
+  CEP2ASP_ASSIGN_OR_RETURN(NodeId last, CompileNode(*plan.root, &ctx));
   auto sink = std::make_unique<CollectSink>(store_matches, clock);
   query.sink = sink.get();
   NodeId sink_id = query.graph.AddOperator(std::move(sink));
@@ -686,8 +740,12 @@ Result<CompiledQuery> TranslatePattern(const Pattern& pattern,
   CEP2ASP_ASSIGN_OR_RETURN(LogicalPlan plan, translator.ToLogicalPlan(pattern));
   if (options.deduplicate_output) {
     CompiledQuery query;
-    CEP2ASP_ASSIGN_OR_RETURN(
-        NodeId last, CompileNode(*plan.root, source_factory, &query.graph));
+    CompileContext ctx;
+    ctx.factory = &source_factory;
+    ctx.graph = &query.graph;
+    ctx.parallelism = plan.parallelism;
+    ctx.num_keys_hint = plan.num_keys_hint;
+    CEP2ASP_ASSIGN_OR_RETURN(NodeId last, CompileNode(*plan.root, &ctx));
     NodeId dedup_id = query.graph.AddOperator(
         std::make_unique<DedupOperator>(2 * plan.window_size));
     CEP2ASP_RETURN_IF_ERROR(query.graph.Connect(last, dedup_id, 0));

@@ -57,6 +57,17 @@ struct TranslatorOptions {
   /// Append a duplicate-elimination stage (overlapping sliding windows
   /// produce duplicates; O1 plans never need this).
   bool deduplicate_output = false;
+  /// Subtask instances for the parallelizable stages of the compiled job
+  /// (paper §4.2.3: the Equi Join "is computed per key and
+  /// parallelizable"). Takes effect only when O3 finds attribute keys —
+  /// the keyed joins/aggregations then run with this parallelism behind
+  /// hash-partitioned exchanges, and the key-assigning maps scale with
+  /// them. 1 (default) compiles the historical sequential job.
+  int parallelism = 1;
+  /// Declared number of distinct partition-key values (0 = unknown);
+  /// forwarded to the job graph as key-domain hint so the lint can flag
+  /// parallelism the key space cannot utilize (W313).
+  int64_t num_keys_hint = 0;
 };
 
 /// \brief The paper's operator mapping (§4): SEA patterns -> ASP query

@@ -595,6 +595,63 @@ TEST(GraphRulesTest, E311WindowSpecInvalid) {
                    .Has(DiagnosticCode::kGraphWindowSpecInvalid));
 }
 
+/// MakeKeyedJoinGraph with the join expanded into subtasks and both input
+/// edges hash-partitioned — the shape the translator emits for parallel O3.
+KeyedJoinGraph MakeParallelKeyedJoinGraph(int parallelism) {
+  KeyedJoinGraph g;
+  NodeId s1 = g.graph.AddSource(EmptySource("s1"));
+  NodeId s2 = g.graph.AddSource(EmptySource("s2"));
+  NodeId k1 = g.graph.AddOperatorAfter(s1, MapOperator::AssignConstantKey(0));
+  NodeId k2 = g.graph.AddOperatorAfter(s2, MapOperator::AssignConstantKey(0));
+  g.join = g.graph.AddOperator(std::make_unique<SlidingWindowJoinOperator>(
+      SlidingWindowSpec{kWin, kSlide}, Predicate(), TimestampMode::kMax));
+  EXPECT_TRUE(g.graph.Connect(k1, g.join, 0, PartitionMode::kHash).ok());
+  EXPECT_TRUE(g.graph.Connect(k2, g.join, 1, PartitionMode::kHash).ok());
+  EXPECT_TRUE(g.graph.SetParallelism(g.join, parallelism).ok());
+  g.sink = g.graph.AddOperatorAfter(g.join, std::make_unique<CollectSink>());
+  return g;
+}
+
+TEST(GraphRulesTest, E312KeyedParallelNotHashed) {
+  // Parallel keyed join fed through forward edges: one key's events would
+  // spread over subtasks and cross-stream matches silently vanish.
+  KeyedJoinGraph g = MakeKeyedJoinGraph();
+  ASSERT_TRUE(g.graph.SetParallelism(g.join, 2).ok());
+  EXPECT_TRUE(
+      AnalyzeJobGraph(g.graph).Has(DiagnosticCode::kGraphKeyedParallelNotHashed));
+  EXPECT_FALSE(AnalyzeJobGraph(MakeParallelKeyedJoinGraph(2).graph)
+                   .Has(DiagnosticCode::kGraphKeyedParallelNotHashed));
+}
+
+TEST(GraphRulesTest, W313ParallelismExceedsKeys) {
+  KeyedJoinGraph g = MakeParallelKeyedJoinGraph(4);
+  ASSERT_TRUE(g.graph.SetKeyDomainHint(g.join, 2).ok());
+  EXPECT_TRUE(
+      AnalyzeJobGraph(g.graph).Has(DiagnosticCode::kGraphParallelismExceedsKeys));
+
+  KeyedJoinGraph wide = MakeParallelKeyedJoinGraph(4);
+  ASSERT_TRUE(wide.graph.SetKeyDomainHint(wide.join, 128).ok());
+  EXPECT_FALSE(AnalyzeJobGraph(wide.graph)
+                   .Has(DiagnosticCode::kGraphParallelismExceedsKeys));
+  // Unknown key domain (hint 0) must not warn.
+  EXPECT_FALSE(AnalyzeJobGraph(MakeParallelKeyedJoinGraph(4).graph)
+                   .Has(DiagnosticCode::kGraphParallelismExceedsKeys));
+}
+
+TEST(GraphRulesTest, E314ParallelUnsupported) {
+  // FakeOp provides no CloneForSubtask, so it cannot be expanded.
+  JobGraph graph;
+  NodeId src = graph.AddSource(EmptySource("s"));
+  NodeId op =
+      graph.AddOperatorAfter(src, std::make_unique<FakeOp>(OperatorTraits{}));
+  graph.AddOperatorAfter(op, std::make_unique<CollectSink>());
+  ASSERT_TRUE(graph.SetParallelism(op, 2).ok());
+  EXPECT_TRUE(
+      AnalyzeJobGraph(graph).Has(DiagnosticCode::kGraphParallelUnsupported));
+  EXPECT_FALSE(AnalyzeJobGraph(MakeParallelKeyedJoinGraph(2).graph)
+                   .Has(DiagnosticCode::kGraphParallelUnsupported));
+}
+
 // === integration ============================================================
 
 TEST(ValidateTest, WrapsGraphRules) {

@@ -582,5 +582,69 @@ TEST(MetricsTest, ThroughputFromResult) {
   EXPECT_DOUBLE_EQ(result.throughput_tps(), 500.0);
 }
 
+TEST(PartitioningTest, KeyToSubtaskDeterministicAndCovering) {
+  for (int64_t key = -5; key < 200; ++key) {
+    EXPECT_EQ(KeyToSubtask(key, 1), 0);
+    for (int parallelism : {2, 3, 4, 7}) {
+      int subtask = KeyToSubtask(key, parallelism);
+      EXPECT_GE(subtask, 0);
+      EXPECT_LT(subtask, parallelism);
+      EXPECT_EQ(subtask, KeyToSubtask(key, parallelism));
+    }
+  }
+  // 128 sequential keys must address every subtask of a 4-way operator;
+  // the mixer exists precisely so dense key ranges don't alias.
+  std::vector<bool> hit(4, false);
+  for (int64_t key = 0; key < 128; ++key) hit[KeyToSubtask(key, 4)] = true;
+  for (bool h : hit) EXPECT_TRUE(h);
+}
+
+TEST(PartitioningTest, PhysicalFanInCountsProducerSubtasks) {
+  JobGraph graph;
+  NodeId s1 = graph.AddSource(
+      std::make_unique<VectorSource>("s1", MakeEvents(0, 10)));
+  NodeId s2 = graph.AddSource(
+      std::make_unique<VectorSource>("s2", MakeEvents(0, 10)));
+  NodeId m1 = graph.AddOperatorAfter(s1, MapOperator::KeyByAttribute(0, Attribute::kId));
+  NodeId m2 = graph.AddOperatorAfter(s2, MapOperator::KeyByAttribute(0, Attribute::kId));
+  ASSERT_TRUE(graph.SetParallelism(m1, 3).ok());
+  NodeId u = graph.AddOperator(std::make_unique<UnionOperator>(2));
+  ASSERT_TRUE(graph.Connect(m1, u, 0).ok());
+  ASSERT_TRUE(graph.Connect(m2, u, 1).ok());
+  EXPECT_EQ(graph.fan_in(u), 2);
+  EXPECT_EQ(graph.physical_fan_in(u), 4);  // 3 subtasks + 1
+}
+
+TEST(ThreadedExecutorTest, PartitionSkewAccountsEveryTuple) {
+  JobGraph graph;
+  NodeId src = graph.AddSource(
+      std::make_unique<VectorSource>("s", MakeEvents(0, 1000)));
+  NodeId keyed = graph.AddOperatorAfter(
+      src, MapOperator::KeyByAttribute(0, Attribute::kId));
+  NodeId mapped = graph.AddOperator(
+      std::make_unique<MapOperator>([](Tuple t) { return t; }, "identity"));
+  ASSERT_TRUE(graph.Connect(keyed, mapped, 0, PartitionMode::kHash).ok());
+  ASSERT_TRUE(graph.SetParallelism(mapped, 2).ok());
+  auto sink_op = std::make_unique<CollectSink>(/*store_tuples=*/false);
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(mapped, std::move(sink_op));
+
+  ThreadedExecutor executor(&graph);
+  ExecutionResult result = executor.Run(sink);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.matches_emitted, 1000);
+
+  ASSERT_FALSE(result.partition_skew.empty());
+  const PartitionSkew& skew = result.partition_skew.front();
+  EXPECT_EQ(skew.parallelism, 2);
+  ASSERT_EQ(skew.tuples_per_subtask.size(), 2u);
+  int64_t total = 0;
+  for (int64_t n : skew.tuples_per_subtask) total += n;
+  EXPECT_EQ(total, 1000);  // hash routing loses nothing
+  EXPECT_GE(skew.imbalance(), 1.0);
+  EXPECT_EQ(skew.max_tuples,
+            std::max(skew.tuples_per_subtask[0], skew.tuples_per_subtask[1]));
+}
+
 }  // namespace
 }  // namespace cep2asp

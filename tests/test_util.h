@@ -34,6 +34,18 @@ inline std::vector<std::string> MatchSet(const std::vector<Tuple>& tuples) {
   return keys;
 }
 
+/// Sorted match identities *with* duplicates retained: the multiset of raw
+/// emissions. Stricter than MatchSet — used to assert that operational
+/// knobs (parallelism, batching) change neither the match set nor the
+/// per-overlap duplication the sliding semantics prescribes.
+inline std::vector<std::string> MatchMultiset(const std::vector<Tuple>& tuples) {
+  std::vector<std::string> keys;
+  keys.reserve(tuples.size());
+  for (const Tuple& t : tuples) keys.push_back(MatchKey(t));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 struct RunOutcome {
   ExecutionResult result;
   std::vector<std::string> match_set;
