@@ -5,6 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
 #include <thread>
 
 #include "asp/sliding_window_join.h"
@@ -253,6 +258,9 @@ void BM_ThreadedExchange(benchmark::State& state) {
     ThreadedExecutorOptions options;
     options.batch_size = batch;
     options.enable_spsc = spsc;
+    // This benchmark measures the exchange layer; with chaining on the
+    // filters fuse and there would be no exchange left to measure.
+    options.enable_chaining = false;
     ThreadedExecutor executor(&graph, options);
     ExecutionResult result = executor.Run(sink);
     benchmark::DoNotOptimize(result.matches_emitted);
@@ -269,5 +277,168 @@ BENCHMARK(BM_ThreadedExchange)
     ->Args({64, 1})
     ->UseRealTime();
 
+// --- Operator chaining -------------------------------------------------------
+//
+// The chain A/B: a forward pipeline (source -> filter -> map -> filter ->
+// sink) where every operator edge is chainable. Chain on fuses the four
+// operators into one subtask (tuples handed between Process calls, no
+// exchange); chain off runs the historical one-thread-per-node layout with
+// a real channel on every edge.
+
+struct ChainPipeline {
+  JobGraph graph;
+  CollectSink* sink = nullptr;
+};
+
+ChainPipeline MakeForwardChainPipeline(const std::vector<SimpleEvent>& events) {
+  ChainPipeline p;
+  NodeId src = p.graph.AddSource(std::make_unique<VectorSource>("s", events));
+  NodeId f1 = p.graph.AddOperatorAfter(
+      src, std::make_unique<FilterOperator>(
+               [](const Tuple& t) { return t.event(0).value < 90; }));
+  NodeId m = p.graph.AddOperatorAfter(
+      f1, std::make_unique<MapOperator>([](Tuple t) { return t; }));
+  NodeId f2 = p.graph.AddOperatorAfter(
+      m, std::make_unique<FilterOperator>(
+             [](const Tuple& t) { return t.event(0).value < 80; }));
+  auto sink_op = std::make_unique<CollectSink>(false);
+  p.sink = sink_op.get();
+  p.graph.AddOperatorAfter(f2, std::move(sink_op));
+  return p;
+}
+
+void BM_ForwardChainPipeline(benchmark::State& state) {
+  const bool chained = state.range(0) != 0;
+  const int n = 100000;
+  std::vector<SimpleEvent> events = MakeEvents(TypeA(), n, 10);
+  for (auto _ : state) {
+    ChainPipeline p = MakeForwardChainPipeline(events);
+    ThreadedExecutorOptions options;
+    options.enable_chaining = chained;
+    ThreadedExecutor executor(&p.graph, options);
+    ExecutionResult result = executor.Run(p.sink);
+    benchmark::DoNotOptimize(result.matches_emitted);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(chained ? "chained" : "unchained");
+}
+BENCHMARK(BM_ForwardChainPipeline)->Arg(0)->Arg(1)->UseRealTime();
+
+// --- Chain A/B with machine-readable output ----------------------------------
+
+struct ChainAbSide {
+  double throughput_tps = 0;
+  int threads = 0;
+  int fused_edges = 0;
+  int channels = 0;
+};
+
+ChainAbSide RunChainSide(bool chained, int n, int repetitions) {
+  std::vector<SimpleEvent> events = MakeEvents(TypeA(), n, 10);
+  ChainAbSide side;
+  double best_seconds = 0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    ChainPipeline p = MakeForwardChainPipeline(events);
+    ThreadedExecutorOptions options;
+    options.enable_chaining = chained;
+    ThreadedExecutor executor(&p.graph, options);
+    const auto start = std::chrono::steady_clock::now();
+    ExecutionResult result = executor.Run(p.sink);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (!result.ok) {
+      std::fprintf(stderr, "chain A/B run failed: %s\n", result.error.c_str());
+      std::exit(1);
+    }
+    if (rep == 0) {
+      for (const ChannelStats& stats : result.channel_stats) {
+        if (stats.fused) {
+          ++side.fused_edges;
+        } else {
+          ++side.channels;
+        }
+      }
+      const ChainLayout layout =
+          ComputeChainLayout(p.graph, /*chaining_enabled=*/chained);
+      side.threads = 0;
+      for (NodeId id = 0; id < p.graph.num_nodes(); ++id) {
+        if (p.graph.node(id).is_source()) ++side.threads;
+      }
+      for (const std::vector<NodeId>& chain : layout.chains) {
+        side.threads += p.graph.parallelism(chain.front());
+      }
+    }
+    if (best_seconds == 0 || elapsed.count() < best_seconds) {
+      best_seconds = elapsed.count();
+    }
+  }
+  side.throughput_tps = static_cast<double>(n) / best_seconds;
+  return side;
+}
+
+void AppendSideJson(std::string* out, const char* key, const ChainAbSide& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"%s\": {\"throughput_tps\": %.0f, \"threads\": %d, "
+                "\"fused_edges\": %d, \"channels\": %d}",
+                key, s.throughput_tps, s.threads, s.fused_edges, s.channels);
+  *out += buf;
+}
+
+/// Runs the forward-chain A/B and writes bench_results/BENCH_chain.json;
+/// `quick` shrinks the input and repetition count for CI smoke runs.
+int RunChainAb(bool quick) {
+  const int n = quick ? 200000 : 1000000;
+  const int repetitions = quick ? 3 : 5;
+  const ChainAbSide on = RunChainSide(/*chained=*/true, n, repetitions);
+  const ChainAbSide off = RunChainSide(/*chained=*/false, n, repetitions);
+  const double speedup = off.throughput_tps > 0
+                             ? on.throughput_tps / off.throughput_tps
+                             : 0;
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"forward_chain_ab\",\n";
+  json += "  \"pipeline\": \"source -> filter -> map -> filter -> sink\",\n";
+  json += "  \"tuples_per_run\": " + std::to_string(n) + ",\n";
+  json += "  \"repetitions\": " + std::to_string(repetitions) + ",\n";
+  AppendSideJson(&json, "chain_on", on);
+  json += ",\n";
+  AppendSideJson(&json, "chain_off", off);
+  json += ",\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  \"speedup\": %.2f\n", speedup);
+  json += buf;
+  json += "}\n";
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  const char* path = "bench_results/BENCH_chain.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("%s", json.c_str());
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
 }  // namespace
 }  // namespace cep2asp
+
+// Custom main: `--quick` / `--chain-ab` run the chain A/B and emit
+// BENCH_chain.json; anything else goes to google-benchmark as usual.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") return cep2asp::RunChainAb(/*quick=*/true);
+    if (arg == "--chain-ab") return cep2asp::RunChainAb(/*quick=*/false);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

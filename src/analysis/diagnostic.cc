@@ -10,6 +10,8 @@ const char* DiagnosticSeverityToString(DiagnosticSeverity severity) {
       return "warning";
     case DiagnosticSeverity::kError:
       return "error";
+    case DiagnosticSeverity::kInfo:
+      return "info";
   }
   return "?";
 }
@@ -107,6 +109,10 @@ constexpr CodeInfo kRegistry[] = {
     {DiagnosticCode::kGraphParallelUnsupported, DiagnosticSeverity::kError,
      "parallelism > 1 on a node that cannot run data-parallel (no subtask "
      "clone support, or stateful without keyed partitioning)"},
+    {DiagnosticCode::kGraphForwardEdgeNotChained, DiagnosticSeverity::kInfo,
+     "forward edge between operators was not fused into a chain (fan-out, "
+     "fan-in, parallelism mismatch, or chaining opt-out); it pays a real "
+     "exchange channel"},
 };
 
 const CodeInfo* FindInfo(DiagnosticCode code) {
@@ -124,8 +130,18 @@ DiagnosticSeverity DiagnosticCodeSeverity(DiagnosticCode code) {
 }
 
 std::string DiagnosticCodeName(DiagnosticCode code) {
-  const char letter =
-      DiagnosticCodeSeverity(code) == DiagnosticSeverity::kError ? 'E' : 'W';
+  char letter = '?';
+  switch (DiagnosticCodeSeverity(code)) {
+    case DiagnosticSeverity::kError:
+      letter = 'E';
+      break;
+    case DiagnosticSeverity::kWarning:
+      letter = 'W';
+      break;
+    case DiagnosticSeverity::kInfo:
+      letter = 'I';
+      break;
+  }
   return "CEP2ASP-" + std::string(1, letter) +
          std::to_string(static_cast<int>(code));
 }
@@ -176,7 +192,19 @@ int DiagnosticReport::error_count() const {
 }
 
 int DiagnosticReport::warning_count() const {
-  return static_cast<int>(diagnostics_.size()) - error_count();
+  return static_cast<int>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == DiagnosticSeverity::kWarning;
+                    }));
+}
+
+int DiagnosticReport::info_count() const {
+  return static_cast<int>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == DiagnosticSeverity::kInfo;
+                    }));
 }
 
 bool DiagnosticReport::Has(DiagnosticCode code) const {

@@ -10,8 +10,11 @@ namespace cep2asp {
 
 /// Severity of a diagnostic. Errors describe plans/graphs that would
 /// produce wrong matches (or none) if executed; executors refuse to run
-/// them. Warnings flag suspicious-but-runnable constructs.
-enum class DiagnosticSeverity : uint8_t { kWarning, kError };
+/// them. Warnings flag suspicious-but-runnable constructs. Infos report
+/// facts about an otherwise-fine plan (e.g. why a forward edge was not
+/// chained) that only matter when tuning. Appended, never reordered —
+/// the underlying values are stable.
+enum class DiagnosticSeverity : uint8_t { kWarning, kError, kInfo };
 
 const char* DiagnosticSeverityToString(DiagnosticSeverity severity);
 
@@ -19,10 +22,10 @@ const char* DiagnosticSeverityToString(DiagnosticSeverity severity);
 /// partition by analysis layer:
 ///   1xx — SEA pattern rules        (analysis/pattern_rules)
 ///   2xx — logical-plan rules       (analysis/plan_rules)
-///   3xx — job-graph rules          (analysis/graph_rules)
-/// Codes render as "CEP2ASP-E201" / "CEP2ASP-W305"; the letter is the
-/// severity, the number is stable across releases (tests and downstream
-/// tooling match on it).
+///   3xx — job-graph rules          (analysis/graph_rules, chain_rules)
+/// Codes render as "CEP2ASP-E201" / "CEP2ASP-W305" / "CEP2ASP-I315"; the
+/// letter is the severity, the number is stable across releases (tests
+/// and downstream tooling match on it).
 enum class DiagnosticCode : int {
   // --- pattern layer (1xx) -----------------------------------------------
   kPatternNoRoot = 100,             // E: pattern has no structure tree
@@ -64,6 +67,7 @@ enum class DiagnosticCode : int {
   kGraphKeyedParallelNotHashed = 312,  // E: parallel keyed op, non-hash edge
   kGraphParallelismExceedsKeys = 313,  // W: parallelism > distinct keys
   kGraphParallelUnsupported = 314,  // E: parallelism > 1 where unsupported
+  kGraphForwardEdgeNotChained = 315,// I: forward edge left unfused (why)
 };
 
 /// Severity a code always carries (the letter in its rendered name).
@@ -106,6 +110,7 @@ class DiagnosticReport {
 
   int error_count() const;
   int warning_count() const;
+  int info_count() const;
   bool has_errors() const { return error_count() > 0; }
 
   /// True when some diagnostic carries `code`.

@@ -5,6 +5,9 @@
 //                          optimization set (exit 1 when any E-code fires)
 //   plan_lint --codes      print the diagnostic-code registry
 //   plan_lint --psl TEXT   lint one PSL pattern under every optimization set
+//   plan_lint --chains     print the chain layout of every paper pattern
+//                          under every optimization set, plus I315 infos
+//                          for forward edges the planner could not fuse
 
 #include <cstdio>
 #include <string>
@@ -12,6 +15,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/chain_rules.h"
 #include "common/clock.h"
 #include "harness/paper_patterns.h"
 #include "runtime/vector_source.h"
@@ -131,6 +135,61 @@ int LintPaperPatterns() {
   return errors == 0 ? 0 : 1;
 }
 
+/// Prints the chain layout ComputeChainLayout produces for one pattern
+/// under one option set, followed by the I315 findings for forward edges
+/// the planner left unfused. Purely informational — never contributes to
+/// the exit code.
+void PrintChains(const std::string& name, const Pattern& pattern,
+                 const OptionSet& set) {
+  auto stub_sources = [](EventTypeId type) {
+    return std::make_unique<VectorSource>("stub-" + std::to_string(type),
+                                          std::vector<SimpleEvent>{});
+  };
+  auto query = TranslatePattern(pattern, set.options, stub_sources,
+                                /*store_matches=*/false);
+  if (!query.ok()) {
+    std::printf("%s x %s: SKIP (%s)\n", name.c_str(), set.name,
+                query.status().ToString().c_str());
+    return;
+  }
+  const JobGraph& graph = query.ValueOrDie().graph;
+  const ChainLayout layout = ComputeChainLayout(graph);
+  std::printf("%s x %s: %d chain(s), %d fused edge(s)\n", name.c_str(),
+              set.name, layout.num_chains(), layout.fused_edge_count());
+  std::printf("%s", layout.ToString(graph).c_str());
+  PrintReport(AnalyzeChaining(graph));
+}
+
+int PrintPaperChains() {
+  const Timestamp window = 15 * kMillisPerMinute;
+  const Timestamp slide = kMillisPerMinute;
+  PaperPatterns patterns;
+
+  std::vector<std::pair<std::string, Result<Pattern>>> queries;
+  queries.emplace_back("SEQ1(2)", patterns.Seq1(0.5, window, slide));
+  queries.emplace_back("ITER3_1(1)",
+                       patterns.IterThreshold(3, 0.5, window, slide));
+  queries.emplace_back("ITER3_2(1)",
+                       patterns.IterConsecutive(3, 0.5, window, slide));
+  queries.emplace_back("NSEQ1(3)", patterns.Nseq1(0.5, 0.5, window, slide));
+  queries.emplace_back("SEQ4(4)", patterns.SeqN(4, 0.5, window, slide));
+  queries.emplace_back("SEQ7(3)", patterns.Seq7(0.5, window, slide));
+  queries.emplace_back("ITER4(1)", patterns.Iter4(3, 0.5, window, slide));
+
+  for (auto& [name, result] : queries) {
+    if (!result.ok()) {
+      std::printf("%s BUILD FAILED: %s\n", name.c_str(),
+                  result.status().ToString().c_str());
+      continue;
+    }
+    for (const OptionSet& set : OptionSets()) {
+      PrintChains(name, result.ValueOrDie(), set);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int LintPsl(const std::string& text) {
   SensorTypes::Get();  // registers the canonical event types for the parser
   auto pattern = sea::ParsePattern(text);
@@ -155,7 +214,9 @@ int Usage() {
                "usage: plan_lint             lint the paper evaluation "
                "patterns\n"
                "       plan_lint --codes     list the diagnostic registry\n"
-               "       plan_lint --psl TEXT  lint one PSL pattern\n");
+               "       plan_lint --psl TEXT  lint one PSL pattern\n"
+               "       plan_lint --chains    print chain layouts for the "
+               "paper patterns\n");
   return 2;
 }
 
@@ -166,6 +227,7 @@ int main(int argc, char** argv) {
   if (argc == 1) return cep2asp::LintPaperPatterns();
   const std::string mode = argv[1];
   if (mode == "--codes" && argc == 2) return cep2asp::PrintCodes();
+  if (mode == "--chains" && argc == 2) return cep2asp::PrintPaperChains();
   if (mode == "--psl" && argc == 3) return cep2asp::LintPsl(argv[2]);
   return cep2asp::Usage();
 }

@@ -88,6 +88,19 @@ Status JobGraph::SetParallelism(NodeId id, int parallelism) {
   return Status::OK();
 }
 
+Status JobGraph::SetChaining(NodeId id, bool enabled) {
+  if (id < 0 || id >= num_nodes()) {
+    return Status::InvalidArgument("SetChaining: node id out of range");
+  }
+  Node& node = nodes_[static_cast<size_t>(id)];
+  if (node.is_source()) {
+    return Status::InvalidArgument(
+        "SetChaining: sources never chain (" + node.source->name() + ")");
+  }
+  node.chaining = enabled;
+  return Status::OK();
+}
+
 Status JobGraph::SetKeyDomainHint(NodeId id, int64_t num_keys) {
   if (id < 0 || id >= num_nodes()) {
     return Status::InvalidArgument("SetKeyDomainHint: node id out of range");
@@ -173,6 +186,145 @@ std::string JobGraph::ToString() const {
     out += "\n";
   }
   return out;
+}
+
+const char* ChainBreakToString(ChainBreak verdict) {
+  switch (verdict) {
+    case ChainBreak::kChained:
+      return "chained";
+    case ChainBreak::kNotForward:
+      return "edge is not forward-partitioned";
+    case ChainBreak::kSourceProducer:
+      return "producer is a source";
+    case ChainBreak::kDisabled:
+      return "chaining disabled";
+    case ChainBreak::kProducerOptedOut:
+      return "producer opted out of chaining";
+    case ChainBreak::kConsumerOptedOut:
+      return "consumer opted out of chaining";
+    case ChainBreak::kFanOut:
+      return "producer fan-out > 1";
+    case ChainBreak::kFanIn:
+      return "consumer fan-in > 1";
+    case ChainBreak::kParallelismMismatch:
+      return "parallelism mismatch";
+  }
+  return "?";
+}
+
+int ChainLayout::fused_edge_count() const {
+  int count = 0;
+  for (const std::vector<ChainBreak>& verdicts : edge_verdict) {
+    for (ChainBreak v : verdicts) {
+      if (v == ChainBreak::kChained) ++count;
+    }
+  }
+  return count;
+}
+
+std::string ChainLayout::ToString(const JobGraph& graph) const {
+  auto label = [&graph](NodeId id) {
+    const JobGraph::Node& node = graph.node(id);
+    return node.is_source() ? ("source " + node.source->name())
+                            : node.op->name();
+  };
+  std::string out;
+  for (size_t c = 0; c < chains.size(); ++c) {
+    out += "  chain " + std::to_string(c);
+    const int parallelism = graph.parallelism(chains[c].front());
+    if (parallelism > 1) out += " (x" + std::to_string(parallelism) + ")";
+    out += ":";
+    for (size_t i = 0; i < chains[c].size(); ++i) {
+      out += (i == 0 ? " " : " -> ") + label(chains[c][i]);
+    }
+    out += "\n";
+  }
+  for (NodeId from = 0; from < graph.num_nodes(); ++from) {
+    const JobGraph::Node& node = graph.node(from);
+    for (size_t i = 0; i < node.outputs.size(); ++i) {
+      const ChainBreak v = edge_verdict[static_cast<size_t>(from)][i];
+      if (v == ChainBreak::kChained ||
+          node.outputs[i].partition != PartitionMode::kForward) {
+        continue;
+      }
+      out += "  unchained: " + label(from) + " -> " +
+             label(node.outputs[i].to) + " (" + ChainBreakToString(v) + ")\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+ChainBreak ClassifyEdge(const JobGraph& graph, NodeId from,
+                        const JobGraph::Edge& edge, bool chaining_enabled) {
+  if (edge.partition != PartitionMode::kForward) {
+    return ChainBreak::kNotForward;
+  }
+  const JobGraph::Node& producer = graph.node(from);
+  if (producer.is_source()) return ChainBreak::kSourceProducer;
+  if (!chaining_enabled) return ChainBreak::kDisabled;
+  if (!producer.chaining) return ChainBreak::kProducerOptedOut;
+  if (!graph.node(edge.to).chaining) return ChainBreak::kConsumerOptedOut;
+  if (producer.outputs.size() != 1) return ChainBreak::kFanOut;
+  if (graph.fan_in(edge.to) != 1) return ChainBreak::kFanIn;
+  if (producer.parallelism != graph.parallelism(edge.to)) {
+    return ChainBreak::kParallelismMismatch;
+  }
+  return ChainBreak::kChained;
+}
+
+}  // namespace
+
+ChainLayout ComputeChainLayout(const JobGraph& graph, bool chaining_enabled) {
+  ChainLayout layout;
+  const int n = graph.num_nodes();
+  layout.chain_of.assign(static_cast<size_t>(n), -1);
+  layout.pos_in_chain.assign(static_cast<size_t>(n), -1);
+  layout.edge_verdict.resize(static_cast<size_t>(n));
+
+  // Pass 1: classify every edge; remember which nodes gained a fused
+  // in-edge (those cannot be chain heads).
+  std::vector<bool> has_fused_in(static_cast<size_t>(n), false);
+  for (NodeId from = 0; from < n; ++from) {
+    const JobGraph::Node& node = graph.node(from);
+    auto& verdicts = layout.edge_verdict[static_cast<size_t>(from)];
+    verdicts.reserve(node.outputs.size());
+    for (const JobGraph::Edge& edge : node.outputs) {
+      const ChainBreak v = ClassifyEdge(graph, from, edge, chaining_enabled);
+      verdicts.push_back(v);
+      if (v == ChainBreak::kChained) {
+        has_fused_in[static_cast<size_t>(edge.to)] = true;
+      }
+    }
+  }
+
+  // Pass 2: every operator without a fused in-edge heads a chain; follow
+  // its (single, by the fan-out rule) fused out-edge to the tail. A fully
+  // fused cycle has no head and its nodes keep chain_of == -1; the graph
+  // lint rejects cycles (E303) before any executor consumes this layout.
+  for (NodeId id = 0; id < n; ++id) {
+    if (graph.node(id).is_source() || has_fused_in[static_cast<size_t>(id)]) {
+      continue;
+    }
+    std::vector<NodeId> chain;
+    NodeId cur = id;
+    while (true) {
+      layout.chain_of[static_cast<size_t>(cur)] =
+          static_cast<int>(layout.chains.size());
+      layout.pos_in_chain[static_cast<size_t>(cur)] =
+          static_cast<int>(chain.size());
+      chain.push_back(cur);
+      const JobGraph::Node& node = graph.node(cur);
+      if (node.outputs.size() == 1 && layout.fused(cur, 0)) {
+        cur = node.outputs[0].to;
+        continue;
+      }
+      break;
+    }
+    layout.chains.push_back(std::move(chain));
+  }
+  return layout;
 }
 
 }  // namespace cep2asp

@@ -79,6 +79,12 @@ class JobGraph {
   /// beyond the key count cannot be utilized (W313).
   Status SetKeyDomainHint(NodeId id, int64_t num_keys);
 
+  /// Enables/disables operator chaining at node `id` (operators only,
+  /// default on). With chaining off the node always runs as its own
+  /// subtask, ending any chain at both its in- and out-edge; useful for
+  /// isolating a heavy operator on its own thread or for A/B runs.
+  Status SetChaining(NodeId id, bool enabled);
+
   /// Validates the topology by running the analyzer's job-graph lint pass
   /// (analysis/graph_rules.h) and returning its first E-level finding:
   /// every operator input port fed by exactly one edge, acyclicity, source
@@ -107,6 +113,9 @@ class JobGraph {
     int parallelism = 1;
     /// Expected distinct partition keys (0 = unknown); lint metadata.
     int64_t key_domain_hint = 0;
+    /// Operator-chaining knob (operators only): when false the node never
+    /// fuses with its neighbours. See ComputeChainLayout.
+    bool chaining = true;
 
     bool is_source() const { return source != nullptr; }
   };
@@ -148,6 +157,82 @@ class JobGraph {
  private:
   std::vector<Node> nodes_;
 };
+
+// --- Operator chaining (Flink-style forward-edge fusion) -----------------
+
+/// Verdict of the chain planner for one edge. kChained means the edge is
+/// fused: the producer hands tuples straight to the consumer's Process in
+/// the same thread, no exchange channel. Every other value names the first
+/// rule (in evaluation order) that kept the edge on a real channel.
+enum class ChainBreak : uint8_t {
+  kChained,
+  kNotForward,           // hash/broadcast edges always cross an exchange
+  kSourceProducer,       // sources keep their own ingestion thread
+  kDisabled,             // chaining switched off executor-wide
+  kProducerOptedOut,     // producer's chaining knob is off
+  kConsumerOptedOut,     // consumer's chaining knob is off
+  kFanOut,               // producer has more than one out-edge
+  kFanIn,                // consumer has more than one in-edge
+  kParallelismMismatch,  // producer and consumer subtask counts differ
+};
+
+const char* ChainBreakToString(ChainBreak verdict);
+
+/// \brief The chain decomposition of a job graph: every operator belongs
+/// to exactly one chain (a maximal run of fused forward edges; an unfused
+/// operator forms a chain of length 1), sources stay outside chains.
+///
+/// The threaded executor runs one subtask per (chain, parallel instance):
+/// only the chain head owns input channels, interior nodes receive tuples
+/// in-thread from their producer.
+struct ChainLayout {
+  /// Chains in head-to-tail node order; chain indices are stable for one
+  /// layout but carry no other meaning.
+  std::vector<std::vector<NodeId>> chains;
+  /// Per node: owning chain index, or -1 for sources.
+  std::vector<int> chain_of;
+  /// Per node: position within its chain (0 = head), or -1 for sources.
+  std::vector<int> pos_in_chain;
+  /// Per node, per out-edge (same order as Node::outputs): the planner's
+  /// verdict for that edge.
+  std::vector<std::vector<ChainBreak>> edge_verdict;
+
+  /// True when out-edge `out_idx` of `from` is fused.
+  bool fused(NodeId from, size_t out_idx) const {
+    return edge_verdict[static_cast<size_t>(from)][out_idx] ==
+           ChainBreak::kChained;
+  }
+
+  /// True when `id` is a chain head (owns real input channels). Sources
+  /// are not heads.
+  bool is_head(NodeId id) const {
+    return pos_in_chain[static_cast<size_t>(id)] == 0;
+  }
+
+  int num_chains() const { return static_cast<int>(chains.size()); }
+
+  /// Total fused edges across the graph.
+  int fused_edge_count() const;
+
+  /// Human-readable layout: one line per chain ("chain 0 (x4): filter ->
+  /// map -> sink"), then one line per unchained forward edge naming the
+  /// verdict that broke it.
+  std::string ToString(const JobGraph& graph) const;
+};
+
+/// Computes maximal chains over the physical graph. A forward edge
+/// producer -> consumer fuses when all of:
+///   - the edge's PartitionMode is kForward (hash/broadcast cross a real
+///     exchange by definition),
+///   - the producer is an operator (sources keep their ingestion thread),
+///   - `chaining_enabled` and both endpoints' chaining knobs are on,
+///   - the producer has exactly one out-edge and the consumer exactly one
+///     in-edge (no fan-out/fan-in inside a chain),
+///   - both nodes have equal parallelism (subtask i hands to subtask i).
+/// With `chaining_enabled` false every operator is its own chain, which
+/// reproduces the historical one-thread-per-subtask layout.
+ChainLayout ComputeChainLayout(const JobGraph& graph,
+                               bool chaining_enabled = true);
 
 }  // namespace cep2asp
 

@@ -35,6 +35,12 @@ int ChannelStats::FillBucket(size_t fill) {
 }
 
 std::string ChannelStats::ToString() const {
+  if (fused) {
+    char fbuf[160];
+    std::snprintf(fbuf, sizeof(fbuf), "->%s[%d] fused tuples=%lld",
+                  consumer.c_str(), subtask, static_cast<long long>(tuples));
+    return fbuf;
+  }
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "->%s[%d] %s batches=%lld msgs=%lld tuples=%lld "

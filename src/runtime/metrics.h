@@ -36,6 +36,13 @@ struct ChannelStats {
   std::string consumer;  // name of the operator this channel feeds
   int subtask = 0;       // consumer subtask instance (keyed parallelism)
   bool spsc = false;     // lock-free single-producer fast path?
+  /// True when the operator's input edge was fused by operator chaining:
+  /// no physical channel exists, tuples were handed over in-thread. Such
+  /// entries report the hand-off count as `tuples`/`messages` and zero
+  /// queue traffic (batches == 0, empty fill histogram) — they exist so
+  /// metrics consumers see every operator input without miscounting real
+  /// exchange channels.
+  bool fused = false;
   int64_t batches = 0;
   int64_t messages = 0;  // all messages, including watermarks/end markers
   int64_t tuples = 0;    // data messages only: the partition's tuple load

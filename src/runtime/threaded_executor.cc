@@ -19,22 +19,32 @@ namespace {
 /// is the consumer-side dense index of one (in-edge, producer subtask)
 /// pair: watermarks are min-aligned and end-of-stream is counted per slot,
 /// because a single input port may merge several producer subtasks.
+///
+/// Edges fused by operator chaining cross no exchange: they get no slot
+/// (base -1) and contribute nothing to the consumer's channel — only chain
+/// heads accumulate slots and own channels.
 struct PhysicalLayout {
-  /// Slots per consumer node = sum of producer parallelism over in-edges
-  /// (the graph's physical_fan_in).
+  /// Slots per consumer node = sum of producer parallelism over unfused
+  /// in-edges (the graph's physical_fan_in minus fused hand-offs).
   std::vector<int> num_slots;
   /// edge_slot_base[from][out_idx]: first slot of that edge at the
-  /// consumer; producer subtask s stamps slot base + s.
+  /// consumer; producer subtask s stamps slot base + s. -1 for fused
+  /// edges (in-thread hand-off, never stamped).
   std::vector<std::vector<int>> edge_slot_base;
 
-  explicit PhysicalLayout(const JobGraph& graph) {
+  PhysicalLayout(const JobGraph& graph, const ChainLayout& chains) {
     const int n = graph.num_nodes();
     num_slots.assign(static_cast<size_t>(n), 0);
     edge_slot_base.resize(static_cast<size_t>(n));
     for (NodeId from = 0; from < n; ++from) {
       const JobGraph::Node& node = graph.node(from);
       edge_slot_base[static_cast<size_t>(from)].reserve(node.outputs.size());
-      for (const JobGraph::Edge& edge : node.outputs) {
+      for (size_t i = 0; i < node.outputs.size(); ++i) {
+        const JobGraph::Edge& edge = node.outputs[i];
+        if (chains.fused(from, i)) {
+          edge_slot_base[static_cast<size_t>(from)].push_back(-1);
+          continue;
+        }
         edge_slot_base[static_cast<size_t>(from)].push_back(
             num_slots[static_cast<size_t>(edge.to)]);
         num_slots[static_cast<size_t>(edge.to)] += node.parallelism;
@@ -45,12 +55,15 @@ struct PhysicalLayout {
 
 using NodeChannels = std::vector<std::unique_ptr<Channel>>;  // per subtask
 
-/// Collector of one producer subtask: routes emitted tuples to the right
-/// consumer subtask per out-edge (hash by key, chained/rebalance forward,
-/// or broadcast), accumulating one pending MessageBatch per physical
-/// target channel. Tuples are copied for all destinations but the last and
-/// moved into the last, so the common case (one edge, one target) never
-/// deep-copies.
+/// Collector of one producer subtask (a source, or the tail operator of a
+/// chain): routes emitted tuples to the right consumer subtask per
+/// out-edge (hash by key, chained/rebalance forward, or broadcast),
+/// accumulating one pending MessageBatch per physical target channel.
+/// Tuples are copied for all destinations but the last and moved into the
+/// last, so the common case (one edge, one target) never deep-copies.
+///
+/// Only constructed for nodes whose out-edges all cross a real exchange
+/// (chain interiors hand tuples over via ChainedCollector instead).
 ///
 /// Control messages (watermark/end) go to *every* consumer subtask of
 /// every out-edge regardless of the edge's partition mode — watermarks
@@ -196,6 +209,65 @@ class PartitioningCollector : public Collector {
   std::vector<Destination> destinations_;
 };
 
+/// Collector of one fused edge inside a chain: hands each emitted tuple
+/// straight to the next operator's Process on the calling thread — no
+/// MessageBatch, no ring, no copy. Flush propagates down the chain so the
+/// tail's micro-batches still drain when the head goes idle. Watermarks
+/// never pass through here (the chain driver cascades OnWatermark through
+/// the operators itself, in chain order, before forwarding downstream).
+class ChainedCollector : public Collector {
+ public:
+  ChainedCollector(Operator* next, int port, Collector* downstream,
+                   Status* chain_status, int64_t* handed_over
+#if CEP2ASP_CHECK_INVARIANTS
+                   ,
+                   InvariantChecker* invariants, NodeId node, int subtask
+#endif
+                   )
+      : next_(next),
+        port_(port),
+        downstream_(downstream),
+        chain_status_(chain_status),
+        handed_over_(handed_over)
+#if CEP2ASP_CHECK_INVARIANTS
+        ,
+        invariants_(invariants),
+        node_(node),
+        subtask_(subtask)
+#endif
+  {
+  }
+
+  void Emit(Tuple tuple) override {
+    // Once the chain failed it is unwinding; drop instead of feeding an
+    // operator whose run already ended with an error.
+    if (!chain_status_->ok()) return;
+    ++*handed_over_;
+#if CEP2ASP_CHECK_INVARIANTS
+    // A fused consumer has exactly one in-edge from an equal-parallelism
+    // producer, so its physical fan-in equals its parallelism and slot
+    // `subtask` is exactly the channel this in-thread hand-off replaces.
+    invariants_->OnPhysicalTuple(node_, subtask_, subtask_, tuple);
+#endif
+    Status st = next_->Process(port_, std::move(tuple), downstream_);
+    if (!st.ok()) *chain_status_ = st.WithContext(next_->name());
+  }
+
+  void Flush() override { downstream_->Flush(); }
+
+ private:
+  Operator* next_;
+  int port_;
+  Collector* downstream_;
+  Status* chain_status_;
+  int64_t* handed_over_;
+#if CEP2ASP_CHECK_INVARIANTS
+  InvariantChecker* invariants_;
+  NodeId node_;
+  int subtask_;
+#endif
+};
+
 }  // namespace
 
 ThreadedExecutor::ThreadedExecutor(JobGraph* graph,
@@ -218,15 +290,18 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
   const size_t batch_size = std::max<size_t>(1, options_.batch_size);
 
   const int n = graph_->num_nodes();
-  const PhysicalLayout layout(*graph_);
+  const ChainLayout chain_layout =
+      ComputeChainLayout(*graph_, options_.enable_chaining);
+  const PhysicalLayout layout(*graph_, chain_layout);
 
-  // One input channel per (operator, subtask). Every producer subtask of
-  // every in-edge pushes at least control messages into each of them, so
-  // the SPSC fast path needs physical fan-in 1 — with parallelism 1
-  // everywhere this is the same choice as before.
+  // One input channel per (chain head, subtask); chain interiors receive
+  // tuples in-thread and own no channel. Every producer subtask of every
+  // unfused in-edge pushes at least control messages into each channel, so
+  // the SPSC fast path needs physical fan-in 1 — with parallelism 1 and
+  // chaining off everywhere this is the same choice as before.
   std::vector<NodeChannels> channels(static_cast<size_t>(n));
   for (NodeId id = 0; id < n; ++id) {
-    if (graph_->node(id).is_source()) continue;
+    if (graph_->node(id).is_source() || !chain_layout.is_head(id)) continue;
     const int subtasks = graph_->parallelism(id);
     for (int s = 0; s < subtasks; ++s) {
       channels[static_cast<size_t>(id)].push_back(
@@ -267,6 +342,16 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
     }
   }
 
+  // In-thread hand-off counters of fused edges: fused_tuples[id][s] counts
+  // tuples handed into subtask s of chain-interior node id. Each cell is
+  // written only by its own chain thread; read after the join.
+  std::vector<std::vector<int64_t>> fused_tuples(static_cast<size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    if (graph_->node(id).is_source()) continue;
+    fused_tuples[static_cast<size_t>(id)].assign(
+        static_cast<size_t>(graph_->parallelism(id)), 0);
+  }
+
   std::atomic<int64_t> tuples_ingested{0};
   int64_t start_nanos = clock->NowNanos();
 
@@ -275,84 +360,152 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
 
   for (NodeId id = 0; id < n; ++id) {
     JobGraph::Node& node = graph_->mutable_node(id);
-    if (node.is_source()) {
-      Source* source = node.source.get();
-      threads.emplace_back([&, id, source] {
-        PartitioningCollector collector(graph_, id, /*subtask=*/0, &layout,
-                                        &channels, batch_size);
-        std::vector<Tuple> staged;
-        staged.reserve(batch_size);
-        int since_watermark = 0;
-        // Adaptive staging: one create_ts stamp and one ingest-counter
-        // bump per batch. When the source is slow (rate-limited), filling
-        // a whole batch would sit on tuples, so the staging size halves
-        // whenever the previous batch took longer than the flush timeout
-        // and doubles back while the source keeps up.
-        size_t stage_target = batch_size;
-        const Timestamp flush_timeout = options_.source_flush_timeout_millis;
-        Timestamp last_stamp = clock->NowMillis();
-        bool more = true;
-        while (more) {
-          staged.clear();
-          Tuple tuple;
-          while (staged.size() < stage_target && (more = source->Next(&tuple))) {
-            staged.push_back(std::move(tuple));
-          }
-          if (staged.empty()) break;
-          const Timestamp now = clock->NowMillis();
-          if (flush_timeout > 0 && batch_size > 1) {
-            if (now - last_stamp > flush_timeout) {
-              stage_target = std::max<size_t>(1, stage_target / 2);
-            } else if (stage_target < batch_size) {
-              stage_target = std::min(batch_size, stage_target * 2);
-            }
-          }
-          last_stamp = now;
-          for (Tuple& t : staged) {
-            for (size_t i = 0; i < t.size(); ++i) {
-              t.mutable_event(i).create_ts = now;
-            }
-          }
-          tuples_ingested.fetch_add(static_cast<int64_t>(staged.size()),
-                                    std::memory_order_relaxed);
-          for (Tuple& t : staged) collector.Emit(std::move(t));
-          since_watermark += static_cast<int>(staged.size());
-          if (since_watermark >= options_.watermark_interval) {
-            since_watermark = 0;
-            collector.EmitControl(MessageKind::kWatermark,
-                                  source->CurrentWatermark());
+    if (!node.is_source()) continue;
+    Source* source = node.source.get();
+    threads.emplace_back([&, id, source] {
+      PartitioningCollector collector(graph_, id, /*subtask=*/0, &layout,
+                                      &channels, batch_size);
+      std::vector<Tuple> staged;
+      staged.reserve(batch_size);
+      int since_watermark = 0;
+      // Adaptive staging: one create_ts stamp and one ingest-counter
+      // bump per batch. When the source is slow (rate-limited), filling
+      // a whole batch would sit on tuples, so the staging size halves
+      // whenever the previous batch took longer than the flush timeout
+      // and doubles back while the source keeps up.
+      size_t stage_target = batch_size;
+      const Timestamp flush_timeout = options_.source_flush_timeout_millis;
+      Timestamp last_stamp = clock->NowMillis();
+      bool more = true;
+      while (more) {
+        staged.clear();
+        Tuple tuple;
+        while (staged.size() < stage_target && (more = source->Next(&tuple))) {
+          staged.push_back(std::move(tuple));
+        }
+        if (staged.empty()) break;
+        const Timestamp now = clock->NowMillis();
+        if (flush_timeout > 0 && batch_size > 1) {
+          if (now - last_stamp > flush_timeout) {
+            stage_target = std::max<size_t>(1, stage_target / 2);
+          } else if (stage_target < batch_size) {
+            stage_target = std::min(batch_size, stage_target * 2);
           }
         }
-        collector.EmitControl(MessageKind::kWatermark, kMaxTimestamp);
-        collector.EmitControl(MessageKind::kEnd, 0);
-      });
-      continue;
-    }
-
-    const int subtasks = node.parallelism;
-    for (int subtask = 0; subtask < subtasks; ++subtask) {
-      Operator* op =
-          subtask == 0
-              ? node.op.get()
-              : clones[static_cast<size_t>(id)][static_cast<size_t>(subtask - 1)]
-                    .get();
-      Status open = op->Open();
-      if (!open.ok()) {
-        record_error(open.WithContext(op->name()));
-        continue;
+        last_stamp = now;
+        for (Tuple& t : staged) {
+          for (size_t i = 0; i < t.size(); ++i) {
+            t.mutable_event(i).create_ts = now;
+          }
+        }
+        tuples_ingested.fetch_add(static_cast<int64_t>(staged.size()),
+                                  std::memory_order_relaxed);
+        for (Tuple& t : staged) collector.Emit(std::move(t));
+        since_watermark += static_cast<int>(staged.size());
+        if (since_watermark >= options_.watermark_interval) {
+          since_watermark = 0;
+          collector.EmitControl(MessageKind::kWatermark,
+                                source->CurrentWatermark());
+        }
       }
-      const int num_slots = layout.num_slots[static_cast<size_t>(id)];
-      threads.emplace_back([&, id, subtask, op, num_slots] {
-        PartitioningCollector collector(graph_, id, subtask, &layout,
-                                        &channels, batch_size);
+      collector.EmitControl(MessageKind::kWatermark, kMaxTimestamp);
+      collector.EmitControl(MessageKind::kEnd, 0);
+    });
+  }
+
+  // One thread per (chain, subtask): the head drains its input channel,
+  // interior operators run inline behind it via ChainedCollectors, the
+  // tail's PartitioningCollector routes into the next chains' channels.
+  for (int c = 0; c < chain_layout.num_chains(); ++c) {
+    const std::vector<NodeId>& chain = chain_layout.chains[static_cast<size_t>(c)];
+    const NodeId head = chain.front();
+    const int subtasks = graph_->parallelism(head);
+    for (int subtask = 0; subtask < subtasks; ++subtask) {
+      std::vector<Operator*> ops;
+      ops.reserve(chain.size());
+      bool open_failed = false;
+      for (NodeId id : chain) {
+        Operator* op =
+            subtask == 0
+                ? graph_->mutable_node(id).op.get()
+                : clones[static_cast<size_t>(id)][static_cast<size_t>(subtask - 1)]
+                      .get();
+        Status open = op->Open();
+        if (!open.ok()) {
+          record_error(open.WithContext(op->name()));
+          open_failed = true;
+          break;
+        }
+        ops.push_back(op);
+      }
+      if (open_failed) continue;
+      const int num_slots = layout.num_slots[static_cast<size_t>(head)];
+      threads.emplace_back([&, c, subtask, head, num_slots,
+                            ops = std::move(ops)]() mutable {
+        const std::vector<NodeId>& chain_nodes =
+            chain_layout.chains[static_cast<size_t>(c)];
+        PartitioningCollector tail(graph_, chain_nodes.back(), subtask,
+                                   &layout, &channels, batch_size);
+        // Collector per chain position, built tail-first: the tail batches
+        // into real channels, every link hands to the next operator
+        // in-thread. `links` never reallocates (reserved), so the stored
+        // downstream pointers stay valid.
+        Status chain_status;
+        std::vector<ChainedCollector> links;
+        links.reserve(ops.size());
+        std::vector<Collector*> collectors(ops.size(), nullptr);
+        collectors.back() = &tail;
+        for (size_t i = ops.size() - 1; i >= 1; --i) {
+          const JobGraph::Edge& edge =
+              graph_->node(chain_nodes[i - 1]).outputs[0];
+          links.emplace_back(ops[i], edge.input_port, collectors[i],
+                             &chain_status,
+                             &fused_tuples[static_cast<size_t>(chain_nodes[i])]
+                                          [static_cast<size_t>(subtask)]
+#if CEP2ASP_CHECK_INVARIANTS
+                             ,
+                             &invariants, chain_nodes[i], subtask
+#endif
+          );
+          collectors[i - 1] = &links.back();
+        }
+
+        // Watermarks and Finish cascade through the chain in operator
+        // order: each operator's OnWatermark/Finish emissions reach the
+        // downstream operators (through the links) *before* the control
+        // event is forwarded past them — the same order the unfused
+        // per-edge protocol guarantees.
+        auto cascade_watermark = [&](Timestamp wm) -> Status {
+          for (size_t i = 0; i < ops.size(); ++i) {
+#if CEP2ASP_CHECK_INVARIANTS
+            if (i > 0) {
+              invariants.OnPhysicalWatermark(chain_nodes[i], subtask, subtask,
+                                             wm);
+            }
+#endif
+            Status st = ops[i]->OnWatermark(wm, collectors[i]);
+            if (!st.ok()) return st.WithContext(ops[i]->name());
+            if (!chain_status.ok()) return chain_status;
+          }
+          return Status::OK();
+        };
+        auto cascade_finish = [&]() -> Status {
+          for (size_t i = 0; i < ops.size(); ++i) {
+            Status st = ops[i]->Finish(collectors[i]);
+            if (!st.ok()) return st.WithContext(ops[i]->name());
+            if (!chain_status.ok()) return chain_status;
+          }
+          return Status::OK();
+        };
+
         if (num_slots == 0) {
           // No upstream at all (lint warns W306): nothing will ever
           // arrive; run the shutdown protocol so downstream terminates.
-          Status st = op->OnWatermark(kMaxTimestamp, &collector);
-          if (st.ok()) st = op->Finish(&collector);
-          if (!st.ok()) record_error(st.WithContext(op->name()));
-          collector.EmitControl(MessageKind::kWatermark, kMaxTimestamp);
-          collector.EmitControl(MessageKind::kEnd, 0);
+          Status st = cascade_watermark(kMaxTimestamp);
+          if (st.ok()) st = cascade_finish();
+          if (!st.ok()) record_error(st);
+          tail.EmitControl(MessageKind::kWatermark, kMaxTimestamp);
+          tail.EmitControl(MessageKind::kEnd, 0);
           return;
         }
         std::vector<Timestamp> slot_watermarks(static_cast<size_t>(num_slots),
@@ -360,7 +513,7 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
         Timestamp aligned = kMinTimestamp;
         int ended_slots = 0;
         Channel* input =
-            channels[static_cast<size_t>(id)][static_cast<size_t>(subtask)]
+            channels[static_cast<size_t>(head)][static_cast<size_t>(subtask)]
                 .get();
         MessageBatch in;
         in.reserve(batch_size);
@@ -371,18 +524,24 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
             switch (msg.kind) {
               case MessageKind::kTuple: {
 #if CEP2ASP_CHECK_INVARIANTS
-                invariants.OnPhysicalTuple(id, subtask, msg.slot, msg.tuple);
+                invariants.OnPhysicalTuple(head, subtask, msg.slot, msg.tuple);
 #endif
-                Status st = op->Process(msg.port, std::move(msg.tuple), &collector);
+                Status st = ops.front()->Process(msg.port, std::move(msg.tuple),
+                                                 collectors.front());
                 if (!st.ok()) {
-                  record_error(st.WithContext(op->name()));
+                  st = st.WithContext(ops.front()->name());
+                } else if (!chain_status.ok()) {
+                  st = chain_status;
+                }
+                if (!st.ok()) {
+                  record_error(st);
                   ended_slots = num_slots;
                 }
                 break;
               }
               case MessageKind::kWatermark: {
 #if CEP2ASP_CHECK_INVARIANTS
-                invariants.OnPhysicalWatermark(id, subtask, msg.slot,
+                invariants.OnPhysicalWatermark(head, subtask, msg.slot,
                                                msg.watermark);
 #endif
                 Timestamp& slot =
@@ -392,21 +551,21 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
                     slot_watermarks.begin(), slot_watermarks.end());
                 if (new_aligned > aligned) {
                   aligned = new_aligned;
-                  Status st = op->OnWatermark(aligned, &collector);
+                  Status st = cascade_watermark(aligned);
                   if (!st.ok()) {
-                    record_error(st.WithContext(op->name()));
+                    record_error(st);
                     ended_slots = num_slots;
                   } else {
-                    collector.EmitControl(MessageKind::kWatermark, aligned);
+                    tail.EmitControl(MessageKind::kWatermark, aligned);
                   }
                 }
                 break;
               }
               case MessageKind::kEnd: {
                 if (++ended_slots == num_slots) {
-                  Status st = op->Finish(&collector);
-                  if (!st.ok()) record_error(st.WithContext(op->name()));
-                  collector.EmitControl(MessageKind::kEnd, 0);
+                  Status st = cascade_finish();
+                  if (!st.ok()) record_error(st);
+                  tail.EmitControl(MessageKind::kEnd, 0);
                 }
                 break;
               }
@@ -415,7 +574,9 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
           // Input drained for now: hand partial output batches downstream
           // before blocking, so a stalled stream never strands tuples in a
           // half-filled batch.
-          if (ended_slots < num_slots && input->Empty()) collector.Flush();
+          if (ended_slots < num_slots && input->Empty()) {
+            collectors.front()->Flush();
+          }
         }
       });
     }
@@ -449,26 +610,46 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
     }
   }
   for (NodeId id = 0; id < n; ++id) {
+    const JobGraph::Node& node = graph_->node(id);
+    if (node.is_source()) continue;
+    const std::string& name = node.op->name();
     const NodeChannels& node_channels = channels[static_cast<size_t>(id)];
-    if (node_channels.empty()) continue;
-    const std::string& name = graph_->node(id).op->name();
-    for (size_t s = 0; s < node_channels.size(); ++s) {
-      result.channel_stats.push_back(
-          node_channels[s]->Snapshot(name, static_cast<int>(s)));
+    std::vector<int64_t> tuples_per_subtask;
+    if (!node_channels.empty()) {
+      for (size_t s = 0; s < node_channels.size(); ++s) {
+        ChannelStats stats =
+            node_channels[s]->Snapshot(name, static_cast<int>(s));
+        tuples_per_subtask.push_back(stats.tuples);
+        result.channel_stats.push_back(std::move(stats));
+      }
+    } else {
+      // Chain-interior node: its input edge was fused, so no physical
+      // channel exists. Report the in-thread hand-off honestly as a fused
+      // pseudo-channel with zero queue traffic, one entry per subtask.
+      for (int s = 0; s < node.parallelism; ++s) {
+        ChannelStats stats;
+        stats.consumer = name;
+        stats.subtask = s;
+        stats.fused = true;
+        stats.tuples =
+            fused_tuples[static_cast<size_t>(id)][static_cast<size_t>(s)];
+        stats.messages = stats.tuples;
+        tuples_per_subtask.push_back(stats.tuples);
+        result.channel_stats.push_back(std::move(stats));
+      }
     }
-    if (node_channels.size() > 1) {
+    if (tuples_per_subtask.size() > 1) {
       PartitionSkew skew;
       skew.op = name;
-      skew.parallelism = static_cast<int>(node_channels.size());
+      skew.parallelism = static_cast<int>(tuples_per_subtask.size());
       int64_t total = 0;
-      for (const std::unique_ptr<Channel>& ch : node_channels) {
-        ChannelStats stats = ch->Snapshot(name);
-        skew.tuples_per_subtask.push_back(stats.tuples);
-        skew.max_tuples = std::max(skew.max_tuples, stats.tuples);
-        total += stats.tuples;
+      for (int64_t tuples : tuples_per_subtask) {
+        skew.tuples_per_subtask.push_back(tuples);
+        skew.max_tuples = std::max(skew.max_tuples, tuples);
+        total += tuples;
       }
       skew.mean_tuples = static_cast<double>(total) /
-                         static_cast<double>(node_channels.size());
+                         static_cast<double>(tuples_per_subtask.size());
       result.partition_skew.push_back(std::move(skew));
     }
   }

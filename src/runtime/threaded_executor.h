@@ -41,6 +41,13 @@ struct ThreadedExecutorOptions {
   /// full batches).
   Timestamp source_flush_timeout_millis = 2;
 
+  /// Fuse forward-edge operator chains into single subtasks (see
+  /// ComputeChainLayout for the chain rules). Off reproduces the
+  /// historical one-thread-per-(node, subtask) layout with a real exchange
+  /// channel on every edge; only interesting for A/B benchmarks and
+  /// debugging.
+  bool enable_chaining = true;
+
   Clock* clock = nullptr;
 };
 
@@ -63,12 +70,23 @@ struct ThreadedExecutorOptions {
 /// partitioning. With parallelism 1 everywhere this reduces to the
 /// historical one-thread-per-node behavior.
 ///
-/// Tuples cross edges in MessageBatches (one channel synchronization per
-/// batch, not per tuple); physical-fan-in-1 channels ride a lock-free SPSC
-/// ring, the rest fall back to the mutex queue. The single-threaded
-/// PipelineExecutor remains the deterministic logical reference (it
-/// ignores parallelism); correctness tests assert both produce identical
-/// match sets at every parallelism level.
+/// Operator chaining (on by default) collapses runs of fused forward
+/// edges into one subtask per chain: tuples inside a chain are handed to
+/// the next operator's Process directly via a ChainedCollector — no
+/// MessageBatch, no queue, no copy — and only chain-boundary edges get
+/// real exchange channels. Watermarks and Finish propagate through the
+/// chain in operator order before being forwarded downstream, so chain
+/// fusion is invisible to operators and to event-time semantics. Fused
+/// edges still appear in ChannelStats, flagged `fused` with zero queue
+/// traffic.
+///
+/// Tuples cross boundary edges in MessageBatches (one channel
+/// synchronization per batch, not per tuple); physical-fan-in-1 channels
+/// ride a lock-free SPSC ring, the rest fall back to the mutex queue. The
+/// single-threaded PipelineExecutor remains the deterministic logical
+/// reference (it ignores parallelism); correctness tests assert both
+/// produce identical match sets at every parallelism level, chain on and
+/// off.
 class ThreadedExecutor {
  public:
   ThreadedExecutor(JobGraph* graph, ThreadedExecutorOptions options = {});

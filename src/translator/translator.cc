@@ -711,6 +711,36 @@ Result<NodeId> CompileNode(const LogicalOp& op, CompileContext* ctx) {
   return Status::Internal("unknown logical op kind");
 }
 
+/// Chain-friendly parallelism alignment: a stateless, cloneable operator
+/// whose single forward out-edge is the only input of a wider parallel
+/// consumer is widened to that consumer's parallelism. Without this, the
+/// pre-key stages (filter -> key-assigning map) stay at parallelism 1 and
+/// every parallel plan pays a rebalance exchange in front of each keyed
+/// stage; with it, the whole stateless prefix fuses into the parallel
+/// chain (see ComputeChainLayout). Iterates to a fixpoint so prefixes of
+/// any length widen together. Results are unaffected: the rebalance this
+/// removes was already spreading tuples over subtasks arbitrarily, and
+/// key-based routing only starts at the hash edges downstream.
+void AlignStatelessPrefixParallelism(JobGraph* graph) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId id = 0; id < graph->num_nodes(); ++id) {
+      const JobGraph::Node& node = graph->node(id);
+      if (node.is_source() || node.outputs.size() != 1) continue;
+      const JobGraph::Edge& edge = node.outputs[0];
+      if (edge.partition != PartitionMode::kForward) continue;
+      if (graph->fan_in(edge.to) != 1) continue;
+      const int consumer_parallelism = graph->parallelism(edge.to);
+      if (node.parallelism >= consumer_parallelism) continue;
+      if (node.op->Traits().stateful) continue;
+      if (node.op->CloneForSubtask() == nullptr) continue;
+      CEP2ASP_CHECK_OK(graph->SetParallelism(id, consumer_parallelism));
+      changed = true;
+    }
+  }
+}
+
 }  // namespace
 
 Result<CompiledQuery> CompilePlan(const LogicalPlan& plan,
@@ -728,6 +758,7 @@ Result<CompiledQuery> CompilePlan(const LogicalPlan& plan,
   query.sink = sink.get();
   NodeId sink_id = query.graph.AddOperator(std::move(sink));
   CEP2ASP_RETURN_IF_ERROR(query.graph.Connect(last, sink_id, 0));
+  if (plan.parallelism > 1) AlignStatelessPrefixParallelism(&query.graph);
   CEP2ASP_RETURN_IF_ERROR(query.graph.Validate());
   return query;
 }
@@ -753,6 +784,7 @@ Result<CompiledQuery> TranslatePattern(const Pattern& pattern,
     query.sink = sink.get();
     NodeId sink_id = query.graph.AddOperator(std::move(sink));
     CEP2ASP_RETURN_IF_ERROR(query.graph.Connect(dedup_id, sink_id, 0));
+    if (plan.parallelism > 1) AlignStatelessPrefixParallelism(&query.graph);
     CEP2ASP_RETURN_IF_ERROR(query.graph.Validate());
     return query;
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/chain_rules.h"
 #include "asp/sliding_window_join.h"
 #include "asp/stateless.h"
 #include "harness/paper_patterns.h"
@@ -652,6 +653,58 @@ TEST(GraphRulesTest, E314ParallelUnsupported) {
                    .Has(DiagnosticCode::kGraphParallelUnsupported));
 }
 
+// === chain rules (I315) =====================================================
+
+TEST(ChainRulesTest, FullyChainedLinearPipelineIsClean) {
+  JobGraph graph;
+  NodeId src = graph.AddSource(EmptySource("s"));
+  NodeId f = graph.AddOperatorAfter(
+      src,
+      std::make_unique<FilterOperator>([](const Tuple&) { return true; }));
+  NodeId k = graph.AddOperatorAfter(f, MapOperator::AssignConstantKey(0));
+  graph.AddOperatorAfter(k, std::make_unique<CollectSink>());
+  DiagnosticReport report = AnalyzeChaining(graph);
+  EXPECT_TRUE(report.empty()) << report.ToString();
+}
+
+TEST(ChainRulesTest, I315FanInAndParallelismMismatch) {
+  // Forward edges into the fan-in-2 join cannot fuse: two infos, nothing
+  // stronger (the graph is perfectly runnable).
+  DiagnosticReport fan_in = AnalyzeChaining(MakeKeyedJoinGraph().graph);
+  EXPECT_TRUE(fan_in.Has(DiagnosticCode::kGraphForwardEdgeNotChained));
+  EXPECT_EQ(fan_in.info_count(), 2);
+  EXPECT_EQ(fan_in.error_count(), 0);
+  EXPECT_EQ(fan_in.warning_count(), 0);
+
+  // Parallel join into the parallelism-1 sink: the forward edge breaks on
+  // the parallelism mismatch.
+  DiagnosticReport mismatch =
+      AnalyzeChaining(MakeParallelKeyedJoinGraph(2).graph);
+  EXPECT_TRUE(mismatch.Has(DiagnosticCode::kGraphForwardEdgeNotChained));
+}
+
+TEST(ChainRulesTest, I315ChainingOptOut) {
+  JobGraph graph;
+  NodeId src = graph.AddSource(EmptySource("s"));
+  NodeId f = graph.AddOperatorAfter(
+      src,
+      std::make_unique<FilterOperator>([](const Tuple&) { return true; }));
+  NodeId k = graph.AddOperatorAfter(f, MapOperator::AssignConstantKey(0));
+  graph.AddOperatorAfter(k, std::make_unique<CollectSink>());
+  ASSERT_TRUE(graph.SetChaining(k, false).ok());
+  DiagnosticReport report = AnalyzeChaining(graph);
+  // f -> k breaks on the consumer opt-out, k -> sink on the producer's.
+  EXPECT_EQ(report.info_count(), 2) << report.ToString();
+  EXPECT_TRUE(report.Has(DiagnosticCode::kGraphForwardEdgeNotChained));
+}
+
+TEST(ChainRulesTest, GraphLintStaysInfoFree) {
+  // I315 lives in the separate AnalyzeChaining pass: the executor-facing
+  // graph lint must not pick it up even when unfused forward edges exist.
+  EXPECT_FALSE(AnalyzeJobGraph(MakeKeyedJoinGraph().graph)
+                   .Has(DiagnosticCode::kGraphForwardEdgeNotChained));
+}
+
 // === integration ============================================================
 
 TEST(ValidateTest, WrapsGraphRules) {
@@ -761,13 +814,25 @@ TEST(DiagnosticRegistryTest, CodesRenderStably) {
             "CEP2ASP-E201");
   EXPECT_EQ(DiagnosticCodeName(DiagnosticCode::kGraphSourceUnconnected),
             "CEP2ASP-W305");
+  EXPECT_EQ(DiagnosticCodeName(DiagnosticCode::kGraphForwardEdgeNotChained),
+            "CEP2ASP-I315");
   // Every registered code has a description and a consistent severity
   // letter in its rendered name.
   for (DiagnosticCode code : AllDiagnosticCodes()) {
     const std::string name = DiagnosticCodeName(code);
     ASSERT_GE(name.size(), 10u);
-    const char letter =
-        DiagnosticCodeSeverity(code) == DiagnosticSeverity::kError ? 'E' : 'W';
+    char letter = '?';
+    switch (DiagnosticCodeSeverity(code)) {
+      case DiagnosticSeverity::kError:
+        letter = 'E';
+        break;
+      case DiagnosticSeverity::kWarning:
+        letter = 'W';
+        break;
+      case DiagnosticSeverity::kInfo:
+        letter = 'I';
+        break;
+    }
     EXPECT_EQ(name[8], letter) << name;
     EXPECT_NE(std::string(DiagnosticCodeDescription(code)), "");
   }

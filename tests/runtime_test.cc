@@ -491,12 +491,17 @@ TEST(ThreadedExecutorTest, SingleProducerEdgesUseSpscFastPath) {
   auto sink_op = std::make_unique<CollectSink>(false);
   CollectSink* sink = sink_op.get();
   graph.AddOperatorAfter(filter, std::move(sink_op));
-  ThreadedExecutor executor(&graph);
+  // Chaining fuses filter -> sink, so only the source -> filter edge is a
+  // real channel; run chain-off to observe the per-edge channel layout.
+  ThreadedExecutorOptions options;
+  options.enable_chaining = false;
+  ThreadedExecutor executor(&graph, options);
   ExecutionResult result = executor.Run(sink);
   ASSERT_TRUE(result.ok) << result.error;
   ASSERT_EQ(result.channel_stats.size(), 2u);
   int64_t total_batches = 0;
   for (const ChannelStats& stats : result.channel_stats) {
+    EXPECT_FALSE(stats.fused) << stats.ToString();
     EXPECT_TRUE(stats.spsc) << stats.ToString();
     // 500 tuples + watermarks + end, batched: far fewer pushes than
     // messages.
@@ -505,6 +510,42 @@ TEST(ThreadedExecutorTest, SingleProducerEdgesUseSpscFastPath) {
     total_batches += stats.batches;
   }
   EXPECT_GT(total_batches, 0);
+}
+
+TEST(ThreadedExecutorTest, FusedEdgeReportedAsZeroTrafficChannel) {
+  // Default chaining: filter -> sink fuses, the sink's ChannelStats entry
+  // must survive flagged `fused` with the hand-off count but zero queue
+  // traffic, while source -> filter stays a real SPSC channel.
+  JobGraph graph;
+  NodeId src = graph.AddSource(
+      std::make_unique<VectorSource>("s", MakeEvents(0, 500)));
+  NodeId filter = graph.AddOperatorAfter(
+      src, std::make_unique<FilterOperator>([](const Tuple&) { return true; }));
+  auto sink_op = std::make_unique<CollectSink>(false);
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(filter, std::move(sink_op));
+  ThreadedExecutor executor(&graph);
+  ExecutionResult result = executor.Run(sink);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.matches_emitted, 500);
+  ASSERT_EQ(result.channel_stats.size(), 2u);
+  bool saw_filter = false, saw_sink = false;
+  for (const ChannelStats& stats : result.channel_stats) {
+    if (stats.consumer == "sink") {
+      EXPECT_TRUE(stats.fused) << stats.ToString();
+      EXPECT_EQ(stats.tuples, 500) << stats.ToString();
+      EXPECT_EQ(stats.batches, 0) << stats.ToString();
+      EXPECT_EQ(stats.blocked_push_nanos, 0) << stats.ToString();
+      saw_sink = true;
+    } else {
+      EXPECT_FALSE(stats.fused) << stats.ToString();
+      EXPECT_TRUE(stats.spsc) << stats.ToString();
+      EXPECT_GE(stats.messages, 500) << stats.ToString();
+      saw_filter = true;
+    }
+  }
+  EXPECT_TRUE(saw_filter);
+  EXPECT_TRUE(saw_sink);
 }
 
 TEST(ThreadedExecutorTest, TwoProducerInputFallsBackToMpmcQueue) {
@@ -527,15 +568,254 @@ TEST(ThreadedExecutorTest, TwoProducerInputFallsBackToMpmcQueue) {
   bool saw_union = false, saw_sink = false;
   for (const ChannelStats& stats : result.channel_stats) {
     if (stats.consumer.rfind("union", 0) == 0) {
+      EXPECT_FALSE(stats.fused) << stats.ToString();
       EXPECT_FALSE(stats.spsc) << "two producers must use the MPMC queue";
       saw_union = true;
     } else {
-      EXPECT_TRUE(stats.spsc) << stats.ToString();
+      // union -> sink fuses under default chaining: the sink's entry is a
+      // fused pseudo-channel, not a queue.
+      EXPECT_TRUE(stats.fused) << stats.ToString();
+      EXPECT_EQ(stats.tuples, 600) << stats.ToString();
       saw_sink = true;
     }
   }
   EXPECT_TRUE(saw_union);
   EXPECT_TRUE(saw_sink);
+}
+
+// --- Operator chaining ------------------------------------------------------
+
+/// Stateless pass-through without CloneForSubtask: legal at parallelism 1
+/// but forces any neighbouring parallel chain to split around it.
+class NonCloneablePass : public Operator {
+ public:
+  std::string name() const override { return "nonclone"; }
+  Status Process(int, Tuple tuple, Collector* out) override {
+    out->Emit(std::move(tuple));
+    return Status::OK();
+  }
+};
+
+TEST(ChainPlannerTest, FusesLinearForwardPipeline) {
+  JobGraph graph;
+  NodeId src =
+      graph.AddSource(std::make_unique<VectorSource>("s", MakeEvents(0, 10)));
+  NodeId filter = graph.AddOperatorAfter(
+      src, std::make_unique<FilterOperator>([](const Tuple&) { return true; }));
+  NodeId map = graph.AddOperatorAfter(
+      filter, std::make_unique<MapOperator>([](Tuple t) { return t; }));
+  NodeId sink = graph.AddOperatorAfter(map, std::make_unique<CollectSink>(false));
+
+  ChainLayout layout = ComputeChainLayout(graph);
+  ASSERT_EQ(layout.num_chains(), 1);
+  EXPECT_EQ(layout.chains[0], (std::vector<NodeId>{filter, map, sink}));
+  EXPECT_EQ(layout.edge_verdict[src][0], ChainBreak::kSourceProducer);
+  EXPECT_EQ(layout.edge_verdict[filter][0], ChainBreak::kChained);
+  EXPECT_EQ(layout.edge_verdict[map][0], ChainBreak::kChained);
+  EXPECT_EQ(layout.fused_edge_count(), 2);
+  EXPECT_TRUE(layout.is_head(filter));
+  EXPECT_FALSE(layout.is_head(map));
+  EXPECT_EQ(layout.chain_of[src], -1);
+  EXPECT_EQ(layout.chain_of[map], 0);
+  EXPECT_EQ(layout.pos_in_chain[sink], 2);
+
+  // Disabled: every operator is its own chain, all forward op edges report
+  // kDisabled.
+  ChainLayout off = ComputeChainLayout(graph, /*chaining_enabled=*/false);
+  EXPECT_EQ(off.num_chains(), 3);
+  EXPECT_EQ(off.fused_edge_count(), 0);
+  EXPECT_EQ(off.edge_verdict[filter][0], ChainBreak::kDisabled);
+}
+
+TEST(ChainPlannerTest, BreaksOnFanOutFanInHashAndKnob) {
+  // src -> split -> {left, right} -> union2 -> sink, with a hash edge
+  // right -> union2: exercises fan-out, fan-in, and non-forward verdicts.
+  JobGraph graph;
+  NodeId src =
+      graph.AddSource(std::make_unique<VectorSource>("s", MakeEvents(0, 10)));
+  NodeId split = graph.AddOperatorAfter(
+      src, std::make_unique<FilterOperator>([](const Tuple&) { return true; },
+                                            "split"));
+  NodeId left = graph.AddOperatorAfter(
+      split, std::make_unique<MapOperator>([](Tuple t) { return t; }, "left"));
+  NodeId right = graph.AddOperator(
+      std::make_unique<MapOperator>([](Tuple t) { return t; }, "right"));
+  ASSERT_TRUE(graph.Connect(split, right, 0).ok());
+  NodeId u = graph.AddOperator(std::make_unique<UnionOperator>(2));
+  ASSERT_TRUE(graph.Connect(left, u, 0).ok());
+  ASSERT_TRUE(graph.Connect(right, u, 1, PartitionMode::kHash).ok());
+  NodeId sink = graph.AddOperatorAfter(u, std::make_unique<CollectSink>(false));
+
+  ChainLayout layout = ComputeChainLayout(graph);
+  EXPECT_EQ(layout.edge_verdict[split][0], ChainBreak::kFanOut);
+  EXPECT_EQ(layout.edge_verdict[split][1], ChainBreak::kFanOut);
+  EXPECT_EQ(layout.edge_verdict[left][0], ChainBreak::kFanIn);
+  EXPECT_EQ(layout.edge_verdict[right][0], ChainBreak::kNotForward);
+  EXPECT_EQ(layout.edge_verdict[u][0], ChainBreak::kChained);
+  // Chains: {split}, {left}, {right}, {union2, sink}.
+  EXPECT_EQ(layout.num_chains(), 4);
+  EXPECT_EQ(layout.chain_of[u], layout.chain_of[sink]);
+
+  // The per-node knob breaks the union2 -> sink fusion.
+  ASSERT_TRUE(graph.SetChaining(sink, false).ok());
+  ChainLayout opted = ComputeChainLayout(graph);
+  EXPECT_EQ(opted.edge_verdict[u][0], ChainBreak::kConsumerOptedOut);
+  ASSERT_TRUE(graph.SetChaining(sink, true).ok());
+  ASSERT_TRUE(graph.SetChaining(u, false).ok());
+  opted = ComputeChainLayout(graph);
+  EXPECT_EQ(opted.edge_verdict[u][0], ChainBreak::kProducerOptedOut);
+  EXPECT_FALSE(graph.SetChaining(src, false).ok()) << "sources never chain";
+}
+
+TEST(ThreadedExecutorTest, ChainSplitAroundNonCloneableOperator) {
+  // filter(x2) -> map(x2) fuses into a parallel chain; map ->
+  // nonclone(x1) must split (parallelism mismatch), keeping the
+  // CloneForSubtask-incapable operator on its own single subtask; nonclone
+  // -> sink fuses again. The run must still deliver every tuple once.
+  auto build = [](CollectSink** sink_out, JobGraph* graph, ChainLayout* layout) {
+    NodeId src = graph->AddSource(
+        std::make_unique<VectorSource>("s", MakeEvents(0, 400)));
+    NodeId filter = graph->AddOperator(std::make_unique<FilterOperator>(
+        [](const Tuple&) { return true; }));
+    ASSERT_TRUE(graph->Connect(src, filter, 0, PartitionMode::kHash).ok());
+    NodeId map = graph->AddOperatorAfter(
+        filter, std::make_unique<MapOperator>([](Tuple t) { return t; }));
+    NodeId pass = graph->AddOperatorAfter(map,
+                                          std::make_unique<NonCloneablePass>());
+    auto sink_op = std::make_unique<CollectSink>(false);
+    *sink_out = sink_op.get();
+    NodeId sink = graph->AddOperatorAfter(pass, std::move(sink_op));
+    ASSERT_TRUE(graph->SetParallelism(filter, 2).ok());
+    ASSERT_TRUE(graph->SetParallelism(map, 2).ok());
+
+    *layout = ComputeChainLayout(*graph);
+    EXPECT_EQ(layout->edge_verdict[filter][0], ChainBreak::kChained);
+    EXPECT_EQ(layout->edge_verdict[map][0], ChainBreak::kParallelismMismatch);
+    EXPECT_EQ(layout->edge_verdict[pass][0], ChainBreak::kChained);
+    EXPECT_EQ(layout->num_chains(), 2);
+    EXPECT_EQ(graph->parallelism(layout->chains[0].front()), 2);
+    (void)src;
+    (void)sink;
+  };
+
+  std::vector<std::string> ref;
+  for (bool chaining : {false, true}) {
+    JobGraph graph;
+    ChainLayout layout;
+    CollectSink* sink = nullptr;
+    build(&sink, &graph, &layout);
+    ThreadedExecutorOptions options;
+    options.enable_chaining = chaining;
+    ThreadedExecutor executor(&graph, options);
+    ExecutionResult result = executor.Run(sink);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.matches_emitted, 400);
+    if (!chaining) {
+      ref = test::MatchMultiset(sink->tuples());
+      continue;
+    }
+    EXPECT_EQ(test::MatchMultiset(sink->tuples()), ref);
+    // The parallel chain reports its skew from the fused hand-off counts.
+    bool saw_map_skew = false;
+    for (const PartitionSkew& skew : result.partition_skew) {
+      if (skew.op == "map") {
+        saw_map_skew = true;
+        int64_t total = 0;
+        for (int64_t t : skew.tuples_per_subtask) total += t;
+        EXPECT_EQ(total, 400) << skew.ToString();
+      }
+    }
+    EXPECT_TRUE(saw_map_skew);
+  }
+}
+
+/// Buffers every tuple and re-emits the buffer on each watermark: models a
+/// windowed operator whose results materialize in OnWatermark.
+class HoldUntilWatermark : public Operator {
+ public:
+  std::string name() const override { return "hold"; }
+  Status Process(int, Tuple tuple, Collector*) override {
+    held_.push_back(std::move(tuple));
+    return Status::OK();
+  }
+  Status OnWatermark(Timestamp, Collector* out) override {
+    for (Tuple& t : held_) out->Emit(std::move(t));
+    held_.clear();
+    return Status::OK();
+  }
+
+ private:
+  std::vector<Tuple> held_;
+};
+
+/// Logs the interleaving of Process and OnWatermark calls it observes.
+class RecordingOperator : public Operator {
+ public:
+  struct Entry {
+    bool is_watermark;
+    Timestamp value;  // watermark, or the tuple's event time
+  };
+
+  explicit RecordingOperator(std::vector<Entry>* log) : log_(log) {}
+  std::string name() const override { return "recorder"; }
+  Status Process(int, Tuple tuple, Collector* out) override {
+    log_->push_back({false, tuple.event_time()});
+    out->Emit(std::move(tuple));
+    return Status::OK();
+  }
+  Status OnWatermark(Timestamp watermark, Collector*) override {
+    log_->push_back({true, watermark});
+    return Status::OK();
+  }
+
+ private:
+  std::vector<Entry>* log_;
+};
+
+TEST(ThreadedExecutorTest, ChainDeliversWatermarkEmissionsBeforeTheWatermark) {
+  // src -> hold -> recorder -> sink chains into one subtask. Tuples hold
+  // emits during OnWatermark(w) must reach the recorder's Process before
+  // the chain forwards w to the recorder — otherwise a downstream windowed
+  // operator would treat them as late and drop them.
+  JobGraph graph;
+  NodeId src = graph.AddSource(
+      std::make_unique<VectorSource>("s", MakeEvents(0, 200)));
+  NodeId hold = graph.AddOperatorAfter(src, std::make_unique<HoldUntilWatermark>());
+  std::vector<RecordingOperator::Entry> log;
+  NodeId recorder = graph.AddOperatorAfter(
+      hold, std::make_unique<RecordingOperator>(&log));
+  auto sink_op = std::make_unique<CollectSink>(false);
+  CollectSink* sink = sink_op.get();
+  graph.AddOperatorAfter(recorder, std::move(sink_op));
+
+  ThreadedExecutorOptions options;
+  options.watermark_interval = 32;
+  ThreadedExecutor executor(&graph, options);
+  ExecutionResult result = executor.Run(sink);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.matches_emitted, 200);
+
+  // The whole pipeline behind the source fused into one chain.
+  ChainLayout layout = ComputeChainLayout(graph);
+  EXPECT_EQ(layout.num_chains(), 1);
+  EXPECT_EQ(layout.chain_of[hold], layout.chain_of[recorder]);
+
+  // Ordering: once the recorder saw watermark w, every following tuple
+  // must be strictly newer than w (hold's buffered tuples, all <= w, were
+  // delivered first).
+  Timestamp last_watermark = kMinTimestamp;
+  int watermarks_seen = 0;
+  for (const RecordingOperator::Entry& entry : log) {
+    if (entry.is_watermark) {
+      EXPECT_GT(entry.value, last_watermark);
+      last_watermark = entry.value;
+      ++watermarks_seen;
+    } else {
+      EXPECT_GT(entry.value, last_watermark)
+          << "tuple older than an already-forwarded watermark";
+    }
+  }
+  EXPECT_GE(watermarks_seen, 2);
 }
 
 TEST(ThreadedExecutorTest, RateLimitedSourceStillFlushesPartialBatches) {
