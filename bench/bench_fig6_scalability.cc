@@ -136,14 +136,27 @@ int Main(int argc, char** argv) {
   std::printf("running measured column on the threaded engine (%u core%s)...\n",
               cores, cores == 1 ? "" : "s");
   Pattern keyed = KeyedSeq3();
-  double measured_base[2] = {0, 0};  // indexed by chaining on/off
+  // Three engine variants per parallelism level: the task-pool scheduler
+  // with chaining ("measured"), the task pool with every forward edge
+  // paying a real exchange ("measured-nochain"), and the legacy
+  // thread-per-subtask executor ("measured-legacy") — the scheduler A/B on
+  // the same plan and data.
+  struct EngineVariant {
+    const char* name;
+    bool chaining;
+    bool task_scheduler;
+  };
+  constexpr EngineVariant kVariants[] = {
+      {"measured", true, true},
+      {"measured-nochain", false, true},
+      {"measured-legacy", true, false},
+  };
+  double measured_base[3] = {0, 0, 0};  // indexed by variant
   double measured_p4 = 0;
   int64_t base_matches = -1;
   for (int parallelism : {1, 2, 4}) {
-    // The chain-off rows ("measured-nochain") isolate what operator
-    // chaining contributes on top of keyed parallelism: same plan, same
-    // partitioning, every forward edge paying a real exchange channel.
-    for (bool chaining : {true, false}) {
+    for (size_t variant = 0; variant < 3; ++variant) {
+      const EngineVariant& v = kVariants[variant];
       TranslatorOptions o3;
       o3.use_equi_join_keys = true;
       o3.parallelism = parallelism;
@@ -151,9 +164,11 @@ int Main(int argc, char** argv) {
       auto compiled = TranslatePattern(keyed, o3, workload.MakeSourceFactory(),
                                        /*store_matches=*/false);
       CEP2ASP_CHECK(compiled.ok()) << compiled.status();
-      const char* engine = chaining ? "measured" : "measured-nochain";
+      const char* engine = v.name;
+      const bool chaining = v.chaining;
       ThreadedExecutorOptions exec_options;
       exec_options.enable_chaining = chaining;
+      exec_options.use_task_scheduler = v.task_scheduler;
       ThreadedExecutor executor(&compiled->graph, exec_options);
       ExecutionResult result = executor.Run(compiled->sink);
       char speedup[32], skew[32];
@@ -162,12 +177,14 @@ int Main(int argc, char** argv) {
                       engine, "-", "-", "-", result.error});
         continue;
       }
-      double& base = measured_base[chaining ? 0 : 1];
+      double& base = measured_base[variant];
       if (parallelism == 1) {
         base = result.throughput_tps();
-        if (chaining) base_matches = result.matches_emitted;
+        if (variant == 0) base_matches = result.matches_emitted;
       }
-      if (parallelism == 4 && chaining) measured_p4 = result.throughput_tps();
+      if (parallelism == 4 && variant == 0) {
+        measured_p4 = result.throughput_tps();
+      }
       std::snprintf(speedup, sizeof(speedup), "%.2fx",
                     base > 0 ? result.throughput_tps() / base : 0.0);
       double max_imbalance = 0;
@@ -195,6 +212,11 @@ int Main(int argc, char** argv) {
     std::printf(
         "chaining delta at P1 (measured vs measured-nochain): %.2fx\n",
         measured_base[0] / measured_base[1]);
+  }
+  if (measured_base[0] > 0 && measured_base[2] > 0) {
+    std::printf(
+        "scheduler delta at P1 (task pool vs legacy threads): %.2fx\n",
+        measured_base[0] / measured_base[2]);
   }
   CEP2ASP_CHECK_OK(table.WriteCsv("fig6_scalability"));
   return 0;

@@ -22,6 +22,8 @@
 #include "runtime/threaded_executor.h"
 #include "runtime/vector_source.h"
 #include "sea/pattern.h"
+#include "translator/translator.h"
+#include "workload/generator.h"
 
 namespace cep2asp {
 namespace {
@@ -425,16 +427,210 @@ int RunChainAb(bool quick) {
   return 0;
 }
 
+// --- Scheduler A/B with machine-readable output ------------------------------
+//
+// Task-pool vs legacy thread-per-subtask on the fig6 join plan (keyed
+// SEQ3 with equi-join predicates, O3 translation, 128 keys): the pipeline
+// whose hash stages make parallelism cost real threads under the legacy
+// executor. P=1 is the no-regression gate — on any host the task
+// scheduler must not lose to dedicated threads when there is no
+// oversubscription to win back; P=4 reports the multiplexed layout.
+
+Pattern SchedKeyedSeq3() {
+  Predicate filter;
+  filter.Add(Comparison::AttrConst({0, Attribute::kValue}, CmpOp::kLt, 45));
+  EventTypeId a = EventTypeRegistry::Global()->RegisterOrGet("SchedA");
+  EventTypeId b = EventTypeRegistry::Global()->RegisterOrGet("SchedB");
+  EventTypeId c = EventTypeRegistry::Global()->RegisterOrGet("SchedC");
+  return PatternBuilder()
+      .Seq(PatternBuilder::Atom(a, "e1", filter),
+           PatternBuilder::Atom(b, "e2", filter),
+           PatternBuilder::Atom(c, "e3", filter))
+      .Where(Comparison::AttrAttr({0, Attribute::kId}, CmpOp::kEq,
+                                  {1, Attribute::kId}))
+      .Where(Comparison::AttrAttr({1, Attribute::kId}, CmpOp::kEq,
+                                  {2, Attribute::kId}))
+      .Within(6 * kMillisPerMinute)
+      .Build()
+      .ValueOrDie();
+}
+
+Workload SchedWorkload(int events_per_sensor) {
+  Workload workload;
+  for (const char* name : {"SchedA", "SchedB", "SchedC"}) {
+    StreamSpec spec;
+    spec.type = EventTypeRegistry::Global()->RegisterOrGet(name);
+    spec.num_sensors = 128;
+    spec.events_per_sensor = events_per_sensor;
+    spec.period = kMillisPerMinute;
+    spec.align_to_period = true;
+    spec.seed = 977 + spec.type;
+    workload.AddStream(spec);
+  }
+  return workload;
+}
+
+struct SchedAbSide {
+  std::vector<double> tps;  // one throughput sample per repetition
+  int64_t matches = 0;
+  int num_tasks = 0;    // task scheduler only
+  int workers = 0;      // task scheduler only
+};
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : (v[mid - 1] + v[mid]) / 2;
+}
+
+/// Speedup estimator for drifting hardware: each repetition runs both
+/// engines back to back, so the ratio of that pair compares two runs
+/// adjacent in time and the session-scale machine-speed drift divides
+/// out; the median then rejects occasional outlier repetitions. (A ratio
+/// of per-side maxima, by contrast, may compare runs minutes apart.)
+double MedianPairedRatio(const SchedAbSide& task, const SchedAbSide& legacy) {
+  std::vector<double> ratios;
+  const size_t n = std::min(task.tps.size(), legacy.tps.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (legacy.tps[i] > 0) ratios.push_back(task.tps[i] / legacy.tps[i]);
+  }
+  return Median(std::move(ratios));
+}
+
+/// One measured run; appends the observed throughput to `side`.
+void RunSchedOnce(const Pattern& pattern, bool task_scheduler, int parallelism,
+                  int events_per_sensor, SchedAbSide* side) {
+  TranslatorOptions o3;
+  o3.use_equi_join_keys = true;
+  o3.parallelism = parallelism;
+  Workload workload = SchedWorkload(events_per_sensor);
+  auto compiled = TranslatePattern(pattern, o3, workload.MakeSourceFactory(),
+                                   /*store_matches=*/false);
+  CEP2ASP_CHECK(compiled.ok()) << compiled.status();
+  ThreadedExecutorOptions options;
+  options.use_task_scheduler = task_scheduler;
+  ThreadedExecutor executor(&compiled->graph, options);
+  ExecutionResult result = executor.Run(compiled->sink);
+  if (!result.ok) {
+    std::fprintf(stderr, "sched A/B run failed: %s\n", result.error.c_str());
+    std::exit(1);
+  }
+  side->matches = result.matches_emitted;
+  if (task_scheduler) {
+    side->num_tasks = result.scheduler.num_tasks;
+    side->workers = result.scheduler.worker_threads;
+  }
+  side->tps.push_back(result.throughput_tps());
+}
+
+/// Measures both engines at one parallelism with paired, order-alternating
+/// repetitions: each rep runs both engines back to back, and the order
+/// flips every rep, so slow drift in machine speed (thermal / noisy
+/// neighbors) cancels out instead of biasing whichever side ran last.
+/// One untimed warm-up run absorbs cold-start costs (first-touch faults,
+/// allocator growth) before anything is measured.
+void RunSchedPair(const Pattern& pattern, int parallelism,
+                  int events_per_sensor, int repetitions, SchedAbSide* task,
+                  SchedAbSide* legacy) {
+  SchedAbSide warmup;
+  RunSchedOnce(pattern, true, parallelism, events_per_sensor, &warmup);
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const bool task_first = (rep % 2) == 0;
+    RunSchedOnce(pattern, task_first, parallelism, events_per_sensor,
+                 task_first ? task : legacy);
+    RunSchedOnce(pattern, !task_first, parallelism, events_per_sensor,
+                 task_first ? legacy : task);
+  }
+}
+
+/// Runs the task-pool vs legacy A/B on the fig6 join plan and writes
+/// bench_results/BENCH_sched.json. Exit status gates CI: at P=1 the task
+/// scheduler must reach legacy throughput (5% measurement-noise floor).
+int RunSchedAb(bool quick) {
+  const int events_per_sensor = quick ? 60 : 300;
+  const int repetitions = quick ? 3 : 7;
+  const Pattern pattern = SchedKeyedSeq3();
+
+  SchedAbSide task_p1, legacy_p1, task_p4, legacy_p4;
+  RunSchedPair(pattern, 1, events_per_sensor, repetitions, &task_p1,
+               &legacy_p1);
+  RunSchedPair(pattern, 4, events_per_sensor, repetitions, &task_p4,
+               &legacy_p4);
+
+  if (task_p1.matches != legacy_p1.matches ||
+      task_p4.matches != legacy_p4.matches) {
+    std::fprintf(stderr, "sched A/B: match counts diverged between paths\n");
+    return 1;
+  }
+
+  const double speedup_p1 = MedianPairedRatio(task_p1, legacy_p1);
+  const double speedup_p4 = MedianPairedRatio(task_p4, legacy_p4);
+  constexpr double kGateP1 = 0.95;  // >= 1.0x modulo 5% run-to-run noise
+  const bool gate_passed = speedup_p1 >= kGateP1;
+
+  char buf[512];
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"sched_ab\",\n";
+  json += "  \"plan\": \"fig6 SEQ3 equi-join (O3, 128 keys)\",\n";
+  json += "  \"hardware_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"events_per_sensor\": " + std::to_string(events_per_sensor) +
+          ",\n";
+  json += "  \"repetitions\": " + std::to_string(repetitions) + ",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"p1\": {\"task_tps\": %.0f, \"legacy_tps\": %.0f, "
+                "\"speedup\": %.2f},\n",
+                Median(task_p1.tps), Median(legacy_p1.tps), speedup_p1);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"p4\": {\"task_tps\": %.0f, \"legacy_tps\": %.0f, "
+                "\"speedup\": %.2f, \"tasks\": %d, \"workers\": %d},\n",
+                Median(task_p4.tps), Median(legacy_p4.tps), speedup_p4,
+                task_p4.num_tasks, task_p4.workers);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"gate_p1_min_speedup\": %.2f,\n  \"gate_passed\": %s\n",
+                kGateP1, gate_passed ? "true" : "false");
+  json += buf;
+  json += "}\n";
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  const char* path = "bench_results/BENCH_sched.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("%s", json.c_str());
+  std::printf("wrote %s\n", path);
+  if (!gate_passed) {
+    std::fprintf(stderr,
+                 "sched A/B gate FAILED: task scheduler %.2fx legacy at P=1 "
+                 "(floor %.2f)\n",
+                 speedup_p1, kGateP1);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace cep2asp
 
 // Custom main: `--quick` / `--chain-ab` run the chain A/B and emit
-// BENCH_chain.json; anything else goes to google-benchmark as usual.
+// BENCH_chain.json; `--sched-ab` / `--sched-ab-quick` run the task-pool
+// vs legacy A/B and emit BENCH_sched.json; anything else goes to
+// google-benchmark as usual.
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") return cep2asp::RunChainAb(/*quick=*/true);
     if (arg == "--chain-ab") return cep2asp::RunChainAb(/*quick=*/false);
+    if (arg == "--sched-ab") return cep2asp::RunSchedAb(/*quick=*/false);
+    if (arg == "--sched-ab-quick") return cep2asp::RunSchedAb(/*quick=*/true);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -113,6 +113,10 @@ constexpr CodeInfo kRegistry[] = {
      "forward edge between operators was not fused into a chain (fan-out, "
      "fan-in, parallelism mismatch, or chaining opt-out); it pays a real "
      "exchange channel"},
+    {DiagnosticCode::kGraphScheduleOversubscribed, DiagnosticSeverity::kInfo,
+     "legacy thread-per-subtask execution would spawn more OS threads than "
+     "hardware cores; the task scheduler multiplexes the same subtasks onto "
+     "a fixed worker pool instead"},
 };
 
 const CodeInfo* FindInfo(DiagnosticCode code) {

@@ -68,6 +68,7 @@ enum class DiagnosticCode : int {
   kGraphParallelismExceedsKeys = 313,  // W: parallelism > distinct keys
   kGraphParallelUnsupported = 314,  // E: parallelism > 1 where unsupported
   kGraphForwardEdgeNotChained = 315,// I: forward edge left unfused (why)
+  kGraphScheduleOversubscribed = 316,  // I: legacy threads > hardware cores
 };
 
 /// Severity a code always carries (the letter in its rendered name).

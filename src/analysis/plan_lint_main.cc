@@ -8,6 +8,9 @@
 //   plan_lint --chains     print the chain layout of every paper pattern
 //                          under every optimization set, plus I315 infos
 //                          for forward edges the planner could not fuse
+//   plan_lint --schedule   print the task/worker layout of every paper
+//                          pattern under every optimization set, plus I316
+//                          infos where legacy threading would oversubscribe
 
 #include <cstdio>
 #include <string>
@@ -16,6 +19,7 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/chain_rules.h"
+#include "analysis/schedule_rules.h"
 #include "common/clock.h"
 #include "harness/paper_patterns.h"
 #include "runtime/vector_source.h"
@@ -104,7 +108,8 @@ int LintPattern(const std::string& name, const Pattern& pattern) {
   return errors;
 }
 
-int LintPaperPatterns() {
+/// The seven paper evaluation patterns every multi-pattern mode iterates.
+std::vector<std::pair<std::string, Result<Pattern>>> PaperQueries() {
   const Timestamp window = 15 * kMillisPerMinute;
   const Timestamp slide = kMillisPerMinute;
   PaperPatterns patterns;
@@ -119,7 +124,12 @@ int LintPaperPatterns() {
   queries.emplace_back("SEQ4(4)", patterns.SeqN(4, 0.5, window, slide));
   queries.emplace_back("SEQ7(3)", patterns.Seq7(0.5, window, slide));
   queries.emplace_back("ITER4(1)", patterns.Iter4(3, 0.5, window, slide));
+  return queries;
+}
 
+int LintPaperPatterns() {
+  std::vector<std::pair<std::string, Result<Pattern>>> queries =
+      PaperQueries();
   int errors = 0;
   for (auto& [name, result] : queries) {
     if (!result.ok()) {
@@ -161,21 +171,8 @@ void PrintChains(const std::string& name, const Pattern& pattern,
 }
 
 int PrintPaperChains() {
-  const Timestamp window = 15 * kMillisPerMinute;
-  const Timestamp slide = kMillisPerMinute;
-  PaperPatterns patterns;
-
-  std::vector<std::pair<std::string, Result<Pattern>>> queries;
-  queries.emplace_back("SEQ1(2)", patterns.Seq1(0.5, window, slide));
-  queries.emplace_back("ITER3_1(1)",
-                       patterns.IterThreshold(3, 0.5, window, slide));
-  queries.emplace_back("ITER3_2(1)",
-                       patterns.IterConsecutive(3, 0.5, window, slide));
-  queries.emplace_back("NSEQ1(3)", patterns.Nseq1(0.5, 0.5, window, slide));
-  queries.emplace_back("SEQ4(4)", patterns.SeqN(4, 0.5, window, slide));
-  queries.emplace_back("SEQ7(3)", patterns.Seq7(0.5, window, slide));
-  queries.emplace_back("ITER4(1)", patterns.Iter4(3, 0.5, window, slide));
-
+  std::vector<std::pair<std::string, Result<Pattern>>> queries =
+      PaperQueries();
   for (auto& [name, result] : queries) {
     if (!result.ok()) {
       std::printf("%s BUILD FAILED: %s\n", name.c_str(),
@@ -184,6 +181,47 @@ int PrintPaperChains() {
     }
     for (const OptionSet& set : OptionSets()) {
       PrintChains(name, result.ValueOrDie(), set);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+/// Prints the scheduler's task layout for one pattern under one option
+/// set — one task per source plus one per (chain, subtask) — followed by
+/// the I316 finding when legacy thread-per-subtask execution would
+/// oversubscribe this host. Purely informational, like --chains.
+void PrintSchedule(const std::string& name, const Pattern& pattern,
+                   const OptionSet& set) {
+  auto stub_sources = [](EventTypeId type) {
+    return std::make_unique<VectorSource>("stub-" + std::to_string(type),
+                                          std::vector<SimpleEvent>{});
+  };
+  auto query = TranslatePattern(pattern, set.options, stub_sources,
+                                /*store_matches=*/false);
+  if (!query.ok()) {
+    std::printf("%s x %s: SKIP (%s)\n", name.c_str(), set.name,
+                query.status().ToString().c_str());
+    return;
+  }
+  const JobGraph& graph = query.ValueOrDie().graph;
+  std::printf("%s x %s:\n", name.c_str(), set.name);
+  std::printf("%s", ScheduleToString(graph, /*chaining_enabled=*/true).c_str());
+  PrintReport(AnalyzeSchedule(graph, /*chaining_enabled=*/true,
+                              /*use_task_scheduler=*/false));
+}
+
+int PrintPaperSchedule() {
+  std::vector<std::pair<std::string, Result<Pattern>>> queries =
+      PaperQueries();
+  for (auto& [name, result] : queries) {
+    if (!result.ok()) {
+      std::printf("%s BUILD FAILED: %s\n", name.c_str(),
+                  result.status().ToString().c_str());
+      continue;
+    }
+    for (const OptionSet& set : OptionSets()) {
+      PrintSchedule(name, result.ValueOrDie(), set);
     }
     std::printf("\n");
   }
@@ -216,7 +254,9 @@ int Usage() {
                "       plan_lint --codes     list the diagnostic registry\n"
                "       plan_lint --psl TEXT  lint one PSL pattern\n"
                "       plan_lint --chains    print chain layouts for the "
-               "paper patterns\n");
+               "paper patterns\n"
+               "       plan_lint --schedule  print task/worker layouts for "
+               "the paper patterns\n");
   return 2;
 }
 
@@ -228,6 +268,7 @@ int main(int argc, char** argv) {
   const std::string mode = argv[1];
   if (mode == "--codes" && argc == 2) return cep2asp::PrintCodes();
   if (mode == "--chains" && argc == 2) return cep2asp::PrintPaperChains();
+  if (mode == "--schedule" && argc == 2) return cep2asp::PrintPaperSchedule();
   if (mode == "--psl" && argc == 3) return cep2asp::LintPsl(argv[2]);
   return cep2asp::Usage();
 }

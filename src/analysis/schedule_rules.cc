@@ -1,0 +1,88 @@
+#include "analysis/schedule_rules.h"
+
+#include <string>
+#include <thread>
+
+namespace cep2asp {
+
+namespace {
+
+std::string NodeName(const JobGraph& graph, NodeId id) {
+  const JobGraph::Node& node = graph.node(id);
+  return node.is_source() ? ("source " + node.source->name())
+                          : node.op->name();
+}
+
+/// Threads the legacy path spawns: one per source node, one per
+/// (chain, subtask instance) — the chain head's parallelism decides the
+/// subtask count for the whole chain.
+int LegacyThreadCount(const JobGraph& graph, const ChainLayout& layout) {
+  int threads = 0;
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    if (graph.node(id).is_source()) ++threads;
+  }
+  for (const std::vector<NodeId>& chain : layout.chains) {
+    threads += graph.parallelism(chain.front());
+  }
+  return threads;
+}
+
+int ResolveHardwareThreads(int hardware_threads) {
+  if (hardware_threads > 0) return hardware_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+DiagnosticReport AnalyzeSchedule(const JobGraph& graph, bool chaining_enabled,
+                                 bool use_task_scheduler,
+                                 int hardware_threads) {
+  DiagnosticReport report;
+  if (use_task_scheduler) return report;
+  const ChainLayout layout = ComputeChainLayout(graph, chaining_enabled);
+  const int threads = LegacyThreadCount(graph, layout);
+  const int cores = ResolveHardwareThreads(hardware_threads);
+  if (threads <= cores) return report;
+  report.Add(DiagnosticCode::kGraphScheduleOversubscribed, "job graph",
+             "legacy thread-per-subtask execution spawns " +
+                 std::to_string(threads) + " threads on " +
+                 std::to_string(cores) +
+                 " hardware threads; enable the task scheduler to multiplex " +
+                 std::to_string(threads) + " tasks onto a pool of " +
+                 std::to_string(cores) + " workers");
+  return report;
+}
+
+std::string ScheduleToString(const JobGraph& graph, bool chaining_enabled,
+                             int worker_threads) {
+  const ChainLayout layout = ComputeChainLayout(graph, chaining_enabled);
+  std::string out;
+  int task = 0;
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    if (!graph.node(id).is_source()) continue;
+    out += "  task " + std::to_string(task++) + ": " + NodeName(graph, id) +
+           " (source)\n";
+  }
+  for (size_t c = 0; c < layout.chains.size(); ++c) {
+    const std::vector<NodeId>& chain = layout.chains[c];
+    const int parallelism = graph.parallelism(chain.front());
+    for (int subtask = 0; subtask < parallelism; ++subtask) {
+      out += "  task " + std::to_string(task++) + ":";
+      for (size_t i = 0; i < chain.size(); ++i) {
+        out += (i == 0 ? " " : " -> ") + NodeName(graph, chain[i]);
+      }
+      out += " (chain " + std::to_string(c) + ", subtask " +
+             std::to_string(subtask) + ")";
+      if (parallelism > 1) out += " [x" + std::to_string(parallelism) + "]";
+      out += "\n";
+    }
+  }
+  const int workers = ResolveHardwareThreads(worker_threads);
+  out += "  tasks: " + std::to_string(task) + ", worker pool: " +
+         std::to_string(workers) + ", legacy threads: " +
+         std::to_string(LegacyThreadCount(graph, layout)) + "\n";
+  return out;
+}
+
+}  // namespace cep2asp

@@ -13,14 +13,15 @@ bool TupleTsLess(const Tuple& a, const Tuple& b) {
   return a.event_time() < b.event_time();
 }
 
-void SortIfNeeded(std::vector<Tuple>* tuples, bool* sorted) {
-  if (!*sorted) {
-    std::stable_sort(tuples->begin(), tuples->end(), TupleTsLess);
-    *sorted = true;
+}  // namespace
+
+void SlidingWindowJoinOperator::SortIfNeeded(SideBuffer* side) {
+  if (!side->sorted) {
+    std::stable_sort(side->tuples.begin() + static_cast<ptrdiff_t>(side->head),
+                     side->tuples.end(), TupleTsLess);
+    side->sorted = true;
   }
 }
-
-}  // namespace
 
 SlidingWindowJoinOperator::SlidingWindowJoinOperator(SlidingWindowSpec window,
                                                      Predicate condition,
@@ -40,16 +41,27 @@ Status SlidingWindowJoinOperator::Open() {
   return Status::OK();
 }
 
+SlidingWindowJoinOperator::KeyState& SlidingWindowJoinOperator::StateForKey(
+    int64_t key) {
+  auto it = std::lower_bound(
+      keys_.begin(), keys_.end(), key,
+      [](const KeyEntry& e, int64_t k) { return e.key < k; });
+  if (it == keys_.end() || it->key != key) {
+    it = keys_.insert(it, KeyEntry{key, KeyState{}});
+  }
+  return it->state;
+}
+
 Status SlidingWindowJoinOperator::Process(int input, Tuple tuple, Collector*) {
   CEP2ASP_DCHECK(input == 0 || input == 1);
-  KeyState& key_state = keys_[tuple.key()];
+  KeyState& key_state = StateForKey(tuple.key());
   SideBuffer& side = key_state.sides[input];
   state_bytes_ += tuple.MemoryBytes();
-  if (!side.tuples.empty() &&
-      tuple.event_time() < side.tuples.back().event_time()) {
+  if (!side.empty() && tuple.event_time() < side.tuples.back().event_time()) {
     side.sorted = false;
   }
   side.min_ts = std::min(side.min_ts, tuple.event_time());
+  min_buffered_ts_ = std::min(min_buffered_ts_, tuple.event_time());
   side.tuples.push_back(std::move(tuple));
   return Status::OK();
 }
@@ -90,34 +102,44 @@ void SlidingWindowJoinOperator::FireWindows(Timestamp watermark,
     if (!window_.CanFire(next_window_, watermark)) return;
     FireWindow(next_window_, out);
     ++next_window_;
-    EvictBefore(window_.WindowStart(next_window_));
+    // Amortized eviction: the evict walk touches every key, so running it
+    // per fired window makes it a fixed per-window tax. Deferring it a few
+    // slides is safe — stale tuples sit below the fire range's lower_bound
+    // and min_buffered_ts_ stays exact (they are still buffered) — at the
+    // cost of retaining at most kEvictStride-1 slides of dead tuples.
+    if (++windows_since_evict_ >= kEvictStride) {
+      windows_since_evict_ = 0;
+      EvictBefore(window_.WindowStart(next_window_));
+    }
   }
 }
 
 void SlidingWindowJoinOperator::FireWindow(int64_t k, Collector* out) {
   const Timestamp begin = window_.WindowStart(k);
   const Timestamp end = window_.WindowEnd(k);
-  for (auto& [key, key_state] : keys_) {
-    (void)key;
+  for (KeyEntry& entry : keys_) {
+    KeyState& key_state = entry.state;
     SideBuffer& left = key_state.sides[0];
     SideBuffer& right = key_state.sides[1];
-    if (left.tuples.empty() || right.tuples.empty()) continue;
-    SortIfNeeded(&left.tuples, &left.sorted);
-    SortIfNeeded(&right.tuples, &right.sorted);
+    if (left.empty() || right.empty()) continue;
+    SortIfNeeded(&left);
+    SortIfNeeded(&right);
 
-    auto range = [begin, end](std::vector<Tuple>& tuples) {
-      auto lo = std::lower_bound(tuples.begin(), tuples.end(), begin,
+    auto range = [begin, end](SideBuffer& side) {
+      const auto live_begin =
+          side.tuples.begin() + static_cast<ptrdiff_t>(side.head);
+      auto lo = std::lower_bound(live_begin, side.tuples.end(), begin,
                                  [](const Tuple& t, Timestamp ts) {
                                    return t.event_time() < ts;
                                  });
-      auto hi = std::lower_bound(tuples.begin(), tuples.end(), end,
+      auto hi = std::lower_bound(lo, side.tuples.end(), end,
                                  [](const Tuple& t, Timestamp ts) {
                                    return t.event_time() < ts;
                                  });
       return std::pair(lo, hi);
     };
-    auto [l_lo, l_hi] = range(left.tuples);
-    auto [r_lo, r_hi] = range(right.tuples);
+    auto [l_lo, l_hi] = range(left);
+    auto [r_lo, r_hi] = range(right);
     for (auto l = l_lo; l != l_hi; ++l) {
       for (auto r = r_lo; r != r_hi; ++r) {
         ++pairs_evaluated_;
@@ -139,40 +161,63 @@ void SlidingWindowJoinOperator::FireWindow(int64_t k, Collector* out) {
 }
 
 void SlidingWindowJoinOperator::EvictBefore(Timestamp min_keep_ts) {
+  Timestamp global_min = kMaxTimestamp;
   for (auto it = keys_.begin(); it != keys_.end();) {
-    KeyState& key_state = it->second;
+    KeyState& key_state = it->state;
+    const Timestamp key_min =
+        std::min(key_state.sides[0].min_ts, key_state.sides[1].min_ts);
+    if (key_min >= min_keep_ts) {
+      // Nothing evictable under this key (side minima are exact even while
+      // a side is unsorted): skip the sort + erase entirely. A key can
+      // only become all-empty through eviction, and that path erases it
+      // below, so skipped keys always still hold tuples.
+      global_min = std::min(global_min, key_min);
+      ++it;
+      continue;
+    }
     bool all_empty = true;
     for (SideBuffer& side : key_state.sides) {
-      SortIfNeeded(&side.tuples, &side.sorted);
+      SortIfNeeded(&side);
+      const auto live_begin =
+          side.tuples.begin() + static_cast<ptrdiff_t>(side.head);
       auto keep_from = std::lower_bound(
-          side.tuples.begin(), side.tuples.end(), min_keep_ts,
+          live_begin, side.tuples.end(), min_keep_ts,
           [](const Tuple& t, Timestamp ts) { return t.event_time() < ts; });
-      for (auto e = side.tuples.begin(); e != keep_from; ++e) {
+      for (auto e = live_begin; e != keep_from; ++e) {
         state_bytes_ -= e->MemoryBytes();
       }
-      side.tuples.erase(side.tuples.begin(), keep_from);
+      side.head = static_cast<size_t>(keep_from - side.tuples.begin());
+      // Reclaim the dead prefix only once it outweighs the live suffix;
+      // each survivor is then moved at most once per doubling of evicted
+      // tuples, keeping eviction amortized O(1) per tuple.
+      const size_t live = side.tuples.size() - side.head;
+      if (side.head >= live) {
+        side.tuples.erase(
+            side.tuples.begin(),
+            side.tuples.begin() + static_cast<ptrdiff_t>(side.head));
+        side.head = 0;
+      }
       // Sides are sorted here, so the surviving front is the new minimum.
       side.min_ts =
-          side.tuples.empty() ? kMaxTimestamp : side.tuples.front().event_time();
-      if (!side.tuples.empty()) all_empty = false;
+          side.empty() ? kMaxTimestamp : side.tuples[side.head].event_time();
+      if (!side.empty()) all_empty = false;
     }
     if (all_empty) {
       it = keys_.erase(it);
     } else {
+      global_min = std::min(
+          global_min,
+          std::min(key_state.sides[0].min_ts, key_state.sides[1].min_ts));
       ++it;
     }
   }
+  min_buffered_ts_ = global_min;
 }
 
 Timestamp SlidingWindowJoinOperator::MinBufferedTs() const {
-  Timestamp min_ts = kMaxTimestamp;
-  for (const auto& [key, key_state] : keys_) {
-    (void)key;
-    for (const SideBuffer& side : key_state.sides) {
-      min_ts = std::min(min_ts, side.min_ts);
-    }
-  }
-  return min_ts;
+  // Exact: Process folds arrivals in, EvictBefore re-derives after
+  // removals, and those are the only mutations of the buffers.
+  return min_buffered_ts_;
 }
 
 }  // namespace cep2asp

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "asp/window.h"
@@ -88,16 +87,40 @@ class SlidingWindowJoinOperator : public Operator {
  private:
   struct SideBuffer {
     std::vector<Tuple> tuples;
+    // Index of the first live tuple: [head, size) are buffered, [0, head)
+    // are evicted-but-not-yet-reclaimed. Eviction advances `head` and
+    // compacts only once the dead prefix reaches the live size, so each
+    // tuple is moved O(1) amortized times over its lifetime — a plain
+    // erase-from-front would instead move every survivor on every evict,
+    // a cost that balloons when batched execution lets the buffers run
+    // deep ahead of the watermark.
+    size_t head = 0;
     bool sorted = true;
     // Smallest buffered event time, maintained incrementally by Process
     // and re-derived from the sorted front on eviction, so the watermark
     // path (MinBufferedTs) is O(keys) instead of rescanning every tuple.
     Timestamp min_ts = kMaxTimestamp;
+
+    bool empty() const { return head >= tuples.size(); }
   };
 
   struct KeyState {
     SideBuffer sides[2];
   };
+
+  /// Key table entry; kept in a flat vector sorted by key. The firing path
+  /// (FireWindow + EvictBefore) walks every key once per fired window, so
+  /// iteration locality dominates: ~a hundred contiguous entries stay
+  /// L1-resident where an unordered_map walk chases a pointer per key.
+  /// Lookup in Process is a binary search; inserts (one per distinct key)
+  /// shift the tail, which is negligible next to the per-tuple work.
+  struct KeyEntry {
+    int64_t key;
+    KeyState state;
+  };
+
+  KeyState& StateForKey(int64_t key);
+  static void SortIfNeeded(SideBuffer* side);
 
   void FireWindows(Timestamp watermark, Collector* out);
   void FireWindow(int64_t k, Collector* out);
@@ -110,7 +133,16 @@ class SlidingWindowJoinOperator : public Operator {
   std::string label_;
   bool dedup_pairs_;
 
-  std::unordered_map<int64_t, KeyState> keys_;
+  /// Fired windows between evict walks; trades up to kEvictStride-1 slides
+  /// of retained dead tuples for a proportional cut in whole-table scans.
+  static constexpr int kEvictStride = 4;
+  int windows_since_evict_ = 0;
+
+  std::vector<KeyEntry> keys_;  // sorted by key
+  /// Smallest event time buffered across all keys and sides; folded in by
+  /// Process and re-derived by EvictBefore, so the per-watermark firing
+  /// loop costs O(1) instead of a full key scan per iteration.
+  Timestamp min_buffered_ts_ = kMaxTimestamp;
   int64_t next_window_ = 0;
   bool have_window_cursor_ = false;
   size_t state_bytes_ = 0;

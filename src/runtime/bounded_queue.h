@@ -90,6 +90,49 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push for cooperative producers: moves out a maximal
+  /// prefix of `*batch` — up to the current free capacity — leaving the
+  /// moved-from elements in place, and returns how many were taken (the
+  /// caller erases that prefix; the Channel wrapper also counts it for
+  /// stats first). Never waits: a full queue returns 0 and the caller
+  /// parks on the scheduler instead of blocking an OS thread. `*closed`
+  /// reports the closed flag (nothing is taken once closed).
+  size_t TryPushN(T* items, size_t n, bool* closed) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    *closed = closed_;
+    if (closed_ || n == 0) return 0;
+    const size_t free =
+        capacity_ > items_.size() ? capacity_ - items_.size() : 0;
+    const size_t k = std::min(free, n);
+    for (size_t i = 0; i < k; ++i) items_.push_back(std::move(items[i]));
+    if (k > 0) not_empty_.notify_one();
+    return k;
+  }
+
+  /// Non-blocking pop for cooperative consumers: moves up to `max_items`
+  /// into `*out` (cleared first) and returns the number taken, without
+  /// ever waiting. 0 with `*end_of_stream == false` means the queue is
+  /// momentarily empty (park until a producer pushes); 0 with
+  /// `*end_of_stream == true` means closed and fully drained.
+  size_t TryPopN(std::vector<T>* out, size_t max_items, bool* end_of_stream) {
+    out->clear();
+    *end_of_stream = false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const size_t k = std::min(items_.size(), max_items);
+    for (size_t i = 0; i < k; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    if (k > 1) {
+      not_full_.notify_all();
+    } else if (k == 1) {
+      not_full_.notify_one();
+    } else if (closed_) {
+      *end_of_stream = true;
+    }
+    return k;
+  }
+
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mutex_);

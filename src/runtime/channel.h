@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -57,6 +58,13 @@ struct Message {
 /// the steady state allocates nothing.
 using MessageBatch = std::vector<Message>;
 
+/// Outcome of a non-blocking Channel::TryPushBatch.
+enum class TryPush : uint8_t {
+  kPushed,   ///< the whole batch was moved into the channel
+  kBlocked,  ///< channel full: an unmoved suffix remains, retry after credit
+  kClosed,   ///< channel closed: remaining messages dropped
+};
+
 /// \brief One directed exchange channel feeding an operator's input.
 ///
 /// Producers hand over whole MessageBatches (one synchronization action per
@@ -95,10 +103,73 @@ class Channel {
     return ok;
   }
 
+  /// Non-blocking variant for cooperative (task-scheduled) producers:
+  /// moves a maximal prefix of `*batch` into the channel — possibly all of
+  /// it, possibly nothing — erases the moved prefix, and never waits.
+  /// kBlocked means an unmoved suffix remains; the producing task parks
+  /// and retries the same batch once the consumer returns credits. Pass
+  /// `first_attempt == false` on retries so the batch/fill-histogram
+  /// counters record each logical batch exactly once (message and tuple
+  /// counters follow the actually-moved prefix and stay exact either way).
+  /// Fires the on-push readiness hook whenever at least one message moved.
+  TryPush TryPushBatch(MessageBatch* batch, bool first_attempt = true) {
+    if (batch->empty()) return TryPush::kPushed;
+    if (first_attempt) {
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      fill_hist_[ChannelStats::FillBucket(batch->size())].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    bool closed = false;
+    const size_t moved = DoTryPushBatch(batch->data(), batch->size(), &closed);
+    if (moved > 0) {
+      // Scalar members survive the element move, so the moved prefix is
+      // still countable before we erase it.
+      int64_t data = 0;
+      for (size_t i = 0; i < moved; ++i) {
+        if ((*batch)[i].kind == MessageKind::kTuple) ++data;
+      }
+      messages_.fetch_add(static_cast<int64_t>(moved),
+                          std::memory_order_relaxed);
+      if (data > 0) tuples_.fetch_add(data, std::memory_order_relaxed);
+      batch->erase(batch->begin(), batch->begin() + moved);
+      if (on_push_) on_push_();
+    }
+    if (closed) {
+      batch->clear();
+      return TryPush::kClosed;
+    }
+    return batch->empty() ? TryPush::kPushed : TryPush::kBlocked;
+  }
+
   /// Pops up to `max_messages` into `*out` (cleared first), blocking until
   /// at least one message is available. Returns false when the channel is
   /// closed and fully drained.
   virtual bool PopBatch(MessageBatch* out, size_t max_messages) = 0;
+
+  /// Non-blocking pop for cooperative consumers. Returns the number of
+  /// messages moved into `*out` (cleared first). 0 with `*end_of_stream ==
+  /// false` means momentarily empty — the consuming task parks until a
+  /// producer pushes; 0 with `*end_of_stream == true` means closed and
+  /// fully drained. Fires the on-credit readiness hook whenever at least
+  /// one message was popped (space freed = credit returned to producers).
+  size_t TryPopBatch(MessageBatch* out, size_t max_messages,
+                     bool* end_of_stream) {
+    const size_t popped = DoTryPopBatch(out, max_messages, end_of_stream);
+    if (popped > 0 && on_credit_) on_credit_();
+    return popped;
+  }
+
+  /// Installs the task-scheduler readiness hooks, called (outside any
+  /// channel lock) after every successful TryPushBatch / TryPopBatch:
+  /// `on_push` wakes the consuming task parked on an empty channel,
+  /// `on_credit` wakes producing tasks parked on a full one. Set once
+  /// before any producer or consumer runs; not thread-safe against
+  /// concurrent pushes.
+  void SetReadinessHooks(std::function<void()> on_push,
+                         std::function<void()> on_credit) {
+    on_push_ = std::move(on_push);
+    on_credit_ = std::move(on_credit);
+  }
 
   /// Consumer-side probe: true when no message is currently pending. Used
   /// to flush partially filled output batches before blocking.
@@ -132,12 +203,23 @@ class Channel {
  protected:
   virtual bool DoPushBatch(MessageBatch* batch, int64_t* blocked_nanos) = 0;
 
+  /// Moves a maximal prefix of `items[0..n)` into the channel without
+  /// waiting; returns the count moved and sets `*closed`.
+  virtual size_t DoTryPushBatch(Message* items, size_t n, bool* closed) = 0;
+
+  /// Moves up to `max_messages` out without waiting; 0 + `*end_of_stream`
+  /// distinguishes empty-for-now from closed-and-drained.
+  virtual size_t DoTryPopBatch(MessageBatch* out, size_t max_messages,
+                               bool* end_of_stream) = 0;
+
  private:
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> messages_{0};
   std::atomic<int64_t> tuples_{0};
   std::atomic<int64_t> blocked_push_nanos_{0};
   std::atomic<int64_t> fill_hist_[ChannelStats::kFillBuckets] = {};
+  std::function<void()> on_push_;
+  std::function<void()> on_credit_;
 };
 
 /// Mutex+condvar channel over BoundedQueue: the multi-producer fallback,
@@ -157,6 +239,15 @@ class MpmcChannel : public Channel {
  protected:
   bool DoPushBatch(MessageBatch* batch, int64_t* blocked_nanos) override {
     return queue_.PushBatch(batch, blocked_nanos);
+  }
+
+  size_t DoTryPushBatch(Message* items, size_t n, bool* closed) override {
+    return queue_.TryPushN(items, n, closed);
+  }
+
+  size_t DoTryPopBatch(MessageBatch* out, size_t max_messages,
+                       bool* end_of_stream) override {
+    return queue_.TryPopN(out, max_messages, end_of_stream);
   }
 
  private:
@@ -180,6 +271,15 @@ class SpscChannel : public Channel {
  protected:
   bool DoPushBatch(MessageBatch* batch, int64_t* blocked_nanos) override {
     return ring_.PushAll(batch, blocked_nanos);
+  }
+
+  size_t DoTryPushBatch(Message* items, size_t n, bool* closed) override {
+    return ring_.TryPushN(items, n, closed);
+  }
+
+  size_t DoTryPopBatch(MessageBatch* out, size_t max_messages,
+                       bool* end_of_stream) override {
+    return ring_.TryPopN(out, max_messages, end_of_stream);
   }
 
  private:

@@ -68,6 +68,70 @@ std::string LatencyStats::ToString() const {
   return buf;
 }
 
+int64_t SchedulerStats::total_tasks_run() const {
+  int64_t total = 0;
+  for (const Worker& w : workers) total += w.tasks_run;
+  return total;
+}
+
+int64_t SchedulerStats::total_steals() const {
+  int64_t total = 0;
+  for (const Worker& w : workers) total += w.steals;
+  return total;
+}
+
+int64_t SchedulerStats::total_parks() const {
+  int64_t total = 0;
+  for (const Worker& w : workers) total += w.parks;
+  return total;
+}
+
+int64_t SchedulerStats::total_unparks() const {
+  int64_t total = 0;
+  for (const Worker& w : workers) total += w.unparks;
+  return total;
+}
+
+int64_t SchedulerStats::total_batches() const {
+  int64_t total = 0;
+  for (const Worker& w : workers) total += w.batches;
+  return total;
+}
+
+double SchedulerStats::quantum_utilization() const {
+  const double capacity = static_cast<double>(total_tasks_run()) *
+                          static_cast<double>(quantum_batches);
+  return capacity > 0 ? static_cast<double>(total_batches()) / capacity : 0.0;
+}
+
+std::string SchedulerStats::ToString() const {
+  if (!used) return "scheduler: legacy thread-per-subtask";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "scheduler: workers=%d tasks=%d quanta=%lld steals=%lld "
+                "parks=%lld unparks=%lld timer_parks=%lld quantum_util=%.2f",
+                worker_threads, num_tasks,
+                static_cast<long long>(total_tasks_run()),
+                static_cast<long long>(total_steals()),
+                static_cast<long long>(total_parks()),
+                static_cast<long long>(total_unparks()),
+                static_cast<long long>(timer_parks), quantum_utilization());
+  std::string out = buf;
+  out += " per_worker=[";
+  for (size_t i = 0; i < workers.size(); ++i) {
+    const Worker& w = workers[i];
+    char wbuf[96];
+    std::snprintf(wbuf, sizeof(wbuf), "%sw%d:run=%lld steal=%lld park=%lld",
+                  i > 0 ? " " : "", w.worker,
+                  static_cast<long long>(w.tasks_run),
+                  static_cast<long long>(w.steals),
+                  static_cast<long long>(w.parks));
+    out += wbuf;
+  }
+  out += "]";
+  return out;
+}
+
 std::string PartitionSkew::ToString() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),

@@ -86,6 +86,45 @@ struct PartitionSkew {
   std::string ToString() const;
 };
 
+/// \brief Counters of the task-based scheduler runtime: how the fixed
+/// worker pool multiplexed the (chain, subtask) operator tasks. Present in
+/// ExecutionResult when ThreadedExecutorOptions::use_task_scheduler ran
+/// the job (used == true); all-zero with used == false under the legacy
+/// thread-per-subtask path.
+struct SchedulerStats {
+  bool used = false;
+  int worker_threads = 0;    // fixed pool size the job ran on
+  int num_tasks = 0;         // cooperative tasks (sources + chain subtasks)
+  int quantum_batches = 0;   // max input batches per task quantum
+
+  struct Worker {
+    int worker = 0;
+    int64_t tasks_run = 0;  // quanta executed on this worker
+    int64_t steals = 0;     // tasks taken from another worker's queue
+    int64_t parks = 0;      // quanta that ended waiting (input/credit/timer)
+    int64_t unparks = 0;    // parked tasks this worker re-enqueued
+    int64_t batches = 0;    // input batches processed across all quanta
+  };
+  std::vector<Worker> workers;
+
+  /// Park-until-deadline events (rate-limited source pacing).
+  int64_t timer_parks = 0;
+
+  int64_t total_tasks_run() const;
+  int64_t total_steals() const;
+  int64_t total_parks() const;
+  int64_t total_unparks() const;
+  int64_t total_batches() const;
+
+  /// Fraction of quantum capacity actually used: batches processed over
+  /// batches the executed quanta could have processed. Low utilization
+  /// means tasks mostly drain-and-park (light load); near 1.0 means tasks
+  /// are saturated and yield only at quantum boundaries.
+  double quantum_utilization() const;
+
+  std::string ToString() const;
+};
+
 /// One point of the resource-usage timeline (Figure 5).
 struct StateSample {
   double elapsed_seconds = 0;
@@ -112,6 +151,10 @@ struct ExecutionResult {
   /// Per-partitioned-operator key-skew summaries (parallelism > 1 nodes
   /// of the threaded executor only).
   std::vector<PartitionSkew> partition_skew;
+
+  /// Worker-pool counters of the task-based scheduler (threaded executor
+  /// with use_task_scheduler; `scheduler.used` is false otherwise).
+  SchedulerStats scheduler;
 
   /// Findings of the pre-run job-graph lint pass (analysis/graph_rules.h).
   /// Executors refuse to run graphs with E-level findings: `ok` is then

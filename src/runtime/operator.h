@@ -134,6 +134,14 @@ class Source {
   /// Event time high-water mark of this source: no future tuple will carry
   /// a smaller timestamp.
   virtual Timestamp CurrentWatermark() const = 0;
+
+  /// Absolute wall-clock instant (Clock::NowNanos domain) before which the
+  /// next Next() call would block on pacing, or 0 when the source is ready
+  /// now. Cooperative executors consult this and park the source task on a
+  /// scheduler timer until the deadline instead of letting Next() sleep a
+  /// worker thread; thread-per-subtask executors may ignore it (Next()
+  /// still paces itself as a fallback).
+  virtual int64_t PacingDeadlineNanos() const { return 0; }
 };
 
 }  // namespace cep2asp

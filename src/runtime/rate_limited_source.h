@@ -48,6 +48,18 @@ class RateLimitedSource : public Source {
     return inner_->CurrentWatermark();
   }
 
+  /// The next tuple's scheduled slot, exposed so cooperative executors can
+  /// park until it on a scheduler timer — sleeping inside Next() would
+  /// stall a whole worker and starve co-scheduled tasks. 0 before the
+  /// first emission (the schedule anchors on the first Next call) and when
+  /// unlimited.
+  int64_t PacingDeadlineNanos() const override {
+    if (emitted_ == 0 || nanos_per_tuple_ <= 0) return 0;
+    return start_nanos_ +
+           static_cast<int64_t>(nanos_per_tuple_ *
+                                static_cast<double>(emitted_));
+  }
+
   int64_t emitted() const { return emitted_; }
 
  private:

@@ -124,6 +124,65 @@ class SpscRing {
     return true;
   }
 
+  /// Non-blocking push for cooperative producers: publishes a maximal
+  /// prefix of `items[0..n)` — whatever fits the free space right now —
+  /// and returns how many were moved out (the caller erases the prefix).
+  /// Never spins or sleeps: a full ring returns 0 and the producing task
+  /// parks on a credit instead. `*closed` reports the closed flag.
+  size_t TryPushN(T* items, size_t n, bool* closed) {
+    *closed = closed_.load(std::memory_order_acquire);
+    if (*closed || n == 0) return 0;
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    size_t free = capacity() - static_cast<size_t>(tail - cached_head_);
+    if (free < n) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = capacity() - static_cast<size_t>(tail - cached_head_);
+    }
+    const size_t chunk = std::min(free, n);
+    for (size_t i = 0; i < chunk; ++i) {
+      slots_[static_cast<size_t>(tail + i) & mask_] = std::move(items[i]);
+    }
+    if (chunk > 0) tail_.store(tail + chunk, std::memory_order_release);
+    return chunk;
+  }
+
+  /// Non-blocking pop for cooperative consumers: moves up to `max_items`
+  /// into `*out` (cleared first) and returns the number taken. 0 with
+  /// `*end_of_stream == false` means momentarily empty (the consuming
+  /// task parks until the producer pushes); 0 with `*end_of_stream ==
+  /// true` means closed and fully drained.
+  size_t TryPopN(std::vector<T>* out, size_t max_items, bool* end_of_stream) {
+    out->clear();
+    *end_of_stream = false;
+    if (max_items == 0) return 0;
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    size_t avail = static_cast<size_t>(cached_tail_ - head);
+    if (avail == 0) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = static_cast<size_t>(cached_tail_ - head);
+    }
+    if (avail == 0) {
+      // Same drain protocol as PopN: tail is published before closed, so
+      // closed + one more tail refresh proves the ring is empty for good.
+      if (closed_.load(std::memory_order_acquire)) {
+        cached_tail_ = tail_.load(std::memory_order_acquire);
+        avail = static_cast<size_t>(cached_tail_ - head);
+        if (avail == 0) {
+          *end_of_stream = true;
+          return 0;
+        }
+      } else {
+        return 0;
+      }
+    }
+    const size_t k = std::min(avail, max_items);
+    for (size_t i = 0; i < k; ++i) {
+      out->push_back(std::move(slots_[static_cast<size_t>(head + i) & mask_]));
+    }
+    head_.store(head + k, std::memory_order_release);
+    return k;
+  }
+
   /// Convenience single-item push (one-element batch).
   bool Push(T item) {
     scratch_.clear();

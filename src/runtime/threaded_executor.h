@@ -48,6 +48,23 @@ struct ThreadedExecutorOptions {
   /// debugging.
   bool enable_chaining = true;
 
+  /// Run (chain, subtask) units as cooperative tasks on a fixed worker
+  /// pool (TaskScheduler) instead of one OS thread each. Parallelism then
+  /// stops costing threads: P=4 on a 2-core host multiplexes 4 tasks over
+  /// 2 workers with credit-based backpressure instead of oversubscribing
+  /// 4+ blocking threads. Off selects the legacy thread-per-subtask path,
+  /// kept for A/B comparison.
+  bool use_task_scheduler = true;
+
+  /// Worker pool size for the task scheduler; 0 means
+  /// std::thread::hardware_concurrency(). Ignored by the legacy path.
+  int worker_threads = 0;
+
+  /// Input batches one task may process before yielding the worker
+  /// (cooperative quantum). Larger quanta amortize scheduling overhead;
+  /// smaller quanta interleave co-scheduled tasks more finely.
+  int quantum_batches = 8;
+
   Clock* clock = nullptr;
 };
 
@@ -87,6 +104,16 @@ struct ThreadedExecutorOptions {
 /// reference (it ignores parallelism); correctness tests assert both
 /// produce identical match sets at every parallelism level, chain on and
 /// off.
+///
+/// By default (use_task_scheduler) the physical units do not own OS
+/// threads: each source and each (chain, subtask) becomes a cooperative
+/// task multiplexed onto a fixed TaskScheduler worker pool sized to the
+/// hardware. Tasks process a bounded quantum of input batches and yield; a
+/// full output channel parks the producing task on a credit (non-blocking
+/// TryPushBatch) and the consumer's pop wakes it, so backpressure never
+/// wastes a worker thread. SchedulerStats in the result expose per-worker
+/// task runs, steals, parks and quantum utilization. use_task_scheduler =
+/// false restores the legacy thread-per-subtask execution for A/B runs.
 class ThreadedExecutor {
  public:
   ThreadedExecutor(JobGraph* graph, ThreadedExecutorOptions options = {});
