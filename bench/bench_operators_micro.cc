@@ -12,9 +12,11 @@
 #include <string>
 #include <thread>
 
+#include "asp/compiled_stateless.h"
 #include "asp/sliding_window_join.h"
 #include "asp/interval_join.h"
 #include "asp/stateless.h"
+#include "event/expr_program.h"
 #include "cep/cep_operator.h"
 #include "runtime/bounded_queue.h"
 #include "runtime/executor.h"
@@ -617,13 +619,224 @@ int RunSchedAb(bool quick) {
   return 0;
 }
 
+// --- Expression A/B with machine-readable output -----------------------------
+//
+// Compiled + batched vs interpreted per-tuple on a stateless filter→key
+// prefix, the exact pair of plans the translator chooses between with
+// compile_expressions on/off. The benchmark drives the operator stage
+// directly — the same MessageBatches the executor would hand it — so the
+// measured work is exactly what compilation changes: expression
+// evaluation plus the per-tuple operator plumbing. (End-to-end numbers
+// with source + channel on both sides are what fig3a and bench_pipeline
+// report; there the identical transport cost dilutes the stage-level
+// ratio.) One side is a single CompiledStatelessOperator running a fused
+// ExprProgram over whole batches; the other is the historical interpreted
+// FilterOperator + MapOperator pair taking per-tuple virtual hops through
+// a chaining collector, which is how the executor runs them. The
+// predicate's three terms (one with an rhs offset) all evaluate for every
+// tuple; only ~10% survive, so almost every tuple pays full predicate
+// cost and the survivors pay the key assignment.
+
+Predicate ExprAbPredicate() {
+  Predicate pred;
+  pred.Add(Comparison::AttrConst({0, Attribute::kLat}, CmpOp::kGe, -100.0));
+  pred.Add(Comparison::AttrAttr({0, Attribute::kLon}, CmpOp::kLe,
+                                {0, Attribute::kValue}, 1e6));
+  pred.Add(Comparison::AttrConst({0, Attribute::kValue}, CmpOp::kLt, 10.0));
+  return pred;
+}
+
+/// Terminal collector: counts survivors and checksums their keys, so the
+/// key stores cannot be optimized away and both sides can be compared for
+/// identical observable output.
+class ExprAbSink final : public Collector {
+ public:
+  void Emit(Tuple tuple) override {
+    ++count_;
+    key_sum_ += static_cast<uint64_t>(tuple.key());
+  }
+  void EmitBatch(MessageBatch* batch) override {
+    for (Message& msg : *batch) {
+      ++count_;
+      key_sum_ += static_cast<uint64_t>(msg.tuple.key());
+    }
+    batch->clear();
+  }
+  int64_t count() const { return count_; }
+  uint64_t key_sum() const { return key_sum_; }
+
+ private:
+  int64_t count_ = 0;
+  uint64_t key_sum_ = 0;
+};
+
+/// The executor's chained hand-off for the interpreted pair: each tuple
+/// the filter passes takes one virtual Process call into the key map.
+class ExprAbChainTo final : public Collector {
+ public:
+  ExprAbChainTo(Operator* next, Collector* out) : next_(next), out_(out) {}
+  void Emit(Tuple tuple) override {
+    CEP2ASP_CHECK(next_->Process(0, std::move(tuple), out_).ok());
+  }
+
+ private:
+  Operator* next_;
+  Collector* out_;
+};
+
+std::vector<MessageBatch> MakeExprBatches(
+    const std::vector<SimpleEvent>& events, size_t batch_size) {
+  std::vector<MessageBatch> batches;
+  batches.reserve(events.size() / batch_size + 1);
+  for (size_t i = 0; i < events.size(); i += batch_size) {
+    MessageBatch batch;
+    const size_t end = std::min(events.size(), i + batch_size);
+    batch.reserve(end - i);
+    for (size_t j = i; j < end; ++j) {
+      batch.push_back(Message::Data(0, Tuple(events[j])));
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+void RunExprOnce(bool compiled, const std::vector<SimpleEvent>& events,
+                 SchedAbSide* side) {
+  // Batches are processed in cache-resident waves: the executor hands a
+  // stage batches a channel hop after the producer wrote them, so the
+  // stage never streams tens of megabytes cold from DRAM. Each wave's
+  // batch set is built outside the timed region (the executor pays
+  // source + channel cost on both sides identically, the stage does
+  // not), then processed timed.
+  constexpr size_t kWave = 4096;
+  ExprAbSink sink;
+  double elapsed = 0.0;
+
+  ExprProgram fused = ExprProgram::Fuse(
+      ExprProgram::Filter(ExprAbPredicate(), ExprProgram::VarMode::kBroadcast),
+      ExprProgram::KeyByAttribute(0, Attribute::kId));
+  CEP2ASP_CHECK(fused.ok());
+  CompiledStatelessOperator compiled_op(std::move(fused), "filter+key");
+  std::unique_ptr<Operator> filter =
+      FilterOperator::FromPredicate(ExprAbPredicate());
+  std::unique_ptr<Operator> keymap =
+      MapOperator::KeyByAttribute(0, Attribute::kId);
+  ExprAbChainTo chain(keymap.get(), &sink);
+
+  for (size_t wave = 0; wave < events.size(); wave += kWave) {
+    const std::vector<SimpleEvent> slice(
+        events.begin() + wave,
+        events.begin() + std::min(events.size(), wave + kWave));
+    std::vector<MessageBatch> batches = MakeExprBatches(slice, 64);
+    const auto start = std::chrono::steady_clock::now();
+    if (compiled) {
+      for (MessageBatch& batch : batches) {
+        CEP2ASP_CHECK(compiled_op.ProcessBatch(0, &batch, &sink).ok());
+      }
+    } else {
+      for (MessageBatch& batch : batches) {
+        // The default Operator::ProcessBatch — per-tuple Process calls —
+        // exactly what the executor runs for non-compiled operators.
+        CEP2ASP_CHECK(filter->ProcessBatch(0, &batch, &chain).ok());
+      }
+    }
+    elapsed += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start)
+                   .count();
+  }
+  // Fold the key checksum into the match count so any divergence between
+  // the two sides' observable output fails the run, not just the count.
+  side->matches =
+      sink.count() + static_cast<int64_t>(sink.key_sum() % 1000003);
+  side->tps.push_back(static_cast<double>(events.size()) / elapsed);
+}
+
+/// Runs the compiled vs interpreted A/B on the filter→key prefix and
+/// writes bench_results/BENCH_expr.json. Paired, order-alternating
+/// repetitions with one untimed warm-up, exactly like the sched A/B.
+/// Exit status gates CI: compiled + batched must reach 1.4x interpreted.
+int RunExprAb(bool quick) {
+  const int n = quick ? 300000 : 2000000;
+  const int repetitions = quick ? 5 : 9;
+  std::vector<SimpleEvent> events = MakeEvents(TypeA(), n, 10);
+
+  SchedAbSide compiled, interpreted;
+  {
+    SchedAbSide warmup;
+    RunExprOnce(/*compiled=*/true, events, &warmup);
+    RunExprOnce(/*compiled=*/false, events, &warmup);
+  }
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const bool compiled_first = (rep % 2) == 0;
+    RunExprOnce(compiled_first, events,
+                compiled_first ? &compiled : &interpreted);
+    RunExprOnce(!compiled_first, events,
+                compiled_first ? &interpreted : &compiled);
+  }
+
+  if (compiled.matches != interpreted.matches) {
+    std::fprintf(stderr,
+                 "expr A/B: match counts diverged (compiled %lld vs "
+                 "interpreted %lld)\n",
+                 static_cast<long long>(compiled.matches),
+                 static_cast<long long>(interpreted.matches));
+    return 1;
+  }
+
+  const double speedup = MedianPairedRatio(compiled, interpreted);
+  constexpr double kGate = 1.4;
+  const bool gate_passed = speedup >= kGate;
+
+  char buf[256];
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"expr_ab\",\n";
+  json +=
+      "  \"pipeline\": \"filter(3 terms)+key:=attr stage, 64-tuple "
+      "batches\",\n";
+  json += "  \"tuples_per_run\": " + std::to_string(n) + ",\n";
+  json += "  \"repetitions\": " + std::to_string(repetitions) + ",\n";
+  json += "  \"survivors\": " + std::to_string(compiled.matches) + ",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"compiled_tps\": %.0f,\n  \"interpreted_tps\": %.0f,\n",
+                Median(compiled.tps), Median(interpreted.tps));
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"speedup\": %.2f,\n  \"gate_min_speedup\": %.2f,\n"
+                "  \"gate_passed\": %s\n",
+                speedup, kGate, gate_passed ? "true" : "false");
+  json += buf;
+  json += "}\n";
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  const char* path = "bench_results/BENCH_expr.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("%s", json.c_str());
+  std::printf("wrote %s\n", path);
+  if (!gate_passed) {
+    std::fprintf(stderr,
+                 "expr A/B gate FAILED: compiled %.2fx interpreted "
+                 "(floor %.2f)\n",
+                 speedup, kGate);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace cep2asp
 
 // Custom main: `--quick` / `--chain-ab` run the chain A/B and emit
 // BENCH_chain.json; `--sched-ab` / `--sched-ab-quick` run the task-pool
-// vs legacy A/B and emit BENCH_sched.json; anything else goes to
-// google-benchmark as usual.
+// vs legacy A/B and emit BENCH_sched.json; `--expr-ab` /
+// `--expr-ab-quick` run the compiled vs interpreted expression A/B and
+// emit BENCH_expr.json; anything else goes to google-benchmark as usual.
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -631,6 +844,8 @@ int main(int argc, char** argv) {
     if (arg == "--chain-ab") return cep2asp::RunChainAb(/*quick=*/false);
     if (arg == "--sched-ab") return cep2asp::RunSchedAb(/*quick=*/false);
     if (arg == "--sched-ab-quick") return cep2asp::RunSchedAb(/*quick=*/true);
+    if (arg == "--expr-ab") return cep2asp::RunExprAb(/*quick=*/false);
+    if (arg == "--expr-ab-quick") return cep2asp::RunExprAb(/*quick=*/true);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -75,6 +75,10 @@ constexpr CodeInfo kRegistry[] = {
      "union inputs produce tuples of different arity"},
     {DiagnosticCode::kPlanJoinPositionsOverlap, DiagnosticSeverity::kError,
      "join sides cover the same match position"},
+    {DiagnosticCode::kPlanKeyAttrNonIntegral, DiagnosticSeverity::kWarning,
+     "partition key derives from a continuous-valued attribute; key "
+     "extraction truncates double -> int64, so non-integral values collapse "
+     "into the same partition silently (debug builds assert)"},
 
     {DiagnosticCode::kGraphInputPortUnfed, DiagnosticSeverity::kError,
      "operator input port has no incoming edge"},
@@ -117,6 +121,9 @@ constexpr CodeInfo kRegistry[] = {
      "legacy thread-per-subtask execution would spawn more OS threads than "
      "hardware cores; the task scheduler multiplexes the same subtasks onto "
      "a fixed worker pool instead"},
+    {DiagnosticCode::kGraphExprCompilation, DiagnosticSeverity::kInfo,
+     "per-node expression-execution report: whether a filter/map runs "
+     "compiled ExprProgram bytecode or the interpreted fallback, and why"},
 };
 
 const CodeInfo* FindInfo(DiagnosticCode code) {

@@ -51,6 +51,7 @@ enum class DiagnosticCode : int {
   kPlanReorderInvalid = 210,        // E: reorder permutation not a bijection
   kPlanUnionArityMismatch = 211,    // E: union inputs differ in arity
   kPlanJoinPositionsOverlap = 212,  // E: join sides share match positions
+  kPlanKeyAttrNonIntegral = 213,    // W: continuous-valued partition key
 
   // --- job-graph layer (3xx) ---------------------------------------------
   kGraphInputPortUnfed = 301,       // E: operator input port has no edge
@@ -69,6 +70,7 @@ enum class DiagnosticCode : int {
   kGraphParallelUnsupported = 314,  // E: parallelism > 1 where unsupported
   kGraphForwardEdgeNotChained = 315,// I: forward edge left unfused (why)
   kGraphScheduleOversubscribed = 316,  // I: legacy threads > hardware cores
+  kGraphExprCompilation = 317,      // I: filter/map expression-exec report
 };
 
 /// Severity a code always carries (the letter in its rendered name).

@@ -1,0 +1,28 @@
+#include "analysis/expr_rules.h"
+
+#include <string>
+
+namespace cep2asp {
+
+DiagnosticReport AnalyzeExprCompilation(const JobGraph& graph) {
+  DiagnosticReport report;
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    const JobGraph::Node& node = graph.node(id);
+    if (node.is_source()) continue;
+    const OperatorTraits traits = node.op->Traits();
+    if (traits.expr_exec == ExprExec::kNone) continue;
+    const char* how =
+        traits.expr_exec == ExprExec::kCompiled ? "compiled" : "interpreted";
+    std::string message = std::string("expression ") + how;
+    if (traits.expr_note != nullptr && traits.expr_note[0] != '\0') {
+      message += ": ";
+      message += traits.expr_note;
+    }
+    report.Add(DiagnosticCode::kGraphExprCompilation,
+               "node " + std::to_string(id) + " (" + node.op->name() + ")",
+               std::move(message));
+  }
+  return report;
+}
+
+}  // namespace cep2asp

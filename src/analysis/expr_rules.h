@@ -1,0 +1,26 @@
+#ifndef CEP2ASP_ANALYSIS_EXPR_RULES_H_
+#define CEP2ASP_ANALYSIS_EXPR_RULES_H_
+
+#include "analysis/diagnostic.h"
+#include "runtime/job_graph.h"
+
+namespace cep2asp {
+
+/// \brief Expression-compilation lint pass (diagnostic code I317).
+///
+/// Reports one info diagnostic per operator node that evaluates a filter
+/// predicate or key assignment, naming how the expression executes:
+/// compiled ExprProgram bytecode (with the program size) or the
+/// interpreted fallback (with the reason — user-supplied lambda,
+/// positional predicate, compilation disabled, ...). The note comes from
+/// OperatorTraits::expr_note, so the report reflects what the translator
+/// actually wired, not what the options requested.
+///
+/// Nodes with ExprExec::kNone (sources, joins, aggregations, sinks) are
+/// never reported. Like AnalyzeChaining, this pass is separate from
+/// AnalyzeJobGraph so executors and a clean graph stay info-free.
+DiagnosticReport AnalyzeExprCompilation(const JobGraph& graph);
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_ANALYSIS_EXPR_RULES_H_

@@ -7,7 +7,9 @@
 //   plan_lint --psl TEXT   lint one PSL pattern under every optimization set
 //   plan_lint --chains     print the chain layout of every paper pattern
 //                          under every optimization set, plus I315 infos
-//                          for forward edges the planner could not fuse
+//                          for forward edges the planner could not fuse and
+//                          I317 reports on which filter/map nodes run
+//                          compiled ExprProgram bytecode vs interpreted
 //   plan_lint --schedule   print the task/worker layout of every paper
 //                          pattern under every optimization set, plus I316
 //                          infos where legacy threading would oversubscribe
@@ -19,6 +21,7 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/chain_rules.h"
+#include "analysis/expr_rules.h"
 #include "analysis/schedule_rules.h"
 #include "common/clock.h"
 #include "harness/paper_patterns.h"
@@ -147,8 +150,9 @@ int LintPaperPatterns() {
 
 /// Prints the chain layout ComputeChainLayout produces for one pattern
 /// under one option set, followed by the I315 findings for forward edges
-/// the planner left unfused. Purely informational — never contributes to
-/// the exit code.
+/// the planner left unfused and the I317 expression-execution report
+/// (which filter/map nodes compiled, and why the rest fell back). Purely
+/// informational — never contributes to the exit code.
 void PrintChains(const std::string& name, const Pattern& pattern,
                  const OptionSet& set) {
   auto stub_sources = [](EventTypeId type) {
@@ -168,6 +172,7 @@ void PrintChains(const std::string& name, const Pattern& pattern,
               set.name, layout.num_chains(), layout.fused_edge_count());
   std::printf("%s", layout.ToString(graph).c_str());
   PrintReport(AnalyzeChaining(graph));
+  PrintReport(AnalyzeExprCompilation(graph));
 }
 
 int PrintPaperChains() {

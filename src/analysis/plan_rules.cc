@@ -318,6 +318,20 @@ void WalkNode(const LogicalOp& op, const LogicalPlan& plan,
         }
       }
       break;
+    case LogicalOpKind::kKeyByAttr:
+      // W213: key extraction is AttributeToKey (double -> int64 truncation).
+      // Timestamps and ids are integral by construction; the measurement
+      // attributes are not, so keying on them silently merges e.g. 3.2 and
+      // 3.9 into partition 3 (release) or trips a DCHECK (debug).
+      if (op.key_attr == Attribute::kValue || op.key_attr == Attribute::kLat ||
+          op.key_attr == Attribute::kLon) {
+        report->Add(DiagnosticCode::kPlanKeyAttrNonIntegral, NodeLabel(op),
+                    std::string("partition key uses continuous attribute '") +
+                        AttributeName(op.key_attr) +
+                        "'; non-integral values truncate to the same int64 "
+                        "key (see AttributeToKey)");
+      }
+      break;
     case LogicalOpKind::kAggregate:
     case LogicalOpKind::kIterChainApply:
       if (op.min_count < 1) {

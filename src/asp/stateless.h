@@ -16,8 +16,11 @@ class FilterOperator : public Operator {
  public:
   using Fn = std::function<bool(const Tuple&)>;
 
-  explicit FilterOperator(Fn fn, std::string label = "filter")
-      : fn_(std::move(fn)), label_(std::move(label)) {}
+  /// `expr_note` feeds the I317 expression-compilation report; raw
+  /// constructor calls are user-supplied lambdas the compiler cannot see.
+  explicit FilterOperator(Fn fn, std::string label = "filter",
+                          const char* expr_note = "user-supplied lambda")
+      : fn_(std::move(fn)), label_(std::move(label)), expr_note_(expr_note) {}
 
   /// Filter from a single-variable predicate applied to the head event.
   static std::unique_ptr<FilterOperator> FromPredicate(Predicate predicate,
@@ -25,7 +28,7 @@ class FilterOperator : public Operator {
     auto pred = std::make_shared<Predicate>(std::move(predicate));
     return std::make_unique<FilterOperator>(
         [pred](const Tuple& t) { return pred->EvalOnEvent(t.event(0)); },
-        std::move(label));
+        std::move(label), "interpreted predicate (head event)");
   }
 
   /// Filter evaluating a predicate over the whole composed tuple
@@ -35,10 +38,17 @@ class FilterOperator : public Operator {
     auto pred = std::make_shared<Predicate>(std::move(predicate));
     return std::make_unique<FilterOperator>(
         [pred](const Tuple& t) { return pred->EvalOnTuple(t); },
-        std::move(label));
+        std::move(label), "interpreted predicate (positional)");
   }
 
   std::string name() const override { return label_; }
+
+  OperatorTraits Traits() const override {
+    OperatorTraits traits;
+    traits.expr_exec = ExprExec::kInterpreted;
+    traits.expr_note = expr_note_;
+    return traits;
+  }
 
   Status Process(int input, Tuple tuple, Collector* out) override {
     (void)input;
@@ -47,12 +57,13 @@ class FilterOperator : public Operator {
   }
 
   std::unique_ptr<Operator> CloneForSubtask() const override {
-    return std::make_unique<FilterOperator>(fn_, label_);
+    return std::make_unique<FilterOperator>(fn_, label_, expr_note_);
   }
 
  private:
   Fn fn_;
   std::string label_;
+  const char* expr_note_;
 };
 
 /// \brief Projection: transforms each tuple (paper §2, operator (2); ASP
@@ -63,10 +74,15 @@ class MapOperator : public Operator {
   using Fn = std::function<Tuple(Tuple)>;
 
   /// `assigns_key` declares (for the plan analyzer) that `fn` rewrites the
-  /// partition key; the key-assigning factories below set it.
+  /// partition key; the key-assigning factories below set it. `expr_note`
+  /// feeds the I317 expression-compilation report.
   explicit MapOperator(Fn fn, std::string label = "map",
-                       bool assigns_key = false)
-      : fn_(std::move(fn)), label_(std::move(label)), assigns_key_(assigns_key) {}
+                       bool assigns_key = false,
+                       const char* expr_note = "user-supplied lambda")
+      : fn_(std::move(fn)),
+        label_(std::move(label)),
+        assigns_key_(assigns_key),
+        expr_note_(expr_note) {}
 
   /// Map assigning a constant partition key: the paper's workaround for
   /// missing Cartesian-product support (§4.2.1) — a precedent map
@@ -77,19 +93,22 @@ class MapOperator : public Operator {
           t.set_key(key);
           return t;
         },
-        "map(key:=const)", /*assigns_key=*/true);
+        "map(key:=const)", /*assigns_key=*/true, "interpreted key:=const");
   }
 
   /// Map assigning the key from an attribute of one constituent event
-  /// (enables Equi-Join partitioning, O3).
+  /// (enables Equi-Join partitioning, O3). Key contract: the attribute
+  /// must hold integral finite values — AttributeToKey asserts the
+  /// round-trip in debug builds, and plans keying by a continuous
+  /// attribute are flagged by the analyzer (W213).
   static std::unique_ptr<MapOperator> KeyByAttribute(size_t event_index,
                                                      Attribute attr) {
     return std::make_unique<MapOperator>(
         [event_index, attr](Tuple t) {
-          t.set_key(static_cast<int64_t>(GetAttribute(t.event(event_index), attr)));
+          t.set_key(AttributeToKey(GetAttribute(t.event(event_index), attr)));
           return t;
         },
-        "map(key:=attr)", /*assigns_key=*/true);
+        "map(key:=attr)", /*assigns_key=*/true, "interpreted key:=attr");
   }
 
   std::string name() const override { return label_; }
@@ -97,6 +116,8 @@ class MapOperator : public Operator {
   OperatorTraits Traits() const override {
     OperatorTraits traits;
     traits.assigns_key = assigns_key_;
+    traits.expr_exec = ExprExec::kInterpreted;
+    traits.expr_note = expr_note_;
     return traits;
   }
 
@@ -107,13 +128,14 @@ class MapOperator : public Operator {
   }
 
   std::unique_ptr<Operator> CloneForSubtask() const override {
-    return std::make_unique<MapOperator>(fn_, label_, assigns_key_);
+    return std::make_unique<MapOperator>(fn_, label_, assigns_key_, expr_note_);
   }
 
  private:
   Fn fn_;
   std::string label_;
   bool assigns_key_;
+  const char* expr_note_;
 };
 
 /// \brief Set union of n input streams (paper Eq. 11 target). Streams

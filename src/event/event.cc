@@ -43,24 +43,6 @@ const char* AttributeName(Attribute attr) {
   return "?";
 }
 
-double GetAttribute(const SimpleEvent& event, Attribute attr) {
-  switch (attr) {
-    case Attribute::kValue:
-      return event.value;
-    case Attribute::kLat:
-      return event.lat;
-    case Attribute::kLon:
-      return event.lon;
-    case Attribute::kTs:
-      return static_cast<double>(event.ts);
-    case Attribute::kId:
-      return static_cast<double>(event.id);
-    case Attribute::kAuxTs:
-      return static_cast<double>(event.aux_ts);
-  }
-  return 0.0;
-}
-
 Timestamp Tuple::tsb() const {
   CEP2ASP_DCHECK(!events_.empty());
   Timestamp out = events_[0].ts;

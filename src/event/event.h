@@ -2,6 +2,7 @@
 #define CEP2ASP_EVENT_EVENT_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -50,8 +51,41 @@ struct SimpleEvent {
 };
 
 /// Returns the attribute value as a double (timestamps are exact in double
-/// for the ranges this library produces).
-double GetAttribute(const SimpleEvent& event, Attribute attr);
+/// for the ranges this library produces). Inline: this is the innermost
+/// load of every predicate evaluation, interpreted or compiled.
+inline double GetAttribute(const SimpleEvent& event, Attribute attr) {
+  switch (attr) {
+    case Attribute::kValue:
+      return event.value;
+    case Attribute::kLat:
+      return event.lat;
+    case Attribute::kLon:
+      return event.lon;
+    case Attribute::kTs:
+      return static_cast<double>(event.ts);
+    case Attribute::kId:
+      return static_cast<double>(event.id);
+    case Attribute::kAuxTs:
+      return static_cast<double>(event.aux_ts);
+  }
+  return 0.0;
+}
+
+/// Converts an attribute value to a partition key. Key-by-attribute
+/// contract: the attribute must hold integral, finite values (ids,
+/// timestamps) — the cast truncates anything else, which silently
+/// mis-partitions keys. Debug builds assert the cast round-trips;
+/// release builds keep the historical truncation. Plans keying by a
+/// continuous attribute are flagged by the analyzer (CEP2ASP-W213).
+inline int64_t AttributeToKey(double value) {
+  CEP2ASP_DCHECK(std::isfinite(value))
+      << "non-finite key attribute value (plan bug, see CEP2ASP-W213)";
+  const int64_t key = static_cast<int64_t>(value);
+  CEP2ASP_DCHECK(value == static_cast<double>(key))
+      << "non-integral key attribute value " << value << " truncated to "
+      << key << " (plan bug, see CEP2ASP-W213)";
+  return key;
+}
 
 /// \brief A stream element: either a single event or a composition
 /// (partial or complete match) of several events.

@@ -25,24 +25,6 @@ const char* CmpOpToString(CmpOp op) {
   return "?";
 }
 
-bool EvalCmp(double lhs, CmpOp op, double rhs) {
-  switch (op) {
-    case CmpOp::kLt:
-      return lhs < rhs;
-    case CmpOp::kLe:
-      return lhs <= rhs;
-    case CmpOp::kGt:
-      return lhs > rhs;
-    case CmpOp::kGe:
-      return lhs >= rhs;
-    case CmpOp::kEq:
-      return lhs == rhs;
-    case CmpOp::kNe:
-      return lhs != rhs;
-  }
-  return false;
-}
-
 int Comparison::MaxVar() const {
   int out = lhs.var;
   if (rhs_is_attr) out = std::max(out, rhs_attr.var);
@@ -85,11 +67,25 @@ bool Comparison::Eval(
 }
 
 bool Comparison::EvalOnEvents(const SimpleEvent* events, size_t count) const {
-  return Eval([events, count](int var) -> const SimpleEvent& {
-    CEP2ASP_DCHECK(var >= 0 && static_cast<size_t>(var) < count);
-    (void)count;
-    return events[var];
-  });
+  (void)count;
+  CEP2ASP_DCHECK(lhs.var >= 0 && static_cast<size_t>(lhs.var) < count);
+  const double left = GetAttribute(events[lhs.var], lhs.attr);
+  double right;
+  if (rhs_is_attr) {
+    CEP2ASP_DCHECK(rhs_attr.var >= 0 &&
+                   static_cast<size_t>(rhs_attr.var) < count);
+    right = GetAttribute(events[rhs_attr.var], rhs_attr.attr) + rhs_offset;
+  } else {
+    right = rhs_const;
+  }
+  return EvalCmp(left, op, right);
+}
+
+bool Comparison::EvalOnEvent(const SimpleEvent& event) const {
+  const double left = GetAttribute(event, lhs.attr);
+  const double right =
+      rhs_is_attr ? GetAttribute(event, rhs_attr.attr) + rhs_offset : rhs_const;
+  return EvalCmp(left, op, right);
 }
 
 std::string Comparison::ToString() const {
@@ -120,14 +116,22 @@ bool Predicate::Eval(
   return true;
 }
 
+bool Predicate::EvalOnEvents(const SimpleEvent* events, size_t count) const {
+  for (const Comparison& c : terms_) {
+    if (!c.EvalOnEvents(events, count)) return false;
+  }
+  return true;
+}
+
 bool Predicate::EvalOnTuple(const Tuple& tuple) const {
-  return Eval([&tuple](int var) -> const SimpleEvent& {
-    return tuple.event(static_cast<size_t>(var));
-  });
+  return EvalOnEvents(tuple.begin(), tuple.size());
 }
 
 bool Predicate::EvalOnEvent(const SimpleEvent& event) const {
-  return Eval([&event](int) -> const SimpleEvent& { return event; });
+  for (const Comparison& c : terms_) {
+    if (!c.EvalOnEvent(event)) return false;
+  }
+  return true;
 }
 
 Predicate Predicate::Remap(const std::vector<int>& mapping) const {

@@ -13,8 +13,27 @@ enum class CmpOp : uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
 
 const char* CmpOpToString(CmpOp op);
 
-/// Applies `op` to two doubles.
-bool EvalCmp(double lhs, CmpOp op, double rhs);
+/// Applies `op` to two doubles. Inline: this is the innermost branch of
+/// every predicate evaluation — the bytecode interpreter (expr_program.cc)
+/// and the interpreted term loop (predicate.cc) live in different TUs and
+/// both need it folded into their dispatch, not a call.
+inline bool EvalCmp(double lhs, CmpOp op, double rhs) {
+  switch (op) {
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
 
 /// \brief Reference to an attribute of one pattern variable.
 ///
@@ -79,11 +98,18 @@ struct Comparison {
   Comparison Remap(const std::vector<int>& mapping) const;
 
   /// Evaluates against a variable resolver. The resolver must return the
-  /// event bound to the given variable index.
+  /// event bound to the given variable index. Kept for callers with
+  /// non-positional bindings (CEP partial matches, SEA semantics); the
+  /// hot paths below avoid the std::function indirection entirely.
   bool Eval(const std::function<const SimpleEvent&(int)>& resolve) const;
 
-  /// Convenience: evaluate against events stored positionally.
+  /// Evaluates against events stored positionally — no resolver, no
+  /// allocation, just two attribute loads and a compare.
   bool EvalOnEvents(const SimpleEvent* events, size_t count) const;
+
+  /// Evaluates with every variable reference bound to `event` (broadcast;
+  /// caller guarantees the term is single-variable).
+  bool EvalOnEvent(const SimpleEvent& event) const;
 
   std::string ToString() const;
 };
@@ -104,6 +130,9 @@ class Predicate {
   int MaxVar() const;
 
   bool Eval(const std::function<const SimpleEvent&(int)>& resolve) const;
+
+  /// Evaluates against events stored positionally (variable i = events[i]).
+  bool EvalOnEvents(const SimpleEvent* events, size_t count) const;
 
   /// Evaluates against a composed tuple whose event positions correspond to
   /// variable indices.

@@ -1,0 +1,56 @@
+#ifndef CEP2ASP_RUNTIME_MESSAGE_H_
+#define CEP2ASP_RUNTIME_MESSAGE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "event/event.h"
+
+namespace cep2asp {
+
+/// Kind of element flowing over an inter-thread edge.
+enum class MessageKind : uint8_t { kTuple, kWatermark, kEnd };
+
+/// One element flowing over an inter-thread edge.
+struct Message {
+  MessageKind kind = MessageKind::kTuple;
+  int port = 0;
+  /// Physical-channel index at the consumer: identifies the (in-edge,
+  /// producer subtask) pair this message travelled on, dense in
+  /// [0, physical_fan_in). Watermarks are aligned (min) and end-of-stream
+  /// is counted per slot, not per port, because one port may merge several
+  /// producer subtasks under keyed data parallelism. With parallelism 1
+  /// everywhere slots coincide with ports (one edge per port, E301/E302).
+  int slot = 0;
+  Tuple tuple;
+  Timestamp watermark = kMinTimestamp;
+
+  static Message Data(int port, Tuple tuple, int slot = 0) {
+    Message msg;
+    msg.kind = MessageKind::kTuple;
+    msg.port = port;
+    msg.slot = slot;
+    msg.tuple = std::move(tuple);
+    return msg;
+  }
+
+  static Message Control(MessageKind kind, int port, Timestamp watermark,
+                         int slot = 0) {
+    Message msg;
+    msg.kind = kind;
+    msg.port = port;
+    msg.slot = slot;
+    msg.watermark = watermark;
+    return msg;
+  }
+};
+
+/// A micro-batch of messages: the unit of transfer over a Channel. Callers
+/// reserve `batch_size` up front and reuse the vector after every push, so
+/// the steady state allocates nothing.
+using MessageBatch = std::vector<Message>;
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_RUNTIME_MESSAGE_H_

@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "event/event.h"
+#include "runtime/message.h"
 
 namespace cep2asp {
 
@@ -21,6 +22,17 @@ class Collector {
   virtual ~Collector() = default;
   virtual void Emit(Tuple tuple) = 0;
 
+  /// Batch emission: hands over a whole batch of data messages (all
+  /// kTuple, already on the emitting operator's output). The default
+  /// unpacks per tuple; batching collectors override it to move the batch
+  /// downstream in one hop (splice into the pending buffer, or a single
+  /// ProcessBatch call on the next chained operator). The batch is
+  /// consumed either way and left empty for reuse.
+  virtual void EmitBatch(MessageBatch* batch) {
+    for (Message& msg : *batch) Emit(std::move(msg.tuple));
+    batch->clear();
+  }
+
   /// Hands any internally buffered emissions downstream. Executors whose
   /// collectors micro-batch (ThreadedExecutor) call this before a thread
   /// would otherwise go idle; operators never need to call it — control
@@ -32,6 +44,7 @@ class Collector {
 class NullCollector : public Collector {
  public:
   void Emit(Tuple) override {}
+  void EmitBatch(MessageBatch* batch) override { batch->clear(); }
 };
 
 /// \brief Static self-description of an operator, consumed by the plan
@@ -40,6 +53,17 @@ class NullCollector : public Collector {
 /// Traits let analyses reason about arbitrary operators — including ones
 /// defined above the runtime layer — without RTTI: each operator declares
 /// what the analyzer would otherwise have to know about its concrete type.
+/// How an operator evaluates its predicate / key expressions; consumed by
+/// the I317 expression-compilation report.
+enum class ExprExec : uint8_t {
+  /// No expression work at all (joins, unions, sinks, windows).
+  kNone,
+  /// Interprets a Predicate / std::function per tuple.
+  kInterpreted,
+  /// Runs a compiled ExprProgram (bytecode, batch-capable).
+  kCompiled,
+};
+
 struct OperatorTraits {
   /// Buffers tuples between calls (windows, partial matches, seen-sets).
   bool stateful = false;
@@ -64,6 +88,12 @@ struct OperatorTraits {
   bool drains_on_final_watermark = false;
   /// Terminal by design: consumes tuples without emitting (result sinks).
   bool is_sink = false;
+  /// Expression execution mode and a short human-readable note for the
+  /// I317 report ("3 insns", "user-supplied lambda", ...). `expr_note`
+  /// must point at storage outliving the operator (string literals or
+  /// operator-owned strings).
+  ExprExec expr_exec = ExprExec::kNone;
+  const char* expr_note = nullptr;
 };
 
 /// \brief A (possibly stateful) dataflow operator, the unit of the ASP
@@ -91,6 +121,23 @@ class Operator {
 
   /// Handles one input tuple arriving on `input`.
   virtual Status Process(int input, Tuple tuple, Collector* out) = 0;
+
+  /// Handles a homogeneous run of data messages (all kTuple, all on
+  /// `input`) in one call. The batch is consumed and left empty. The
+  /// default unpacks into per-tuple Process calls — semantically the
+  /// baseline; compiled stateless operators override it with a tight
+  /// compact-in-place loop that never takes the per-tuple virtual hops.
+  virtual Status ProcessBatch(int input, MessageBatch* batch, Collector* out) {
+    for (Message& msg : *batch) {
+      Status status = Process(input, std::move(msg.tuple), out);
+      if (!status.ok()) {
+        batch->clear();
+        return status;
+      }
+    }
+    batch->clear();
+    return Status::OK();
+  }
 
   /// Called when the aligned watermark advances to `watermark`: event time
   /// has passed, windows ending at or before it may fire.

@@ -116,6 +116,29 @@ void RoutingCollector::Emit(Tuple tuple) {
          Message::Data(e.port, std::move(tuple), e.slot));
 }
 
+void RoutingCollector::EmitBatch(MessageBatch* batch) {
+  if (edges_.empty()) {
+    batch->clear();
+    return;
+  }
+  if (edges_.size() == 1 && edges_[0].fixed_target >= 0) {
+    OutEdge& e = edges_[0];
+    const int t = e.first_target + e.fixed_target;
+    Target& target = targets_[static_cast<size_t>(t)];
+    for (Message& msg : *batch) {
+      msg.port = e.port;
+      msg.slot = e.slot;
+      target.pending.push_back(std::move(msg));
+    }
+    batch->clear();
+    if (target.pending.size() >= cur_batch_ && !target.stuck) FlushTarget(t);
+    return;
+  }
+  // Hash / broadcast / fan-out: per-tuple routing.
+  for (Message& msg : *batch) Emit(std::move(msg.tuple));
+  batch->clear();
+}
+
 void RoutingCollector::Append(int t, Message msg) {
   Target& target = targets_[static_cast<size_t>(t)];
   target.pending.push_back(std::move(msg));
@@ -189,6 +212,21 @@ void ChainedCollector::Emit(Tuple tuple) {
     invariants_->OnPhysicalTuple(node_, subtask_, subtask_, tuple);
   }
   Status st = next_->Process(port_, std::move(tuple), downstream_);
+  if (!st.ok()) *chain_status_ = st.WithContext(next_->name());
+}
+
+void ChainedCollector::EmitBatch(MessageBatch* batch) {
+  if (!chain_status_->ok() || batch->empty()) {
+    batch->clear();
+    return;
+  }
+  *handed_over_ += static_cast<int64_t>(batch->size());
+  if (invariants_ != nullptr) {
+    for (const Message& msg : *batch) {
+      invariants_->OnPhysicalTuple(node_, subtask_, subtask_, msg.tuple);
+    }
+  }
+  Status st = next_->ProcessBatch(port_, batch, downstream_);
   if (!st.ok()) *chain_status_ = st.WithContext(next_->name());
 }
 
@@ -378,6 +416,42 @@ Status ChainTask::CascadeFinish() {
 
 void ChainTask::ProcessBatch(MessageBatch* batch) {
   const NodeId head = chain_nodes_->front();
+  // Steady-state fast path: a batch of only data messages on one port goes
+  // to the head operator's ProcessBatch in a single call. Compiled
+  // stateless heads run it as one tight loop; everything else falls back
+  // to the identical per-tuple default.
+  if (!batch->empty() && !aligner_.done()) {
+    const int port = batch->front().port;
+    bool homogeneous = true;
+    for (const Message& msg : *batch) {
+      if (msg.kind != MessageKind::kTuple || msg.port != port) {
+        homogeneous = false;
+        break;
+      }
+    }
+    if (homogeneous) {
+      if (ctx_->invariants != nullptr) {
+        for (const Message& msg : *batch) {
+          ctx_->invariants->OnPhysicalTuple(head, subtask_, msg.slot,
+                                            msg.tuple);
+        }
+      }
+      Status st =
+          ops_.front()->ProcessBatch(port, batch, collectors_.front());
+      if (!st.ok()) {
+        st = st.WithContext(ops_.front()->name());
+      } else if (!chain_status_.ok()) {
+        st = chain_status_;
+      }
+      if (!st.ok()) {
+        ctx_->record_error(st);
+        aligner_.ForceDone();
+        phase_ = Phase::kDone;
+      }
+      batch->clear();
+      return;
+    }
+  }
   for (Message& msg : *batch) {
     if (aligner_.done()) break;
     switch (msg.kind) {

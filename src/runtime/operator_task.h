@@ -76,6 +76,12 @@ class RoutingCollector : public Collector {
 
   void Emit(Tuple tuple) override;
 
+  /// Batch fast path: a single-forward-edge producer (the common chained
+  /// tail) splices the whole batch into the target's pending buffer —
+  /// restamp port/slot, move, one flush check — instead of a per-tuple
+  /// Route/Append. Other shapes fall back to per-tuple Emit.
+  void EmitBatch(MessageBatch* batch) override;
+
   /// Blocking mode: pushes every pending buffer. Cooperative mode: best
   /// effort (TryFlushAll); the task checks stuck() afterwards.
   void Flush() override;
@@ -157,6 +163,11 @@ class ChainedCollector : public Collector {
         subtask_(subtask) {}
 
   void Emit(Tuple tuple) override;
+
+  /// Hands a whole data batch to the next operator's ProcessBatch in one
+  /// virtual call — batches emitted by a compiled operator flow down the
+  /// rest of the chain without re-splitting into per-tuple hops.
+  void EmitBatch(MessageBatch* batch) override;
 
   void Flush() override { downstream_->Flush(); }
 

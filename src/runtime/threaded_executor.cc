@@ -384,6 +384,40 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
           in.reserve(batch_size);
           while (!aligner.done()) {
             if (!input->PopBatch(&in, batch_size)) break;  // closed on error
+            // Steady-state fast path mirroring ChainTask::ProcessBatch: a
+            // homogeneous data batch goes to the head operator's
+            // ProcessBatch in one call (compiled heads run a tight loop).
+            bool homogeneous = !in.empty();
+            const int batch_port = homogeneous ? in.front().port : 0;
+            for (const Message& msg : in) {
+              if (msg.kind != MessageKind::kTuple || msg.port != batch_port) {
+                homogeneous = false;
+                break;
+              }
+            }
+            if (homogeneous) {
+              if (invariants != nullptr) {
+                for (const Message& msg : in) {
+                  invariants->OnPhysicalTuple(head, subtask, msg.slot,
+                                              msg.tuple);
+                }
+              }
+              Status st = ops.front()->ProcessBatch(batch_port, &in,
+                                                    collectors.front());
+              if (!st.ok()) {
+                st = st.WithContext(ops.front()->name());
+              } else if (!chain_status.ok()) {
+                st = chain_status;
+              }
+              if (!st.ok()) {
+                record_error(st);
+                aligner.ForceDone();
+              }
+              if (!aligner.done() && input->Empty()) {
+                collectors.front()->Flush();
+              }
+              continue;
+            }
             for (Message& msg : in) {
               if (aligner.done()) break;
               switch (msg.kind) {

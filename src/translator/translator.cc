@@ -4,6 +4,7 @@
 #include <numeric>
 #include <set>
 
+#include "asp/compiled_stateless.h"
 #include "asp/dedup.h"
 #include "asp/nseq_mark.h"
 #include "asp/sliding_window_join.h"
@@ -534,6 +535,7 @@ Result<LogicalPlan> Translator::ToLogicalPlan(const Pattern& pattern) const {
   plan.slide = ctx.slide;
   plan.parallelism = std::max(1, options_.parallelism);
   plan.num_keys_hint = options_.num_keys_hint;
+  plan.compile_expressions = options_.compile_expressions;
   (void)ctx.used_sliding_join;
   return plan;
 }
@@ -551,6 +553,9 @@ struct CompileContext {
   /// declared key-domain size (lint metadata).
   int parallelism = 1;
   int64_t num_keys_hint = 0;
+  /// Emit CompiledStatelessOperator for translator-generated filters and
+  /// key maps (TranslatorOptions::compile_expressions).
+  bool compile_expressions = true;
 };
 
 /// Expands a compiled stage to the requested parallelism when the logical
@@ -574,7 +579,44 @@ PartitionMode KeyedInputMode(const LogicalOp& op, const CompileContext& ctx) {
                                                     : PartitionMode::kForward;
 }
 
+/// The key program of a key-assigning logical node, or a failed program
+/// for other kinds.
+ExprProgram KeyProgramFor(const LogicalOp& op) {
+  if (op.kind == LogicalOpKind::kKeyByAttr) {
+    return ExprProgram::KeyByAttribute(0, op.key_attr);
+  }
+  if (op.kind == LogicalOpKind::kKeyByConst) {
+    return ExprProgram::KeyByConstant(op.const_key);
+  }
+  ExprProgram none;
+  return none;
+}
+
 Result<NodeId> CompileNode(const LogicalOp& op, CompileContext* ctx) {
+  // Filter→key fusion: a key-assigning node directly over a filter
+  // compiles both into one bytecode program running as a single operator
+  // — the whole stateless prefix of an O3 plan becomes one tight loop.
+  if (ctx->compile_expressions &&
+      (op.kind == LogicalOpKind::kKeyByAttr ||
+       op.kind == LogicalOpKind::kKeyByConst) &&
+      op.inputs.size() == 1 &&
+      op.inputs[0]->kind == LogicalOpKind::kFilter) {
+    const LogicalOp& filter = *op.inputs[0];
+    ExprProgram fused = ExprProgram::Fuse(
+        ExprProgram::Filter(filter.predicate, ExprProgram::VarMode::kBroadcast),
+        KeyProgramFor(op));
+    if (fused.ok()) {
+      CEP2ASP_ASSIGN_OR_RETURN(NodeId in,
+                               CompileNode(*filter.inputs[0], ctx));
+      NodeId id = ctx->graph->AddOperator(
+          std::make_unique<CompiledStatelessOperator>(std::move(fused),
+                                                      "filter+key"));
+      CEP2ASP_RETURN_IF_ERROR(ctx->graph->Connect(in, id, 0));
+      CEP2ASP_RETURN_IF_ERROR(ApplyParallelism(op, id, ctx));
+      return id;
+    }
+  }
+
   std::vector<NodeId> inputs;
   inputs.reserve(op.inputs.size());
   for (const auto& input : op.inputs) {
@@ -594,21 +636,44 @@ Result<NodeId> CompileNode(const LogicalOp& op, CompileContext* ctx) {
       return graph->AddSource(std::move(source));
     }
     case LogicalOpKind::kFilter: {
-      NodeId id = graph->AddOperator(
-          FilterOperator::FromPredicate(op.predicate, "filter"));
+      std::unique_ptr<Operator> filter;
+      if (ctx->compile_expressions) {
+        ExprProgram program = ExprProgram::Filter(
+            op.predicate, ExprProgram::VarMode::kBroadcast);
+        if (program.ok()) {
+          filter = std::make_unique<CompiledStatelessOperator>(
+              std::move(program), "filter");
+        }
+      }
+      if (filter == nullptr) {
+        filter = FilterOperator::FromPredicate(op.predicate, "filter");
+      }
+      NodeId id = graph->AddOperator(std::move(filter));
       CEP2ASP_RETURN_IF_ERROR(graph->Connect(inputs[0], id, 0));
       return id;
     }
-    case LogicalOpKind::kKeyByAttr: {
-      NodeId id =
-          graph->AddOperator(MapOperator::KeyByAttribute(0, op.key_attr));
-      CEP2ASP_RETURN_IF_ERROR(graph->Connect(inputs[0], id, 0));
-      CEP2ASP_RETURN_IF_ERROR(ApplyParallelism(op, id, ctx));
-      return id;
-    }
+    case LogicalOpKind::kKeyByAttr:
     case LogicalOpKind::kKeyByConst: {
-      NodeId id = graph->AddOperator(MapOperator::AssignConstantKey(op.const_key));
+      std::unique_ptr<Operator> map;
+      if (ctx->compile_expressions) {
+        ExprProgram program = KeyProgramFor(op);
+        if (program.ok()) {
+          map = std::make_unique<CompiledStatelessOperator>(
+              std::move(program), op.kind == LogicalOpKind::kKeyByAttr
+                                      ? "map(key:=attr)"
+                                      : "map(key:=const)");
+        }
+      }
+      if (map == nullptr) {
+        map = op.kind == LogicalOpKind::kKeyByAttr
+                  ? MapOperator::KeyByAttribute(0, op.key_attr)
+                  : MapOperator::AssignConstantKey(op.const_key);
+      }
+      NodeId id = graph->AddOperator(std::move(map));
       CEP2ASP_RETURN_IF_ERROR(graph->Connect(inputs[0], id, 0));
+      if (op.kind == LogicalOpKind::kKeyByAttr) {
+        CEP2ASP_RETURN_IF_ERROR(ApplyParallelism(op, id, ctx));
+      }
       return id;
     }
     case LogicalOpKind::kUnion: {
@@ -753,6 +818,7 @@ Result<CompiledQuery> CompilePlan(const LogicalPlan& plan,
   ctx.graph = &query.graph;
   ctx.parallelism = plan.parallelism;
   ctx.num_keys_hint = plan.num_keys_hint;
+  ctx.compile_expressions = plan.compile_expressions;
   CEP2ASP_ASSIGN_OR_RETURN(NodeId last, CompileNode(*plan.root, &ctx));
   auto sink = std::make_unique<CollectSink>(store_matches, clock);
   query.sink = sink.get();
@@ -776,6 +842,7 @@ Result<CompiledQuery> TranslatePattern(const Pattern& pattern,
     ctx.graph = &query.graph;
     ctx.parallelism = plan.parallelism;
     ctx.num_keys_hint = plan.num_keys_hint;
+    ctx.compile_expressions = plan.compile_expressions;
     CEP2ASP_ASSIGN_OR_RETURN(NodeId last, CompileNode(*plan.root, &ctx));
     NodeId dedup_id = query.graph.AddOperator(
         std::make_unique<DedupOperator>(2 * plan.window_size));

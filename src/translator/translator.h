@@ -68,6 +68,11 @@ struct TranslatorOptions {
   /// forwarded to the job graph as key-domain hint so the lint can flag
   /// parallelism the key space cannot utilize (W313).
   int64_t num_keys_hint = 0;
+  /// Compile translator-generated predicates and key assignments to
+  /// ExprProgram bytecode (CompiledStatelessOperator, batch execution,
+  /// filter→key fusion). Off = the historical interpreted operators;
+  /// user-supplied lambdas always stay interpreted either way.
+  bool compile_expressions = true;
 };
 
 /// \brief The paper's operator mapping (§4): SEA patterns -> ASP query

@@ -304,6 +304,22 @@ TEST(PlanRulesTest, E203PredicateIndexOutOfRange) {
                    .Has(DiagnosticCode::kPlanPredicateIndexOutOfRange));
 }
 
+TEST(PlanRulesTest, W213KeyAttrNonIntegral) {
+  // Rewrite a leaf's key stage into an attribute key over a continuous
+  // measurement: key extraction would truncate double -> int64.
+  LogicalPlan plan = OneJoinPlan();
+  LogicalOp* key_op = RootJoinOf(&plan)->inputs[0].get();
+  key_op->kind = LogicalOpKind::kKeyByAttr;
+  key_op->key_attr = Attribute::kValue;
+  EXPECT_TRUE(
+      AnalyzeLogicalPlan(plan).Has(DiagnosticCode::kPlanKeyAttrNonIntegral));
+
+  // Integral attributes (ids, timestamps) key exactly — no warning.
+  key_op->key_attr = Attribute::kId;
+  EXPECT_FALSE(
+      AnalyzeLogicalPlan(plan).Has(DiagnosticCode::kPlanKeyAttrNonIntegral));
+}
+
 TEST(PlanRulesTest, E204SeqOrderLost) {
   const Pattern pattern = SeqPattern();
 

@@ -258,34 +258,45 @@ TEST_F(InvarianceTest, ParallelismMatrixPreservesMatchMultisets) {
       for (size_t batch : {size_t{1}, size_t{64}}) {
         for (bool chaining : {true, false}) {
           for (bool task_scheduler : {true, false}) {
-            TranslatorOptions opt = o3;
-            opt.parallelism = parallelism;
-            auto compiled =
-                TranslatePattern(c.pattern, opt, workload_.MakeSourceFactory());
-            ASSERT_TRUE(compiled.ok()) << compiled.status();
-            ThreadedExecutorOptions options;
-            options.batch_size = batch;
-            options.watermark_interval = kEndOfStreamOnly;
-            options.enable_chaining = chaining;
-            options.use_task_scheduler = task_scheduler;
-            ThreadedExecutor executor(&compiled->graph, options);
-            ExecutionResult result = executor.Run(compiled->sink);
-            ASSERT_TRUE(result.ok) << c.name << ": " << result.error;
-            EXPECT_EQ(test::MatchMultiset(compiled->sink->tuples()), reference)
-                << c.name << " parallelism=" << parallelism
-                << " batch_size=" << batch << " chaining=" << chaining
-                << " task_scheduler=" << task_scheduler;
-            EXPECT_EQ(result.scheduler.used, task_scheduler) << c.name;
-            if (parallelism > 1) {
-              // The partitioned stages must actually have been expanded.
-              EXPECT_FALSE(result.partition_skew.empty())
-                  << c.name << " parallelism=" << parallelism;
-            }
-            if (chaining) {
-              // The translated plans must contain at least one fusable
-              // forward run — otherwise this axis tests nothing.
-              const ChainLayout layout = ComputeChainLayout(compiled->graph);
-              EXPECT_GT(layout.fused_edge_count(), 0) << c.name;
+            for (bool compile_exprs : {true, false}) {
+              TranslatorOptions opt = o3;
+              opt.parallelism = parallelism;
+              opt.compile_expressions = compile_exprs;
+              auto compiled = TranslatePattern(c.pattern, opt,
+                                               workload_.MakeSourceFactory());
+              ASSERT_TRUE(compiled.ok()) << compiled.status();
+              ThreadedExecutorOptions options;
+              options.batch_size = batch;
+              options.watermark_interval = kEndOfStreamOnly;
+              options.enable_chaining = chaining;
+              options.use_task_scheduler = task_scheduler;
+              ThreadedExecutor executor(&compiled->graph, options);
+              ExecutionResult result = executor.Run(compiled->sink);
+              ASSERT_TRUE(result.ok) << c.name << ": " << result.error;
+              EXPECT_EQ(test::MatchMultiset(compiled->sink->tuples()),
+                        reference)
+                  << c.name << " parallelism=" << parallelism
+                  << " batch_size=" << batch << " chaining=" << chaining
+                  << " task_scheduler=" << task_scheduler
+                  << " compile_exprs=" << compile_exprs;
+              EXPECT_EQ(result.scheduler.used, task_scheduler) << c.name;
+              if (parallelism > 1) {
+                // The partitioned stages must actually have been expanded.
+                EXPECT_FALSE(result.partition_skew.empty())
+                    << c.name << " parallelism=" << parallelism;
+              }
+              if (chaining && (!compile_exprs || parallelism == 1)) {
+                // The translated plans must contain at least one fusable
+                // forward run — otherwise this axis tests nothing. With
+                // compiled expressions at parallelism > 1 the filter→key
+                // prefix is already one operator wedged between a source
+                // edge and a hash edge, so no chainable edge remains —
+                // the fusion subsumed what chaining used to buy there.
+                const ChainLayout layout = ComputeChainLayout(compiled->graph);
+                EXPECT_GT(layout.fused_edge_count(), 0)
+                    << c.name << " parallelism=" << parallelism
+                    << " compile_exprs=" << compile_exprs;
+              }
             }
           }
         }
