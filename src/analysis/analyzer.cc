@@ -10,7 +10,8 @@
 namespace cep2asp {
 
 Result<QueryAnalysis> AnalyzeQuery(const Pattern& pattern,
-                                   const TranslatorOptions& options) {
+                                   const TranslatorOptions& options,
+                                   const SourceRangeCatalog& catalog) {
   QueryAnalysis analysis;
   analysis.pattern_report = AnalyzePattern(pattern);
   if (analysis.pattern_report.has_errors()) return analysis;
@@ -31,6 +32,13 @@ Result<QueryAnalysis> AnalyzeQuery(const Pattern& pattern,
   auto compiled = CompilePlan(plan, stub_sources, /*store_matches=*/false);
   if (!compiled.ok()) return compiled.status();
   analysis.graph_report = AnalyzeJobGraph(compiled.ValueOrDie().graph);
+  if (!catalog.empty()) {
+    // Declared source ranges unlock the interval pass; its E/W findings
+    // (E318/W319/derived W313) join the graph layer.
+    const RangeAnalysis ranges =
+        AnalyzeRanges(compiled.ValueOrDie().graph, catalog);
+    analysis.graph_report.Merge(ranges.report);
+  }
   return analysis;
 }
 

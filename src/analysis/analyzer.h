@@ -5,6 +5,7 @@
 #include "analysis/graph_rules.h"
 #include "analysis/pattern_rules.h"
 #include "analysis/plan_rules.h"
+#include "analysis/range_rules.h"
 #include "common/result.h"
 #include "translator/translator.h"
 
@@ -33,8 +34,15 @@ struct QueryAnalysis {
 /// job graph. Pattern-level errors stop the cascade: the later layers
 /// would only mirror them. A translation or compilation *failure* (as
 /// opposed to a lint finding) is returned as the error Status.
+///
+/// When `catalog` declares source ranges, the interval range pass
+/// (analysis/range_rules) additionally runs over the compiled graph and
+/// its E/W findings (E318 always-false filter, W319 always-true filter,
+/// derived W313) merge into graph_report. With the default empty catalog
+/// the pass is skipped and a clean graph stays finding-free.
 Result<QueryAnalysis> AnalyzeQuery(const Pattern& pattern,
-                                   const TranslatorOptions& options = {});
+                                   const TranslatorOptions& options = {},
+                                   const SourceRangeCatalog& catalog = {});
 
 }  // namespace cep2asp
 

@@ -124,6 +124,18 @@ constexpr CodeInfo kRegistry[] = {
     {DiagnosticCode::kGraphExprCompilation, DiagnosticSeverity::kInfo,
      "per-node expression-execution report: whether a filter/map runs "
      "compiled ExprProgram bytecode or the interpreted fallback, and why"},
+    {DiagnosticCode::kGraphFilterAlwaysFalse, DiagnosticSeverity::kError,
+     "interval analysis proves the filter rejects every tuple its declared "
+     "source ranges can produce; everything downstream is dead"},
+    {DiagnosticCode::kGraphFilterAlwaysTrue, DiagnosticSeverity::kWarning,
+     "interval analysis proves the filter passes every tuple its declared "
+     "source ranges can produce; the operator is removable"},
+    {DiagnosticCode::kGraphRangeReport, DiagnosticSeverity::kInfo,
+     "derived per-operator attribute intervals, key domains, and "
+     "selectivity bounds (range pass; plan_lint --ranges)"},
+    {DiagnosticCode::kGraphExprVerifyFailed, DiagnosticSeverity::kError,
+     "compiled expression bytecode failed static verification (malformed "
+     "encoding: bad opcode, out-of-range operand, or unbalanced stack)"},
 };
 
 const CodeInfo* FindInfo(DiagnosticCode code) {

@@ -71,6 +71,10 @@ enum class DiagnosticCode : int {
   kGraphForwardEdgeNotChained = 315,// I: forward edge left unfused (why)
   kGraphScheduleOversubscribed = 316,  // I: legacy threads > hardware cores
   kGraphExprCompilation = 317,      // I: filter/map expression-exec report
+  kGraphFilterAlwaysFalse = 318,    // E: filter provably rejects everything
+  kGraphFilterAlwaysTrue = 319,     // W: filter provably passes everything
+  kGraphRangeReport = 320,          // I: derived attribute-range/selectivity
+  kGraphExprVerifyFailed = 321,     // E: compiled bytecode fails verification
 };
 
 /// Severity a code always carries (the letter in its rendered name).

@@ -1,7 +1,11 @@
 #include "analysis/graph_rules.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
+
+#include "event/expr_program.h"
+#include "event/expr_verifier.h"
 
 namespace cep2asp {
 
@@ -272,6 +276,25 @@ void CheckParallelism(const JobGraph& graph, DiagnosticReport* report) {
   }
 }
 
+/// E321: every compiled expression an operator exposes must pass the
+/// static bytecode verifier. The interpreter's dispatch loop trusts its
+/// encoding (release builds bound-check nothing), so executors refusing
+/// E-diagnosed graphs makes verification a hard gate, not a debug aid.
+void CheckExprPrograms(const JobGraph& graph, DiagnosticReport* report) {
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    const JobGraph::Node& node = graph.node(id);
+    if (node.is_source()) continue;
+    const OperatorTraits traits = node.op->Traits();
+    if (traits.program == nullptr) continue;
+    const size_t capacity = std::max<size_t>(traits.expr_capacity, 1);
+    const Status verdict = ExprVerifier::Verify(*traits.program, capacity);
+    if (!verdict.ok()) {
+      report->Add(DiagnosticCode::kGraphExprVerifyFailed,
+                  NodeLabel(graph, id), verdict.message());
+    }
+  }
+}
+
 }  // namespace
 
 DiagnosticReport AnalyzeJobGraph(const JobGraph& graph) {
@@ -282,6 +305,7 @@ DiagnosticReport AnalyzeJobGraph(const JobGraph& graph) {
   CheckKeying(graph, &report);
   CheckWindows(graph, &report);
   CheckParallelism(graph, &report);
+  CheckExprPrograms(graph, &report);
   return report;
 }
 

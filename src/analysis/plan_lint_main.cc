@@ -2,8 +2,13 @@
 //
 // Modes:
 //   plan_lint              lint every paper evaluation pattern under every
-//                          optimization set (exit 1 when any E-code fires)
-//   plan_lint --codes      print the diagnostic-code registry
+//                          optimization set (exit 1 when any E-code fires,
+//                          2 when only W-codes fire, 0 when clean)
+//   plan_lint --codes [FILTER...]
+//                          print the diagnostic-code registry (E, W and I
+//                          severities alike); optional filters select rows
+//                          by full name ("CEP2ASP-E318"), short form
+//                          ("E318", "w313") or bare number ("318")
 //   plan_lint --psl TEXT   lint one PSL pattern under every optimization set
 //   plan_lint --chains     print the chain layout of every paper pattern
 //                          under every optimization set, plus I315 infos
@@ -13,7 +18,15 @@
 //   plan_lint --schedule   print the task/worker layout of every paper
 //                          pattern under every optimization set, plus I316
 //                          infos where legacy threading would oversubscribe
+//   plan_lint --ranges     run the interval range pass over every paper
+//                          pattern x option set (and the FCEP baseline)
+//                          against the preset workloads' measured source
+//                          ranges: per-operator attribute intervals, key
+//                          domains and selectivity bounds, plus the I320
+//                          range report and any E318/W319/derived-W313
+//                          findings (exit 1 on any E)
 
+#include <cctype>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -71,10 +84,22 @@ void PrintReport(const DiagnosticReport& report) {
   }
 }
 
-/// Lints one pattern under every optimization set (three layers each) and
-/// the FCEP baseline job. Returns the number of E-level findings.
-int LintPattern(const std::string& name, const Pattern& pattern) {
+/// E/W tallies driving the exit status (1 = errors, 2 = warnings only).
+struct LintTally {
   int errors = 0;
+  int warnings = 0;
+
+  void Absorb(const DiagnosticReport& report) {
+    errors += report.error_count();
+    warnings += report.warning_count();
+  }
+  int ExitCode() const { return errors > 0 ? 1 : (warnings > 0 ? 2 : 0); }
+};
+
+/// Lints one pattern under every optimization set (three layers each) and
+/// the FCEP baseline job.
+LintTally LintPattern(const std::string& name, const Pattern& pattern) {
+  LintTally tally;
   for (const OptionSet& set : OptionSets()) {
     auto analysis = AnalyzeQuery(pattern, set.options);
     if (!analysis.ok()) {
@@ -90,7 +115,7 @@ int LintPattern(const std::string& name, const Pattern& pattern) {
                 set.name, merged.has_errors() ? "FAIL" : "OK",
                 merged.error_count(), merged.warning_count());
     PrintReport(merged);
-    errors += merged.error_count();
+    tally.Absorb(merged);
   }
 
   auto stub_sources = [](EventTypeId type) {
@@ -106,9 +131,9 @@ int LintPattern(const std::string& name, const Pattern& pattern) {
                 "fcep", report.has_errors() ? "FAIL" : "OK",
                 report.error_count(), report.warning_count());
     PrintReport(report);
-    errors += report.error_count();
+    tally.Absorb(report);
   }
-  return errors;
+  return tally;
 }
 
 /// The seven paper evaluation patterns every multi-pattern mode iterates.
@@ -133,19 +158,21 @@ std::vector<std::pair<std::string, Result<Pattern>>> PaperQueries() {
 int LintPaperPatterns() {
   std::vector<std::pair<std::string, Result<Pattern>>> queries =
       PaperQueries();
-  int errors = 0;
+  LintTally tally;
   for (auto& [name, result] : queries) {
     if (!result.ok()) {
       std::printf("%-22s BUILD FAILED: %s\n", name.c_str(),
                   result.status().ToString().c_str());
-      ++errors;
+      ++tally.errors;
       continue;
     }
-    errors += LintPattern(name, result.ValueOrDie());
+    const LintTally one = LintPattern(name, result.ValueOrDie());
+    tally.errors += one.errors;
+    tally.warnings += one.warnings;
   }
-  std::printf("\nplan_lint: %d error(s) across %zu pattern(s)\n", errors,
-              queries.size());
-  return errors == 0 ? 0 : 1;
+  std::printf("\nplan_lint: %d error(s), %d warning(s) across %zu pattern(s)\n",
+              tally.errors, tally.warnings, queries.size());
+  return tally.ExitCode();
 }
 
 /// Prints the chain layout ComputeChainLayout produces for one pattern
@@ -241,28 +268,136 @@ int LintPsl(const std::string& text) {
     return 1;
   }
   std::printf("pattern: %s\n", pattern.ValueOrDie().ToString().c_str());
-  return LintPattern("psl", pattern.ValueOrDie()) == 0 ? 0 : 1;
+  return LintPattern("psl", pattern.ValueOrDie()).ExitCode();
 }
 
-int PrintCodes() {
-  for (DiagnosticCode code : AllDiagnosticCodes()) {
-    std::printf("%-14s %s\n", DiagnosticCodeName(code).c_str(),
-                DiagnosticCodeDescription(code));
+/// True when `filter` selects `code`: the full rendered name
+/// ("CEP2ASP-E318"), the short severity+number form ("E318", "w313"), or
+/// the bare number ("318"). Case-insensitive; I-codes match like any other
+/// severity.
+bool CodeMatchesFilter(DiagnosticCode code, const std::string& filter) {
+  std::string want;
+  want.reserve(filter.size());
+  for (char c : filter) {
+    want.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
   }
-  return 0;
+  const std::string name = DiagnosticCodeName(code);   // CEP2ASP-E318
+  const std::string short_form = name.substr(name.find('-') + 1);  // E318
+  const std::string number = std::to_string(static_cast<int>(code));
+  return want == name || want == short_form || want == number;
+}
+
+int PrintCodes(const std::vector<std::string>& filters) {
+  int unmatched = 0;
+  if (filters.empty()) {
+    for (DiagnosticCode code : AllDiagnosticCodes()) {
+      std::printf("%-14s %s\n", DiagnosticCodeName(code).c_str(),
+                  DiagnosticCodeDescription(code));
+    }
+    return 0;
+  }
+  for (const std::string& filter : filters) {
+    bool hit = false;
+    for (DiagnosticCode code : AllDiagnosticCodes()) {
+      if (!CodeMatchesFilter(code, filter)) continue;
+      std::printf("%-14s %s\n", DiagnosticCodeName(code).c_str(),
+                  DiagnosticCodeDescription(code));
+      hit = true;
+    }
+    if (!hit) {
+      std::fprintf(stderr, "plan_lint: no diagnostic code matches '%s'\n",
+                   filter.c_str());
+      ++unmatched;
+    }
+  }
+  return unmatched == 0 ? 0 : 1;
+}
+
+/// Runs the interval range pass for one pattern x option set against the
+/// preset-derived source ranges and prints the derived facts plus any
+/// findings. Returns the E-count.
+int PrintRanges(const std::string& name, const Pattern& pattern,
+                const OptionSet& set, const Workload& workload,
+                const SourceRangeCatalog& catalog) {
+  auto query = TranslatePattern(pattern, set.options,
+                                workload.MakeSourceFactory(),
+                                /*store_matches=*/false);
+  if (!query.ok()) {
+    std::printf("%s x %s: SKIP (%s)\n", name.c_str(), set.name,
+                query.status().ToString().c_str());
+    return 0;
+  }
+  const JobGraph& graph = query.ValueOrDie().graph;
+  const RangeAnalysis ranges = AnalyzeRanges(graph, catalog);
+  std::printf("%s x %s:\n", name.c_str(), set.name);
+  std::printf("%s", ranges.ToString(graph).c_str());
+  PrintReport(ranges.report);
+  PrintReport(DescribeRanges(graph, ranges));
+  return ranges.report.error_count();
+}
+
+int PrintPaperRanges() {
+  // The combined preset covers all six sensor types the paper queries
+  // scan; the catalog is measured off the materialized streams, so every
+  // printed interval is ground truth for exactly this workload.
+  PresetOptions preset;
+  preset.num_sensors = 16;
+  preset.events_per_sensor = 32;
+  const Workload workload = MakeCombinedWorkload(preset);
+  const SourceRangeCatalog catalog = workload.DeriveRangeCatalog();
+
+  std::vector<std::pair<std::string, Result<Pattern>>> queries =
+      PaperQueries();
+  int errors = 0;
+  for (auto& [name, result] : queries) {
+    if (!result.ok()) {
+      std::printf("%s BUILD FAILED: %s\n", name.c_str(),
+                  result.status().ToString().c_str());
+      ++errors;
+      continue;
+    }
+    for (const OptionSet& set : OptionSets()) {
+      errors +=
+          PrintRanges(name, result.ValueOrDie(), set, workload, catalog);
+    }
+    CepJobOptions cep_options;
+    cep_options.store_matches = false;
+    auto cep = BuildCepJob(result.ValueOrDie(), workload.MakeSourceFactory(),
+                           cep_options);
+    if (cep.ok()) {
+      const JobGraph& graph = cep.ValueOrDie().graph;
+      const RangeAnalysis ranges = AnalyzeRanges(graph, catalog);
+      std::printf("%s x fcep:\n", name.c_str());
+      std::printf("%s", ranges.ToString(graph).c_str());
+      PrintReport(ranges.report);
+      errors += ranges.report.error_count();
+    }
+    std::printf("\n");
+  }
+  std::printf("plan_lint --ranges: %d error(s)\n", errors);
+  return errors == 0 ? 0 : 1;
 }
 
 int Usage() {
   std::fprintf(stderr,
                "usage: plan_lint             lint the paper evaluation "
                "patterns\n"
-               "       plan_lint --codes     list the diagnostic registry\n"
+               "                             (exit 1 on errors, 2 on "
+               "warnings only)\n"
+               "       plan_lint --codes [FILTER...]\n"
+               "                             list the diagnostic registry "
+               "(optionally\n"
+               "                             only codes matching E318/318/"
+               "CEP2ASP-E318)\n"
                "       plan_lint --psl TEXT  lint one PSL pattern\n"
                "       plan_lint --chains    print chain layouts for the "
                "paper patterns\n"
                "       plan_lint --schedule  print task/worker layouts for "
-               "the paper patterns\n");
-  return 2;
+               "the paper patterns\n"
+               "       plan_lint --ranges    print derived attribute ranges/"
+               "selectivity\n"
+               "                             bounds for the paper patterns\n");
+  return 64;  // EX_USAGE
 }
 
 }  // namespace
@@ -271,9 +406,12 @@ int Usage() {
 int main(int argc, char** argv) {
   if (argc == 1) return cep2asp::LintPaperPatterns();
   const std::string mode = argv[1];
-  if (mode == "--codes" && argc == 2) return cep2asp::PrintCodes();
+  if (mode == "--codes") {
+    return cep2asp::PrintCodes(std::vector<std::string>(argv + 2, argv + argc));
+  }
   if (mode == "--chains" && argc == 2) return cep2asp::PrintPaperChains();
   if (mode == "--schedule" && argc == 2) return cep2asp::PrintPaperSchedule();
+  if (mode == "--ranges" && argc == 2) return cep2asp::PrintPaperRanges();
   if (mode == "--psl" && argc == 3) return cep2asp::LintPsl(argv[2]);
   return cep2asp::Usage();
 }

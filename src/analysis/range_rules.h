@@ -1,0 +1,94 @@
+#ifndef CEP2ASP_ANALYSIS_RANGE_RULES_H_
+#define CEP2ASP_ANALYSIS_RANGE_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/interval.h"
+#include "runtime/job_graph.h"
+
+namespace cep2asp {
+
+/// \brief Abstract state derived for one job-graph node: the per-attribute
+/// intervals its output tuples can carry, plus facts distilled from them.
+struct NodeRangeFacts {
+  /// False when the pass could not model the node (opaque lambda, unknown
+  /// operator kind, unreachable): no claims are made about it.
+  bool computed = false;
+  /// The node can never emit a tuple: a filter proved always-false, or
+  /// every input is dead.
+  bool dead = false;
+  /// Per tuple position (event slot), the declared interval of every
+  /// attribute. Sources have one slot; joins concatenate their inputs.
+  std::vector<EventRanges> slots;
+  /// Interval of the partition key tuples leave this node with.
+  Interval key = Interval::All();
+  /// Upper bound on the node's pass fraction (filters/joins), or -1 when
+  /// no bound was derived. Min over conjunction terms — sound without any
+  /// independence assumption.
+  double selectivity = -1.0;
+  /// Distinct integral keys the key interval admits (0 = unbounded or
+  /// unknown): the derived replacement for the W313 key-domain hint.
+  int64_t derived_key_domain = 0;
+};
+
+/// \brief Result of the range pass over a whole job graph.
+struct RangeAnalysis {
+  DiagnosticReport report;
+  std::vector<NodeRangeFacts> nodes;
+
+  /// Human-readable per-node table for plan_lint --ranges.
+  std::string ToString(const JobGraph& graph) const;
+};
+
+/// Truth of a conjunction over a single event whose attributes lie in
+/// `ranges` (broadcast semantics: every variable reads the same event).
+/// Terms refine left-to-right, so self-contradictory predicates resolve
+/// to kNever even under Top ranges. Used by the translator to drop
+/// always-true leaf filters and refuse always-false ones at build time.
+Truth PredicateTruthOnEvent(const Predicate& pred, const EventRanges& ranges);
+
+/// \brief Abstract interpretation of the job graph over the interval
+/// domain (analysis/interval.h).
+///
+/// Seeds each source node from `catalog` (by the node's declared
+/// source_type; Top when undeclared) and propagates per-attribute
+/// intervals through every operator that exposes its logic via
+/// OperatorTraits: compiled ExprPrograms are interpreted instruction by
+/// instruction, interpreted factory predicates term by term, join
+/// conditions positionally over the concatenated tuple, unions by hull.
+/// Opaque operators (user lambdas, aggregates) yield no claims.
+///
+/// Emits:
+///  - E318 (kGraphFilterAlwaysFalse) at a filter proven to reject every
+///    tuple its inputs can carry — everything downstream is dead;
+///  - W319 (kGraphFilterAlwaysTrue) at a pure filter proven to pass every
+///    tuple (removable);
+///  - W313 (kGraphParallelismExceedsKeys) when a derived key domain is
+///    smaller than a keyed node's parallelism and no hint was declared —
+///    the heuristic upgraded to a proven bound;
+///  - E321 (kGraphExprVerifyFailed) when a node's compiled program fails
+///    ExprVerifier (also enforced by AnalyzeJobGraph).
+///
+/// The pass runs on demand (plan_lint --ranges, translator hardening,
+/// AnalyzeQuery with a catalog) and is deliberately NOT part of
+/// AnalyzeJobGraph: a clean graph stays info-free and executors do not
+/// pay for it.
+RangeAnalysis AnalyzeRanges(const JobGraph& graph,
+                            const SourceRangeCatalog& catalog = {});
+
+/// Re-emits the derived facts as I320 diagnostics, one per computed node
+/// (the machine-readable form of RangeAnalysis::ToString).
+DiagnosticReport DescribeRanges(const JobGraph& graph,
+                                const RangeAnalysis& analysis);
+
+/// Writes derived facts back into the graph: selectivity bounds onto the
+/// operators (Operator::AttachSelectivityBound — surfaced via
+/// OperatorTraits::selectivity_bound for the cost-based optimizer) and
+/// derived key domains into key_domain_hint where none was declared.
+void AttachRangeFacts(JobGraph* graph, const RangeAnalysis& analysis);
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_ANALYSIS_RANGE_RULES_H_

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "event/expr_program.h"
+#include "event/expr_verifier.h"
 #include "runtime/operator.h"
 
 namespace cep2asp {
@@ -24,12 +25,25 @@ namespace cep2asp {
 /// predicates; user-supplied lambdas keep the interpreted operators.
 class CompiledStatelessOperator : public Operator {
  public:
-  CompiledStatelessOperator(ExprProgram program, std::string label)
+  /// `declared_events` is the schema capacity the program's event operands
+  /// are verified against (translator programs run in broadcast mode, so
+  /// every operand is event 0 and the default of 1 is exact).
+  CompiledStatelessOperator(ExprProgram program, std::string label,
+                            size_t declared_events = 1)
       : program_(std::move(program)),
         label_(std::move(label)),
+        declared_events_(declared_events),
         note_(std::to_string(program_.num_instructions()) + " insns" +
               (program_.assigns_key() ? ", assigns key" : "")) {
     CEP2ASP_CHECK(program_.ok()) << "compilation failed for " << label_;
+#ifndef NDEBUG
+    // Every emitter output is statically verified before it can run: a
+    // malformed encoding aborts here instead of reading out of bounds in
+    // the dispatch loop.
+    const Status verdict = ExprVerifier::Verify(program_, declared_events_);
+    CEP2ASP_CHECK(verdict.ok())
+        << "expr verifier rejected " << label_ << ": " << verdict.message();
+#endif
   }
 
   std::string name() const override { return label_; }
@@ -39,7 +53,14 @@ class CompiledStatelessOperator : public Operator {
     traits.assigns_key = program_.assigns_key();
     traits.expr_exec = ExprExec::kCompiled;
     traits.expr_note = note_.c_str();
+    traits.program = &program_;
+    traits.expr_capacity = declared_events_;
+    traits.selectivity_bound = selectivity_bound_;
     return traits;
+  }
+
+  void AttachSelectivityBound(double bound) override {
+    selectivity_bound_ = bound;
   }
 
   Status Process(int input, Tuple tuple, Collector* out) override {
@@ -72,7 +93,10 @@ class CompiledStatelessOperator : public Operator {
   }
 
   std::unique_ptr<Operator> CloneForSubtask() const override {
-    return std::make_unique<CompiledStatelessOperator>(program_, label_);
+    auto clone = std::make_unique<CompiledStatelessOperator>(program_, label_,
+                                                             declared_events_);
+    clone->selectivity_bound_ = selectivity_bound_;
+    return clone;
   }
 
   const ExprProgram& program() const { return program_; }
@@ -84,7 +108,9 @@ class CompiledStatelessOperator : public Operator {
 
   ExprProgram program_;
   std::string label_;
+  size_t declared_events_ = 1;
   std::string note_;
+  double selectivity_bound_ = -1.0;
 };
 
 }  // namespace cep2asp

@@ -69,7 +69,13 @@ class IntervalJoinOperator : public Operator {
     traits.window_size = bounds_.upper - bounds_.lower;
     traits.window_slide = 0;
     traits.drains_on_final_watermark = true;
+    traits.predicate = &condition_;  // positional over the joined tuple
+    traits.selectivity_bound = selectivity_bound_;
     return traits;
+  }
+
+  void AttachSelectivityBound(double bound) override {
+    selectivity_bound_ = bound;
   }
 
   Status Open() override;
@@ -80,8 +86,10 @@ class IntervalJoinOperator : public Operator {
   /// Partition-safe: windows are anchored at individual left events and
   /// all state is per key.
   std::unique_ptr<Operator> CloneForSubtask() const override {
-    return std::make_unique<IntervalJoinOperator>(bounds_, condition_,
-                                                  ts_mode_, label_);
+    auto clone = std::make_unique<IntervalJoinOperator>(bounds_, condition_,
+                                                        ts_mode_, label_);
+    clone->selectivity_bound_ = selectivity_bound_;
+    return clone;
   }
 
   int64_t pairs_evaluated() const { return pairs_evaluated_; }
@@ -100,6 +108,7 @@ class IntervalJoinOperator : public Operator {
 
   IntervalBounds bounds_;
   Predicate condition_;
+  double selectivity_bound_ = -1.0;
   TimestampMode ts_mode_;
   std::string label_;
 

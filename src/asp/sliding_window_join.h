@@ -63,7 +63,13 @@ class SlidingWindowJoinOperator : public Operator {
     traits.window_slide = window_.slide;
     traits.emits_window_duplicates = !dedup_pairs_;
     traits.drains_on_final_watermark = true;
+    traits.predicate = &condition_;  // positional over the joined tuple
+    traits.selectivity_bound = selectivity_bound_;
     return traits;
+  }
+
+  void AttachSelectivityBound(double bound) override {
+    selectivity_bound_ = bound;
   }
 
   Status Open() override;
@@ -76,8 +82,10 @@ class SlidingWindowJoinOperator : public Operator {
   /// window) scope — so any key-disjoint split of the input reproduces
   /// the exact match multiset.
   std::unique_ptr<Operator> CloneForSubtask() const override {
-    return std::make_unique<SlidingWindowJoinOperator>(
+    auto clone = std::make_unique<SlidingWindowJoinOperator>(
         window_, condition_, ts_mode_, label_, dedup_pairs_);
+    clone->selectivity_bound_ = selectivity_bound_;
+    return clone;
   }
 
   /// Total (left, right) pairs evaluated; exposes the duplicate
@@ -132,6 +140,7 @@ class SlidingWindowJoinOperator : public Operator {
   TimestampMode ts_mode_;
   std::string label_;
   bool dedup_pairs_;
+  double selectivity_bound_ = -1.0;
 
   /// Fired windows between evict walks; trades up to kEvictStride-1 slides
   /// of retained dead tuples for a proportional cut in whole-table scans.

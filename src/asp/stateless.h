@@ -2,6 +2,7 @@
 #define CEP2ASP_ASP_STATELESS_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -26,9 +27,12 @@ class FilterOperator : public Operator {
   static std::unique_ptr<FilterOperator> FromPredicate(Predicate predicate,
                                                        std::string label = "filter") {
     auto pred = std::make_shared<Predicate>(std::move(predicate));
-    return std::make_unique<FilterOperator>(
+    auto op = std::make_unique<FilterOperator>(
         [pred](const Tuple& t) { return pred->EvalOnEvent(t.event(0)); },
         std::move(label), "interpreted predicate (head event)");
+    op->predicate_ = std::move(pred);
+    op->predicate_broadcast_ = true;
+    return op;
   }
 
   /// Filter evaluating a predicate over the whole composed tuple
@@ -36,9 +40,11 @@ class FilterOperator : public Operator {
   static std::unique_ptr<FilterOperator> FromTuplePredicate(
       Predicate predicate, std::string label = "filter") {
     auto pred = std::make_shared<Predicate>(std::move(predicate));
-    return std::make_unique<FilterOperator>(
+    auto op = std::make_unique<FilterOperator>(
         [pred](const Tuple& t) { return pred->EvalOnTuple(t); },
         std::move(label), "interpreted predicate (positional)");
+    op->predicate_ = std::move(pred);
+    return op;
   }
 
   std::string name() const override { return label_; }
@@ -47,7 +53,14 @@ class FilterOperator : public Operator {
     OperatorTraits traits;
     traits.expr_exec = ExprExec::kInterpreted;
     traits.expr_note = expr_note_;
+    traits.predicate = predicate_.get();
+    traits.predicate_broadcast = predicate_broadcast_;
+    traits.selectivity_bound = selectivity_bound_;
     return traits;
+  }
+
+  void AttachSelectivityBound(double bound) override {
+    selectivity_bound_ = bound;
   }
 
   Status Process(int input, Tuple tuple, Collector* out) override {
@@ -57,13 +70,23 @@ class FilterOperator : public Operator {
   }
 
   std::unique_ptr<Operator> CloneForSubtask() const override {
-    return std::make_unique<FilterOperator>(fn_, label_, expr_note_);
+    auto clone = std::make_unique<FilterOperator>(fn_, label_, expr_note_);
+    clone->predicate_ = predicate_;
+    clone->predicate_broadcast_ = predicate_broadcast_;
+    clone->selectivity_bound_ = selectivity_bound_;
+    return clone;
   }
 
  private:
   Fn fn_;
   std::string label_;
   const char* expr_note_;
+  /// The predicate `fn_` interprets, when known (factory-built filters).
+  /// Shared with the evaluation lambda; exposed through Traits so the
+  /// range pass can reason about factory filters without RTTI.
+  std::shared_ptr<const Predicate> predicate_;
+  bool predicate_broadcast_ = false;
+  double selectivity_bound_ = -1.0;
 };
 
 /// \brief Projection: transforms each tuple (paper §2, operator (2); ASP
@@ -88,12 +111,15 @@ class MapOperator : public Operator {
   /// missing Cartesian-product support (§4.2.1) — a precedent map
   /// operation that assigns a uniform key to each event.
   static std::unique_ptr<MapOperator> AssignConstantKey(int64_t key) {
-    return std::make_unique<MapOperator>(
+    auto op = std::make_unique<MapOperator>(
         [key](Tuple t) {
           t.set_key(key);
           return t;
         },
         "map(key:=const)", /*assigns_key=*/true, "interpreted key:=const");
+    op->key_is_constant_ = true;
+    op->key_constant_ = key;
+    return op;
   }
 
   /// Map assigning the key from an attribute of one constituent event
@@ -103,12 +129,15 @@ class MapOperator : public Operator {
   /// attribute are flagged by the analyzer (W213).
   static std::unique_ptr<MapOperator> KeyByAttribute(size_t event_index,
                                                      Attribute attr) {
-    return std::make_unique<MapOperator>(
+    auto op = std::make_unique<MapOperator>(
         [event_index, attr](Tuple t) {
           t.set_key(AttributeToKey(GetAttribute(t.event(event_index), attr)));
           return t;
         },
         "map(key:=attr)", /*assigns_key=*/true, "interpreted key:=attr");
+    op->key_source_event_ = static_cast<int>(event_index);
+    op->key_source_attr_ = attr;
+    return op;
   }
 
   std::string name() const override { return label_; }
@@ -118,6 +147,10 @@ class MapOperator : public Operator {
     traits.assigns_key = assigns_key_;
     traits.expr_exec = ExprExec::kInterpreted;
     traits.expr_note = expr_note_;
+    traits.key_source_event = key_source_event_;
+    traits.key_source_attr = key_source_attr_;
+    traits.key_is_constant = key_is_constant_;
+    traits.key_constant = key_constant_;
     return traits;
   }
 
@@ -128,7 +161,13 @@ class MapOperator : public Operator {
   }
 
   std::unique_ptr<Operator> CloneForSubtask() const override {
-    return std::make_unique<MapOperator>(fn_, label_, assigns_key_, expr_note_);
+    auto clone =
+        std::make_unique<MapOperator>(fn_, label_, assigns_key_, expr_note_);
+    clone->key_source_event_ = key_source_event_;
+    clone->key_source_attr_ = key_source_attr_;
+    clone->key_is_constant_ = key_is_constant_;
+    clone->key_constant_ = key_constant_;
+    return clone;
   }
 
  private:
@@ -136,6 +175,11 @@ class MapOperator : public Operator {
   std::string label_;
   bool assigns_key_;
   const char* expr_note_;
+  /// Key provenance of the factory-built key maps (range-pass metadata).
+  int key_source_event_ = -1;
+  Attribute key_source_attr_ = Attribute::kId;
+  bool key_is_constant_ = false;
+  int64_t key_constant_ = 0;
 };
 
 /// \brief Set union of n input streams (paper Eq. 11 target). Streams

@@ -1,0 +1,115 @@
+#ifndef CEP2ASP_COMMON_THREAD_ANNOTATIONS_H_
+#define CEP2ASP_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+/// \file
+/// Clang thread-safety annotations plus the annotated synchronization
+/// primitives they require.
+///
+/// The macros expand to Clang's `capability` attribute family when the
+/// compiler supports it (-Wthread-safety then proves lock discipline at
+/// compile time; CI runs a clang job with -Werror=thread-safety) and to
+/// nothing elsewhere, so GCC builds are unaffected.
+///
+/// std::mutex itself carries no annotations, so annotated code uses the
+/// `Mutex` / `MutexLock` / `CondVar` wrappers below. Two rules of thumb
+/// the analysis enforces:
+///  - every access to a CEP2ASP_GUARDED_BY(mu) member must hold `mu`
+///    (via MutexLock or a REQUIRES(mu) precondition);
+///  - condition waits are explicit `while (!cond) cv.Wait(mu);` loops —
+///    the predicate-lambda overloads of std::condition_variable run the
+///    lambda without any capability context, which the analysis cannot
+///    see through.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CEP2ASP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CEP2ASP_THREAD_ANNOTATION
+#define CEP2ASP_THREAD_ANNOTATION(x)  // not Clang: annotations vanish
+#endif
+
+#define CEP2ASP_CAPABILITY(x) CEP2ASP_THREAD_ANNOTATION(capability(x))
+#define CEP2ASP_SCOPED_CAPABILITY CEP2ASP_THREAD_ANNOTATION(scoped_lockable)
+#define CEP2ASP_GUARDED_BY(x) CEP2ASP_THREAD_ANNOTATION(guarded_by(x))
+#define CEP2ASP_PT_GUARDED_BY(x) CEP2ASP_THREAD_ANNOTATION(pt_guarded_by(x))
+#define CEP2ASP_REQUIRES(...) \
+  CEP2ASP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CEP2ASP_EXCLUDES(...) \
+  CEP2ASP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define CEP2ASP_ACQUIRE(...) \
+  CEP2ASP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CEP2ASP_RELEASE(...) \
+  CEP2ASP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CEP2ASP_TRY_ACQUIRE(...) \
+  CEP2ASP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define CEP2ASP_NO_THREAD_SAFETY_ANALYSIS \
+  CEP2ASP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace cep2asp {
+
+/// std::mutex with the `mutex` capability: lockable by MutexLock /
+/// std::lock_guard / std::unique_lock (lowercase member names keep it a
+/// drop-in BasicLockable) and waitable via CondVar.
+class CEP2ASP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CEP2ASP_ACQUIRE() { mu_.lock(); }
+  void unlock() CEP2ASP_RELEASE() { mu_.unlock(); }
+  bool try_lock() CEP2ASP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock holding a Mutex for the enclosing scope — std::lock_guard
+/// with the scoped-capability annotation the analysis understands.
+class CEP2ASP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CEP2ASP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CEP2ASP_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waitable on an annotated Mutex (via
+/// condition_variable_any — Mutex is a BasicLockable). Wait atomically
+/// releases and re-acquires `mu`, so to the analysis the capability is
+/// held across the call: REQUIRES(mu) is the correct contract. Callers
+/// wrap waits in explicit while loops.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) CEP2ASP_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      CEP2ASP_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace cep2asp
+
+#endif  // CEP2ASP_COMMON_THREAD_ANNOTATIONS_H_

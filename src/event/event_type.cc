@@ -5,7 +5,7 @@
 namespace cep2asp {
 
 EventTypeId EventTypeRegistry::RegisterOrGet(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = by_name_.find(name);
   if (it != by_name_.end()) return it->second;
   CEP2ASP_CHECK(names_.size() < kInvalidEventType) << "event type space exhausted";
@@ -16,7 +16,7 @@ EventTypeId EventTypeRegistry::RegisterOrGet(const std::string& name) {
 }
 
 Result<EventTypeId> EventTypeRegistry::Lookup(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound("unknown event type: " + name);
@@ -25,13 +25,13 @@ Result<EventTypeId> EventTypeRegistry::Lookup(const std::string& name) const {
 }
 
 std::string EventTypeRegistry::Name(EventTypeId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (id < names_.size()) return names_[id];
   return "type" + std::to_string(id);
 }
 
 size_t EventTypeRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return names_.size();
 }
 

@@ -2,13 +2,13 @@
 #define CEP2ASP_EVENT_EVENT_TYPE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace cep2asp {
 
@@ -44,9 +44,10 @@ class EventTypeRegistry {
   static EventTypeRegistry* Global();
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, EventTypeId> by_name_;
-  std::vector<std::string> names_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, EventTypeId> by_name_
+      CEP2ASP_GUARDED_BY(mutex_);
+  std::vector<std::string> names_ CEP2ASP_GUARDED_BY(mutex_);
 };
 
 }  // namespace cep2asp

@@ -1,6 +1,7 @@
 #include "event/expr_program.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 
 #include "common/logging.h"
@@ -41,9 +42,15 @@ ExprInsn TermInsn(ExprOp op, uint8_t lvar, uint8_t lattr, CmpOp cmp,
 }  // namespace
 
 uint8_t ExprProgram::InternConst(double value) {
+  // Compare bit patterns, not values: NaN constants must intern too, and
+  // comparing through uint64_t (rather than memcmp on doubles) keeps the
+  // intent explicit for both readers and flp37-style lints.
+  uint64_t value_bits = 0;
+  std::memcpy(&value_bits, &value, sizeof(value_bits));
   for (size_t i = 0; i < const_pool_.size(); ++i) {
-    // Bit-compare, not ==: NaN constants must intern too.
-    if (std::memcmp(&const_pool_[i], &value, sizeof(double)) == 0) {
+    uint64_t pool_bits = 0;
+    std::memcpy(&pool_bits, &const_pool_[i], sizeof(pool_bits));
+    if (pool_bits == value_bits) {
       return static_cast<uint8_t>(i);
     }
   }
@@ -146,6 +153,16 @@ ExprProgram ExprProgram::KeyByConstant(int64_t key) {
   out.code_.push_back(
       StackInsn(ExprOp::kStoreKeyConst, 0, 0, out.InternKey(key)));
   out.code_.push_back(StackInsn(ExprOp::kHalt, 0, 0, 0));
+  return out;
+}
+
+ExprProgram ExprProgram::FromRaw(std::vector<ExprInsn> code,
+                                 std::vector<double> const_pool,
+                                 std::vector<int64_t> key_pool) {
+  ExprProgram out;
+  out.code_ = std::move(code);
+  out.const_pool_ = std::move(const_pool);
+  out.key_pool_ = std::move(key_pool);
   return out;
 }
 

@@ -148,6 +148,20 @@ class ExprProgram {
   /// Disassembly, one instruction per line ("0: load e0.value" ...).
   std::string ToString() const;
 
+  // --- introspection (verifier / analysis / tooling) -----------------------
+
+  const std::vector<ExprInsn>& code() const { return code_; }
+  const std::vector<double>& const_pool() const { return const_pool_; }
+  const std::vector<int64_t>& key_pool() const { return key_pool_; }
+
+  /// Assembles a program directly from raw encodings, bypassing the
+  /// emitter. The result is NOT validated — that is the point: it feeds
+  /// the verifier's mutation corpus and lets tooling reconstruct programs
+  /// from serialized form. `ok()` is true regardless of content.
+  static ExprProgram FromRaw(std::vector<ExprInsn> code,
+                             std::vector<double> const_pool,
+                             std::vector<int64_t> key_pool);
+
  private:
   uint8_t InternConst(double value);
   uint8_t InternKey(int64_t value);

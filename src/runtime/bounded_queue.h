@@ -3,15 +3,14 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "analysis/check_invariants.h"
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 
 namespace cep2asp {
 
@@ -26,6 +25,11 @@ namespace cep2asp {
 /// accounted in items, so batching changes the locking cadence but not the
 /// backpressure semantics (PushBatch of a 1-element batch is equivalent to
 /// Push).
+///
+/// Locking discipline is annotated for Clang's thread-safety analysis:
+/// every touch of items_/closed_ holds mutex_, and the condition waits are
+/// explicit while loops over CondVar (the analysis cannot see through
+/// predicate lambdas).
 template <typename T>
 class BoundedQueue {
  public:
@@ -37,8 +41,8 @@ class BoundedQueue {
   /// Blocks until space is available or the queue is closed. Returns false
   /// if the queue was closed (item dropped).
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    MutexLock lock(mutex_);
+    while (items_.size() >= capacity_ && !closed_) not_full_.Wait(mutex_);
     if (closed_) return false;
     items_.push_back(std::move(item));
 #if CEP2ASP_CHECK_INVARIANTS
@@ -46,7 +50,7 @@ class BoundedQueue {
         << "bounded queue holds " << items_.size()
         << " items over capacity " << capacity_;
 #endif
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
@@ -59,13 +63,12 @@ class BoundedQueue {
   bool PushBatch(std::vector<T>* batch, int64_t* blocked_nanos = nullptr) {
     if (batch->empty()) return true;
     const size_t need = std::min(batch->size(), capacity_);
-    std::unique_lock<std::mutex> lock(mutex_);
-    auto have_room = [this, need] {
-      return items_.size() + need <= capacity_ || closed_;
-    };
-    if (!have_room()) {
+    MutexLock lock(mutex_);
+    if (items_.size() + need > capacity_ && !closed_) {
       const auto t0 = std::chrono::steady_clock::now();
-      not_full_.wait(lock, have_room);
+      while (items_.size() + need > capacity_ && !closed_) {
+        not_full_.Wait(mutex_);
+      }
       if (blocked_nanos) {
         *blocked_nanos += std::chrono::duration_cast<std::chrono::nanoseconds>(
                               std::chrono::steady_clock::now() - t0)
@@ -86,7 +89,7 @@ class BoundedQueue {
         << " items over capacity " << capacity_ << " after a batch of "
         << pushed;
 #endif
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
@@ -98,14 +101,14 @@ class BoundedQueue {
   /// parks on the scheduler instead of blocking an OS thread. `*closed`
   /// reports the closed flag (nothing is taken once closed).
   size_t TryPushN(T* items, size_t n, bool* closed) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     *closed = closed_;
     if (closed_ || n == 0) return 0;
     const size_t free =
         capacity_ > items_.size() ? capacity_ - items_.size() : 0;
     const size_t k = std::min(free, n);
     for (size_t i = 0; i < k; ++i) items_.push_back(std::move(items[i]));
-    if (k > 0) not_empty_.notify_one();
+    if (k > 0) not_empty_.NotifyOne();
     return k;
   }
 
@@ -117,16 +120,16 @@ class BoundedQueue {
   size_t TryPopN(std::vector<T>* out, size_t max_items, bool* end_of_stream) {
     out->clear();
     *end_of_stream = false;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const size_t k = std::min(items_.size(), max_items);
     for (size_t i = 0; i < k; ++i) {
       out->push_back(std::move(items_.front()));
       items_.pop_front();
     }
     if (k > 1) {
-      not_full_.notify_all();
+      not_full_.NotifyAll();
     } else if (k == 1) {
-      not_full_.notify_one();
+      not_full_.NotifyOne();
     } else if (closed_) {
       *end_of_stream = true;
     }
@@ -135,12 +138,12 @@ class BoundedQueue {
 
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    MutexLock lock(mutex_);
+    while (items_.empty() && !closed_) not_empty_.Wait(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
@@ -150,17 +153,17 @@ class BoundedQueue {
   size_t PopBatch(std::vector<T>* out, size_t max_items) {
     out->clear();
     if (max_items == 0) return 0;
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    MutexLock lock(mutex_);
+    while (items_.empty() && !closed_) not_empty_.Wait(mutex_);
     const size_t k = std::min(items_.size(), max_items);
     for (size_t i = 0; i < k; ++i) {
       out->push_back(std::move(items_.front()));
       items_.pop_front();
     }
     if (k > 1) {
-      not_full_.notify_all();
+      not_full_.NotifyAll();
     } else if (k == 1) {
-      not_full_.notify_one();
+      not_full_.NotifyOne();
     }
     return k;
   }
@@ -168,14 +171,14 @@ class BoundedQueue {
   /// Marks the queue closed; pending Pops drain remaining items, then
   /// receive nullopt. Pushes after Close are rejected.
   void Close() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
@@ -183,11 +186,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ CEP2ASP_GUARDED_BY(mutex_);
+  bool closed_ CEP2ASP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace cep2asp

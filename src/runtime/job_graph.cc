@@ -39,6 +39,12 @@ NodeId JobGraph::AddSource(std::unique_ptr<Source> source) {
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
+NodeId JobGraph::AddSource(std::unique_ptr<Source> source, EventTypeId type) {
+  const NodeId id = AddSource(std::move(source));
+  nodes_[static_cast<size_t>(id)].source_type = type;
+  return id;
+}
+
 NodeId JobGraph::AddOperator(std::unique_ptr<Operator> op) {
   Node node;
   node.op = std::move(op);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "event/event_type.h"
 #include "runtime/operator.h"
 
 namespace cep2asp {
@@ -51,8 +52,12 @@ class JobGraph {
   JobGraph(JobGraph&&) = default;
   JobGraph& operator=(JobGraph&&) = default;
 
-  /// Adds a source node; returns its id.
+  /// Adds a source node; returns its id. The two-argument form records the
+  /// event type the source emits — metadata the range pass uses to seed
+  /// declared attribute intervals (analysis/range_rules); execution never
+  /// consults it.
   NodeId AddSource(std::unique_ptr<Source> source);
+  NodeId AddSource(std::unique_ptr<Source> source, EventTypeId type);
 
   /// Adds an operator node; returns its id. The graph owns the operator.
   NodeId AddOperator(std::unique_ptr<Operator> op);
@@ -116,6 +121,9 @@ class JobGraph {
     /// Operator-chaining knob (operators only): when false the node never
     /// fuses with its neighbours. See ComputeChainLayout.
     bool chaining = true;
+    /// Event type a source emits (sources only; kInvalidEventType when
+    /// undeclared). Range-pass metadata, never consulted by execution.
+    EventTypeId source_type = kInvalidEventType;
 
     bool is_source() const { return source != nullptr; }
   };

@@ -11,6 +11,9 @@
 
 namespace cep2asp {
 
+class Predicate;    // event/predicate.h
+class ExprProgram;  // event/expr_program.h
+
 /// \brief Downstream hand-off used by operators to emit output tuples.
 ///
 /// Watermarks are not emitted through the Collector: the executor aligns
@@ -94,6 +97,35 @@ struct OperatorTraits {
   /// operator-owned strings).
   ExprExec expr_exec = ExprExec::kNone;
   const char* expr_note = nullptr;
+
+  // --- static-analysis introspection (range / selectivity pass) -----------
+  // Optional self-exposure of the operator's logic so the abstract
+  // interpreter in src/analysis/range_rules can reason about it without
+  // RTTI. All pointers reference operator-owned storage and stay valid as
+  // long as the operator lives. Operators that keep their logic opaque
+  // (user lambdas) leave these null and the pass widens to Top.
+
+  /// The interpreted predicate this operator evaluates (filter condition or
+  /// join condition), or null. Terms address tuple events positionally
+  /// unless `predicate_broadcast` says every variable reads event 0.
+  const Predicate* predicate = nullptr;
+  bool predicate_broadcast = false;
+  /// The compiled bytecode this operator runs, or null. `expr_capacity` is
+  /// the event-schema capacity its operands were verified against.
+  const ExprProgram* program = nullptr;
+  size_t expr_capacity = 0;
+  /// Key provenance of a key-assigning operator: the event slot + attribute
+  /// the key is read from (`key_source_event >= 0`), or a constant key
+  /// (`key_is_constant`). Both unset means unknown provenance.
+  int key_source_event = -1;
+  Attribute key_source_attr = Attribute::kId;
+  bool key_is_constant = false;
+  int64_t key_constant = 0;
+  /// Upper bound on this operator's pass fraction in [0,1], derived by the
+  /// range pass (AttachRangeFacts) from declared source intervals; negative
+  /// means no bound has been derived. The cost-based-optimizer Open item
+  /// consumes this.
+  double selectivity_bound = -1.0;
 };
 
 /// \brief A (possibly stateful) dataflow operator, the unit of the ASP
@@ -157,6 +189,12 @@ class Operator {
   /// Current operator state footprint in bytes (buffered windows, partial
   /// matches, ...). Sampled by the metrics collector.
   virtual size_t StateBytes() const { return 0; }
+
+  /// Records a statically derived upper bound on this operator's pass
+  /// fraction (range pass, AttachRangeFacts). Default drops it; operators
+  /// that participate in cost modeling store it and report it back through
+  /// Traits().selectivity_bound.
+  virtual void AttachSelectivityBound(double bound) { (void)bound; }
 
   /// Fresh, state-empty instance of this operator for one parallel subtask
   /// (keyed data parallelism: each instance sees a disjoint key subset, so

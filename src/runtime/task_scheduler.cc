@@ -99,7 +99,7 @@ void TaskScheduler::WorkerLoop(int worker) {
     // but woken outside it (Wake enqueues, which re-locks idle_mutex_).
     std::vector<Task*> fired;
     {
-      std::unique_lock<std::mutex> lock(idle_mutex_);
+      MutexLock lock(idle_mutex_);
       for (;;) {
         if (stop_) {
           tls_worker = -1;
@@ -113,10 +113,11 @@ void TaskScheduler::WorkerLoop(int worker) {
         }
         if (!fired.empty()) break;
         if (!timers_.empty()) {
-          idle_cv_.wait_for(lock, std::chrono::nanoseconds(
-                                      timers_.top().deadline_nanos - now));
+          idle_cv_.WaitFor(idle_mutex_,
+                           std::chrono::nanoseconds(
+                               timers_.top().deadline_nanos - now));
         } else {
-          idle_cv_.wait(lock);
+          idle_cv_.Wait(idle_mutex_);
         }
       }
     }
@@ -143,10 +144,10 @@ void TaskScheduler::RunEpisode(int worker, Task* task) {
       task->state_.store(Task::kFinished, std::memory_order_release);
       if (live_tasks_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         {
-          std::lock_guard<std::mutex> lock(idle_mutex_);
+          MutexLock lock(idle_mutex_);
           stop_ = true;
         }
-        idle_cv_.notify_all();
+        idle_cv_.NotifyAll();
       }
       break;
     }
@@ -166,11 +167,11 @@ void TaskScheduler::RunEpisode(int worker, Task* task) {
         if (quantum.wait_kind == WakeKind::kTimer) {
           timer_parks_.fetch_add(1, std::memory_order_relaxed);
           {
-            std::lock_guard<std::mutex> lock(idle_mutex_);
+            MutexLock lock(idle_mutex_);
             timers_.push(TimerEntry{quantum.deadline_nanos, task});
           }
           // Sleeping workers re-bound their wait by the new deadline.
-          idle_cv_.notify_all();
+          idle_cv_.NotifyAll();
         }
       } else {
         // A wake arrived mid-quantum (state is kRunningNotified): the
@@ -246,13 +247,13 @@ void TaskScheduler::NotifyWorkers(bool all) {
   {
     // The generation bump must happen under the mutex so an idle worker
     // cannot check it and sleep between our bump and notify.
-    std::lock_guard<std::mutex> lock(idle_mutex_);
+    MutexLock lock(idle_mutex_);
     ready_gen_.fetch_add(1, std::memory_order_relaxed);
   }
   if (all) {
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   } else {
-    idle_cv_.notify_one();
+    idle_cv_.NotifyOne();
   }
 }
 

@@ -2,15 +2,14 @@
 #define CEP2ASP_RUNTIME_TASK_SCHEDULER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "runtime/metrics.h"
 
 namespace cep2asp {
@@ -97,12 +96,12 @@ class Task {
 class WorkStealingDeque {
  public:
   void PushBottom(Task* task) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     items_.push_back(task);
   }
 
   Task* PopBottom() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (items_.empty()) return nullptr;
     Task* task = items_.back();
     items_.pop_back();
@@ -110,7 +109,7 @@ class WorkStealingDeque {
   }
 
   Task* StealTop() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (items_.empty()) return nullptr;
     Task* task = items_.front();
     items_.pop_front();
@@ -118,13 +117,13 @@ class WorkStealingDeque {
   }
 
   bool EmptyHint() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.empty();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::deque<Task*> items_;
+  mutable Mutex mutex_;
+  std::deque<Task*> items_ CEP2ASP_GUARDED_BY(mutex_);
 };
 
 /// \brief Fixed worker pool running cooperative tasks to completion.
@@ -205,13 +204,13 @@ class TaskScheduler {
   // deques and sleeps only while it is unchanged, so a task enqueued
   // between scan and sleep is never missed. The timer heap shares the
   // mutex: sleeping workers bound their wait by the nearest deadline.
-  mutable std::mutex idle_mutex_;
-  std::condition_variable idle_cv_;
+  mutable Mutex idle_mutex_;
+  CondVar idle_cv_;
   std::atomic<uint64_t> ready_gen_{0};
-  bool stop_ = false;  // guarded by idle_mutex_
+  bool stop_ CEP2ASP_GUARDED_BY(idle_mutex_) = false;
   std::priority_queue<TimerEntry, std::vector<TimerEntry>,
                       std::greater<TimerEntry>>
-      timers_;  // guarded by idle_mutex_
+      timers_ CEP2ASP_GUARDED_BY(idle_mutex_);
 };
 
 }  // namespace cep2asp

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <set>
 
+#include "analysis/diagnostic.h"
+#include "analysis/range_rules.h"
 #include "asp/compiled_stateless.h"
 #include "asp/dedup.h"
 #include "asp/nseq_mark.h"
@@ -92,6 +94,9 @@ struct BuildContext {
   KeyPlan key_plan;
   std::vector<PendingTerm> pending;
   bool used_sliding_join = false;
+  /// Set when a leaf filter is provably always-false for the declared
+  /// source ranges: the plan is dead and translation refuses (E318).
+  std::string dead_filter_error;
 };
 
 std::unique_ptr<LogicalOp> MakeKeyOp(const BuildContext& ctx,
@@ -107,8 +112,13 @@ std::unique_ptr<LogicalOp> MakeKeyOp(const BuildContext& ctx,
   return key;
 }
 
-/// Scan -> (Filter) -> KeyBy chain for one atom occurrence.
-std::unique_ptr<LogicalOp> BuildLeaf(const BuildContext& ctx,
+/// Scan -> (Filter) -> KeyBy chain for one atom occurrence. Consumes the
+/// interval analysis on the pushed-down filter: a filter the declared
+/// source ranges prove always-true is dropped from the plan, one proven
+/// always-false poisons the build (the caller refuses translation with
+/// E318 — the whole plan is dead). With no declared ranges the analysis
+/// still catches self-contradictory filters by term refinement.
+std::unique_ptr<LogicalOp> BuildLeaf(BuildContext& ctx,
                                      const PatternAtom& atom, int position) {
   auto scan = std::make_unique<LogicalOp>();
   scan->kind = LogicalOpKind::kScan;
@@ -117,12 +127,26 @@ std::unique_ptr<LogicalOp> BuildLeaf(const BuildContext& ctx,
 
   std::unique_ptr<LogicalOp> head = std::move(scan);
   if (!atom.filter.IsTrue()) {
-    auto filter = std::make_unique<LogicalOp>();
-    filter->kind = LogicalOpKind::kFilter;
-    filter->predicate = atom.filter;
-    filter->positions = {position};
-    filter->inputs.push_back(std::move(head));
-    head = std::move(filter);
+    const EventRanges* declared = ctx.stats->source_ranges.Find(atom.type);
+    const Truth truth = PredicateTruthOnEvent(
+        atom.filter, declared != nullptr ? *declared : EventRanges{});
+    if (truth == Truth::kNever && ctx.dead_filter_error.empty()) {
+      ctx.dead_filter_error =
+          DiagnosticCodeName(DiagnosticCode::kGraphFilterAlwaysFalse) +
+          ": filter on event type " + std::to_string(atom.type) +
+          " can never hold for the declared source ranges; the plan "
+          "matches nothing";
+    }
+    if (truth != Truth::kAlways) {
+      auto filter = std::make_unique<LogicalOp>();
+      filter->kind = LogicalOpKind::kFilter;
+      filter->predicate = atom.filter;
+      filter->positions = {position};
+      filter->inputs.push_back(std::move(head));
+      head = std::move(filter);
+    }
+    // truth == kAlways: the declared ranges prove the filter a no-op —
+    // the W319 case, resolved here by simply not emitting the operator.
   }
   return MakeKeyOp(ctx, std::move(head));
 }
@@ -499,6 +523,9 @@ Result<LogicalPlan> Translator::ToLogicalPlan(const Pattern& pattern) const {
   int cursor = 0;
   auto root_result = BuildNode(&ctx, pattern.root(), &cursor);
   if (!root_result.ok()) return root_result.status();
+  if (!ctx.dead_filter_error.empty()) {
+    return Status::FailedPrecondition(ctx.dead_filter_error);
+  }
   std::unique_ptr<LogicalOp> root = std::move(root_result).ValueOrDie();
 
   for (const PendingTerm& term : ctx.pending) {
@@ -633,7 +660,7 @@ Result<NodeId> CompileNode(const LogicalOp& op, CompileContext* ctx) {
         return Status::NotFound("no source for event type " +
                                 EventTypeRegistry::Global()->Name(op.scan_type));
       }
-      return graph->AddSource(std::move(source));
+      return graph->AddSource(std::move(source), op.scan_type);
     }
     case LogicalOpKind::kFilter: {
       std::unique_ptr<Operator> filter;
@@ -806,6 +833,16 @@ void AlignStatelessPrefixParallelism(JobGraph* graph) {
   }
 }
 
+/// Final gate before handing out a runnable graph: the empty-catalog range
+/// pass costs one topological sweep and still proves self-contradictory
+/// filters dead (E318) and malformed bytecode (E321) without any declared
+/// source ranges. Plans carrying such errors are refused here rather than
+/// left to match nothing at runtime.
+Status RefuseDeadPlans(const JobGraph& graph) {
+  const RangeAnalysis ranges = AnalyzeRanges(graph, SourceRangeCatalog{});
+  return ranges.report.ToStatus();
+}
+
 }  // namespace
 
 Result<CompiledQuery> CompilePlan(const LogicalPlan& plan,
@@ -826,6 +863,7 @@ Result<CompiledQuery> CompilePlan(const LogicalPlan& plan,
   CEP2ASP_RETURN_IF_ERROR(query.graph.Connect(last, sink_id, 0));
   if (plan.parallelism > 1) AlignStatelessPrefixParallelism(&query.graph);
   CEP2ASP_RETURN_IF_ERROR(query.graph.Validate());
+  CEP2ASP_RETURN_IF_ERROR(RefuseDeadPlans(query.graph));
   return query;
 }
 
@@ -853,6 +891,7 @@ Result<CompiledQuery> TranslatePattern(const Pattern& pattern,
     CEP2ASP_RETURN_IF_ERROR(query.graph.Connect(dedup_id, sink_id, 0));
     if (plan.parallelism > 1) AlignStatelessPrefixParallelism(&query.graph);
     CEP2ASP_RETURN_IF_ERROR(query.graph.Validate());
+    CEP2ASP_RETURN_IF_ERROR(RefuseDeadPlans(query.graph));
     return query;
   }
   return CompilePlan(plan, source_factory, store_matches, clock);

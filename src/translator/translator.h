@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "analysis/interval.h"
 #include "cep/nfa.h"
 #include "common/result.h"
 #include "runtime/executor.h"
@@ -25,6 +26,13 @@ struct StreamStatistics {
   std::unordered_map<EventTypeId, double> rate_per_minute;
   /// Fraction of events surviving the pushed-down filter, per type.
   std::unordered_map<EventTypeId, double> filter_selectivity;
+  /// Declared per-attribute value ranges per event type. When present,
+  /// the translator consults the interval analysis on every leaf filter:
+  /// provably always-true filters are dropped from the plan, provably
+  /// always-false ones refuse translation (CEP2ASP-E318 — the whole plan
+  /// is dead). Self-contradictory filters are caught even with no ranges
+  /// declared (term-by-term refinement needs no priors).
+  SourceRangeCatalog source_ranges;
 
   double EffectiveRate(EventTypeId type) const {
     double rate = 1.0;

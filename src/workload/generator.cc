@@ -106,6 +106,24 @@ SourceFactory Workload::MakeSourceFactory() const {
   };
 }
 
+SourceRangeCatalog Workload::DeriveRangeCatalog() const {
+  SourceRangeCatalog catalog;
+  for (const auto& [type, events] : streams_) {
+    if (events.empty()) continue;
+    EventRanges ranges;
+    for (int a = 0; a <= static_cast<int>(Attribute::kAuxTs); ++a) {
+      const Attribute attr = static_cast<Attribute>(a);
+      Interval interval = Interval::Empty();
+      for (const SimpleEvent& e : events) {
+        interval = interval.Hull(Interval::Point(GetAttribute(e, attr)));
+      }
+      ranges[attr] = interval;
+    }
+    catalog.Declare(type, ranges);
+  }
+  return catalog;
+}
+
 StreamStatistics Workload::Statistics() const {
   StreamStatistics stats;
   for (const auto& [type, events] : streams_) {

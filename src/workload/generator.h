@@ -82,6 +82,14 @@ class Workload {
   /// Measured per-type rates for the statistics-driven optimizer.
   StreamStatistics Statistics() const;
 
+  /// Measured per-type per-attribute [min, max] intervals over the
+  /// materialized events — the ground-truth priors for the interval range
+  /// pass (analysis/range_rules). Types with no events are omitted (the
+  /// analysis treats missing entries as unbounded). Every generated or
+  /// ingested value lies inside its derived interval by construction, so
+  /// the catalog is sound for the exact streams this workload replays.
+  SourceRangeCatalog DeriveRangeCatalog() const;
+
  private:
   std::unordered_map<EventTypeId, std::vector<SimpleEvent>> streams_;
 };
