@@ -45,4 +45,64 @@ DiagnosticReport AnalyzeChaining(const JobGraph& graph) {
   return report;
 }
 
+DiagnosticReport AnalyzeColumnarLayout(const JobGraph& graph) {
+  DiagnosticReport report;
+  const ChainLayout layout = ComputeChainLayout(graph);
+  for (NodeId from = 0; from < graph.num_nodes(); ++from) {
+    const JobGraph::Node& node = graph.node(from);
+    const bool producer_columnar =
+        !node.is_source() && node.op->Traits().columnar_capable;
+    for (size_t out = 0; out < node.outputs.size(); ++out) {
+      const JobGraph::Edge& edge = node.outputs[out];
+      const JobGraph::Node& consumer = graph.node(edge.to);
+      const bool consumer_columnar =
+          consumer.op != nullptr && consumer.op->Traits().columnar_capable;
+      const std::string to_label = NodeLabel(graph, edge.to);
+      if (layout.fused(from, out)) {
+        // In-chain hand-off: blocks flow (or scatter) through the
+        // ChainedCollector, never a channel. Silent when neither endpoint
+        // runs columnar — nothing SoA-related happens on the edge.
+        if (producer_columnar && consumer_columnar) {
+          report.Add(DiagnosticCode::kGraphColumnarStatus,
+                     NodeLabel(graph, from),
+                     "fused edge to " + to_label +
+                         ": columnar (blocks hand over in-chain)");
+        } else if (producer_columnar) {
+          report.Add(DiagnosticCode::kGraphColumnarStatus,
+                     NodeLabel(graph, from),
+                     "fused edge to " + to_label +
+                         ": scatter shim (row-major consumer in chain)");
+        }
+        continue;
+      }
+      // Channel edge: mirror RoutingCollector's negotiation.
+      std::string reason;
+      if (node.outputs.size() != 1) {
+        reason = "producer fan-out";
+      } else if (edge.partition == PartitionMode::kHash) {
+        reason = "hash partitioning routes rows individually";
+      } else if (edge.partition == PartitionMode::kBroadcast) {
+        reason = "broadcast would deep-copy blocks";
+      } else if (!consumer_columnar) {
+        reason = "consumer is row-major";
+      }
+      if (reason.empty()) {
+        report.Add(DiagnosticCode::kGraphColumnarStatus,
+                   NodeLabel(graph, from),
+                   "edge to " + to_label +
+                       ": columnar (ships column blocks whole)");
+      } else if (producer_columnar) {
+        report.Add(DiagnosticCode::kGraphColumnarStatus,
+                   NodeLabel(graph, from),
+                   "edge to " + to_label + ": scatter shim (" + reason + ")");
+      } else {
+        report.Add(DiagnosticCode::kGraphColumnarStatus,
+                   NodeLabel(graph, from),
+                   "edge to " + to_label + ": row-major (" + reason + ")");
+      }
+    }
+  }
+  return report;
+}
+
 }  // namespace cep2asp

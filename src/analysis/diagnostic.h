@@ -75,6 +75,7 @@ enum class DiagnosticCode : int {
   kGraphFilterAlwaysTrue = 319,     // W: filter provably passes everything
   kGraphRangeReport = 320,          // I: derived attribute-range/selectivity
   kGraphExprVerifyFailed = 321,     // E: compiled bytecode fails verification
+  kGraphColumnarStatus = 322,       // I: per-edge columnar/row-major/shim
 };
 
 /// Severity a code always carries (the letter in its rendered name).

@@ -177,8 +177,10 @@ int LintPaperPatterns() {
 
 /// Prints the chain layout ComputeChainLayout produces for one pattern
 /// under one option set, followed by the I315 findings for forward edges
-/// the planner left unfused and the I317 expression-execution report
-/// (which filter/map nodes compiled, and why the rest fell back). Purely
+/// the planner left unfused, the I317 expression-execution report (which
+/// filter/map nodes compiled, and why the rest fell back), and the I322
+/// columnar-transfer report (which edges ship SoA blocks whole, which
+/// cross a gather/scatter shim, and which stay row-major). Purely
 /// informational — never contributes to the exit code.
 void PrintChains(const std::string& name, const Pattern& pattern,
                  const OptionSet& set) {
@@ -200,6 +202,7 @@ void PrintChains(const std::string& name, const Pattern& pattern,
   std::printf("%s", layout.ToString(graph).c_str());
   PrintReport(AnalyzeChaining(graph));
   PrintReport(AnalyzeExprCompilation(graph));
+  PrintReport(AnalyzeColumnarLayout(graph));
 }
 
 int PrintPaperChains() {

@@ -27,6 +27,11 @@ enum class Attribute : uint8_t {
   kAuxTs = 5,
 };
 
+/// Number of Attribute slots per event. Columnar (SoA) layouts allocate
+/// one double column per (event slot, attribute) pair and index them as
+/// `slot * kNumEventAttrs + attr`.
+inline constexpr size_t kNumEventAttrs = 6;
+
 /// Parses an attribute name ("value", "lat", "lon", "ts", "id", "ats").
 /// Returns false for unknown names.
 bool ParseAttribute(const std::string& name, Attribute* out);

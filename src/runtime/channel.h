@@ -42,12 +42,28 @@ class Channel {
   /// Moves the contents of `*batch` into the channel, blocking while full.
   /// On success the batch is left empty for reuse; returns false (batch
   /// dropped) when the channel is closed.
+  ///
+  /// A batch with a valid header (see MessageBatch) has its messages
+  /// stamped with the header's port/slot here, folded into the loop that
+  /// already walks the batch for the tuple counter: the channel stores
+  /// flat Messages and pop boundaries do not align with push boundaries,
+  /// so the push boundary is the last point where the batch-level header
+  /// can still reach every message.
   bool PushBatch(MessageBatch* batch) {
     if (batch->empty()) return true;
     const size_t fill = batch->size();
+    const bool stamp = batch->hdr_valid;
     int64_t data = 0;
-    for (const Message& msg : *batch) {
-      if (msg.kind == MessageKind::kTuple) ++data;
+    for (Message& msg : *batch) {
+      if (stamp) {
+        msg.port = batch->hdr_port;
+        msg.slot = batch->hdr_slot;
+      }
+      if (msg.kind == MessageKind::kTuple) {
+        ++data;
+      } else if (msg.kind == MessageKind::kColumnar) {
+        data += msg.columnar_rows;  // a block counts its rows as tuples
+      }
     }
     int64_t blocked = 0;
     const bool ok = DoPushBatch(batch, &blocked);
@@ -78,6 +94,15 @@ class Channel {
       fill_hist_[ChannelStats::FillBucket(batch->size())].fetch_add(
           1, std::memory_order_relaxed);
     }
+    if (batch->hdr_valid) {
+      // Stamp from the batch header BEFORE handing elements to the ring:
+      // after DoTryPushBatch the moved prefix holds only husks. Re-stamping
+      // a retried suffix is idempotent.
+      for (Message& msg : *batch) {
+        msg.port = batch->hdr_port;
+        msg.slot = batch->hdr_slot;
+      }
+    }
     bool closed = false;
     const size_t moved = DoTryPushBatch(batch->data(), batch->size(), &closed);
     if (moved > 0) {
@@ -85,7 +110,12 @@ class Channel {
       // still countable before we erase it.
       int64_t data = 0;
       for (size_t i = 0; i < moved; ++i) {
-        if ((*batch)[i].kind == MessageKind::kTuple) ++data;
+        const Message& msg = (*batch)[i];
+        if (msg.kind == MessageKind::kTuple) {
+          ++data;
+        } else if (msg.kind == MessageKind::kColumnar) {
+          data += msg.columnar_rows;
+        }
       }
       messages_.fetch_add(static_cast<int64_t>(moved),
                           std::memory_order_relaxed);
@@ -113,6 +143,7 @@ class Channel {
   /// one message was popped (space freed = credit returned to producers).
   size_t TryPopBatch(MessageBatch* out, size_t max_messages,
                      bool* end_of_stream) {
+    out->hdr_valid = false;  // popped messages carry their own port/slot
     const size_t popped = DoTryPopBatch(out, max_messages, end_of_stream);
     if (popped > 0 && on_credit_) on_credit_();
     return popped;
@@ -188,6 +219,7 @@ class MpmcChannel : public Channel {
   explicit MpmcChannel(size_t capacity_messages) : queue_(capacity_messages) {}
 
   bool PopBatch(MessageBatch* out, size_t max_messages) override {
+    out->hdr_valid = false;
     return queue_.PopBatch(out, max_messages) > 0;
   }
 
@@ -220,6 +252,7 @@ class SpscChannel : public Channel {
   explicit SpscChannel(size_t capacity_messages) : ring_(capacity_messages) {}
 
   bool PopBatch(MessageBatch* out, size_t max_messages) override {
+    out->hdr_valid = false;
     return ring_.PopN(out, max_messages) > 0;
   }
 

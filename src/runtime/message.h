@@ -2,17 +2,20 @@
 #define CEP2ASP_RUNTIME_MESSAGE_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "event/event.h"
+#include "runtime/columnar_batch.h"
 
 namespace cep2asp {
 
 /// Kind of element flowing over an inter-thread edge.
-enum class MessageKind : uint8_t { kTuple, kWatermark, kEnd };
+enum class MessageKind : uint8_t { kTuple, kWatermark, kEnd, kColumnar };
 
-/// One element flowing over an inter-thread edge.
+/// One element flowing over an inter-thread edge. Move-only: a kColumnar
+/// message owns a whole column block.
 struct Message {
   MessageKind kind = MessageKind::kTuple;
   int port = 0;
@@ -25,6 +28,19 @@ struct Message {
   int slot = 0;
   Tuple tuple;
   Timestamp watermark = kMinTimestamp;
+  /// Column block of a kColumnar message (null otherwise): `columnar_rows`
+  /// tuples travelling as one envelope — one channel slot for a whole
+  /// block. The row count is mirrored into a scalar because statistics are
+  /// counted after the block pointer was moved out (scalar members survive
+  /// the element move).
+  std::unique_ptr<ColumnarBatch> columnar;
+  int columnar_rows = 0;
+
+  Message() = default;
+  Message(Message&&) = default;
+  Message& operator=(Message&&) = default;
+  Message(const Message&) = delete;
+  Message& operator=(const Message&) = delete;
 
   static Message Data(int port, Tuple tuple, int slot = 0) {
     Message msg;
@@ -44,12 +60,39 @@ struct Message {
     msg.watermark = watermark;
     return msg;
   }
+
+  static Message Columnar(int port, std::unique_ptr<ColumnarBatch> block,
+                          int slot = 0) {
+    Message msg;
+    msg.kind = MessageKind::kColumnar;
+    msg.port = port;
+    msg.slot = slot;
+    msg.columnar_rows = static_cast<int>(block->rows());
+    msg.columnar = std::move(block);
+    return msg;
+  }
 };
 
 /// A micro-batch of messages: the unit of transfer over a Channel. Callers
 /// reserve `batch_size` up front and reuse the vector after every push, so
 /// the steady state allocates nothing.
-using MessageBatch = std::vector<Message>;
+///
+/// The header deduplicates per-message routing: a producer whose batch is
+/// homogeneous (every message bound for the same consumer input port and
+/// physical slot — true of every RoutingCollector target buffer, control
+/// messages included) sets `hdr_valid` once and skips stamping the
+/// individual messages; the channel stamps them from the header at the
+/// push boundary, because ring storage is flat Messages and pop boundaries
+/// do not align with push boundaries (the header itself cannot survive the
+/// channel). Batches without a valid header carry per-message port/slot
+/// exactly as before.
+struct MessageBatch : std::vector<Message> {
+  using std::vector<Message>::vector;
+
+  int hdr_port = 0;
+  int hdr_slot = 0;
+  bool hdr_valid = false;
+};
 
 }  // namespace cep2asp
 

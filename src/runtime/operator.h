@@ -36,6 +36,14 @@ class Collector {
     batch->clear();
   }
 
+  /// Columnar emission: hands over a whole column block. The default
+  /// scatters row by row (the gather/scatter shim at a columnar ->
+  /// row-major boundary); columnar-capable collectors override it to move
+  /// the block downstream as one envelope.
+  virtual void EmitColumnar(std::unique_ptr<ColumnarBatch> block) {
+    for (size_t i = 0; i < block->rows(); ++i) Emit(block->RowTuple(i));
+  }
+
   /// Hands any internally buffered emissions downstream. Executors whose
   /// collectors micro-batch (ThreadedExecutor) call this before a thread
   /// would otherwise go idle; operators never need to call it — control
@@ -48,6 +56,7 @@ class NullCollector : public Collector {
  public:
   void Emit(Tuple) override {}
   void EmitBatch(MessageBatch* batch) override { batch->clear(); }
+  void EmitColumnar(std::unique_ptr<ColumnarBatch>) override {}
 };
 
 /// \brief Static self-description of an operator, consumed by the plan
@@ -126,6 +135,11 @@ struct OperatorTraits {
   /// means no bound has been derived. The cost-based-optimizer Open item
   /// consumes this.
   double selectivity_bound = -1.0;
+  /// Consumes and emits ColumnarBatch natively (ProcessColumnar is a real
+  /// override, not the scatter shim). Producers negotiate the SoA transfer
+  /// path per edge against this bit; row-major operators keep the default
+  /// and receive gathered/scattered rows transparently.
+  bool columnar_capable = false;
 };
 
 /// \brief A (possibly stateful) dataflow operator, the unit of the ASP
@@ -169,6 +183,22 @@ class Operator {
     }
     batch->clear();
     return Status::OK();
+  }
+
+  /// Handles a whole column block arriving on `input`. The block is
+  /// consumed. The default scatters back into a row-major batch and
+  /// forwards to ProcessBatch (the boundary shim for operators that do not
+  /// declare `columnar_capable`); columnar-capable operators override it
+  /// to filter the columns in place and re-emit the block.
+  virtual Status ProcessColumnar(int input, std::unique_ptr<ColumnarBatch> block,
+                                 Collector* out) {
+    MessageBatch rows;
+    rows.reserve(block->rows());
+    for (size_t i = 0; i < block->rows(); ++i) {
+      rows.push_back(Message::Data(input, block->RowTuple(i)));
+    }
+    block.reset();
+    return ProcessBatch(input, &rows, out);
   }
 
   /// Called when the aligned watermark advances to `watermark`: event time

@@ -41,7 +41,8 @@ PhysicalLayout::PhysicalLayout(const JobGraph& graph,
 RoutingCollector::RoutingCollector(const JobGraph* graph, NodeId node,
                                    int subtask, const PhysicalLayout* layout,
                                    std::vector<NodeChannels>* channels,
-                                   size_t batch_size, bool cooperative)
+                                   size_t batch_size, bool cooperative,
+                                   bool enable_columnar)
     : batch_size_(std::max<size_t>(1, batch_size)),
       cur_batch_(std::max<size_t>(1, batch_size)),
       cooperative_(cooperative) {
@@ -69,9 +70,29 @@ RoutingCollector::RoutingCollector(const JobGraph* graph, NodeId node,
           (*channels)[static_cast<size_t>(edge.to)][static_cast<size_t>(s)]
               .get();
       target.pending.reserve(batch_size_);
+      // One target serves exactly one (out-edge, consumer subtask) pair, so
+      // its port and slot are constants: deduplicate them into the pending
+      // buffer's batch header instead of stamping every Message — the
+      // channel stamps from the header at the push boundary.
+      target.pending.hdr_port = out.port;
+      target.pending.hdr_slot = out.slot;
+      target.pending.hdr_valid = true;
       targets_.push_back(std::move(target));
     }
     edges_.push_back(out);
+  }
+  // SoA negotiation: blocks ship whole only over a single forward-mode
+  // unfused out-edge whose consuming chain head declares itself columnar-
+  // capable. Hash edges route rows individually and broadcast edges would
+  // deep-copy blocks, so both keep the row-major path.
+  if (enable_columnar && producer.outputs.size() == 1) {
+    const JobGraph::Edge& edge = producer.outputs[0];
+    const JobGraph::Node& consumer = graph->node(edge.to);
+    if (edge.partition == PartitionMode::kForward &&
+        layout->edge_slot_base[static_cast<size_t>(node)][0] >= 0 &&
+        consumer.op != nullptr && consumer.op->Traits().columnar_capable) {
+      columnar_ok_ = true;
+    }
   }
 }
 
@@ -125,9 +146,9 @@ void RoutingCollector::EmitBatch(MessageBatch* batch) {
     OutEdge& e = edges_[0];
     const int t = e.first_target + e.fixed_target;
     Target& target = targets_[static_cast<size_t>(t)];
+    // No per-message port/slot rewrite: the target's batch header carries
+    // them once and the channel stamps at the push boundary.
     for (Message& msg : *batch) {
-      msg.port = e.port;
-      msg.slot = e.slot;
       target.pending.push_back(std::move(msg));
     }
     batch->clear();
@@ -137,6 +158,27 @@ void RoutingCollector::EmitBatch(MessageBatch* batch) {
   // Hash / broadcast / fan-out: per-tuple routing.
   for (Message& msg : *batch) Emit(std::move(msg.tuple));
   batch->clear();
+}
+
+void RoutingCollector::EmitColumnar(std::unique_ptr<ColumnarBatch> block) {
+  if (block == nullptr || block->rows() == 0) return;
+  if (!columnar_ok_) {
+    // Scatter shim: the edge did not negotiate columnar transfer.
+    Collector::EmitColumnar(std::move(block));
+    return;
+  }
+  OutEdge& e = edges_[0];
+  const int sub =
+      e.fixed_target >= 0
+          ? e.fixed_target
+          : static_cast<int>(e.rr_cursor++ %
+                             static_cast<size_t>(e.consumer_parallelism));
+  const int t = e.first_target + sub;
+  Target& target = targets_[static_cast<size_t>(t)];
+  target.pending.push_back(Message::Columnar(e.port, std::move(block), e.slot));
+  // A block already amortizes like a full batch: offer it to the channel
+  // right away instead of waiting for cur_batch_ envelopes.
+  if (!target.stuck) FlushTarget(t);
 }
 
 void RoutingCollector::Append(int t, Message msg) {
@@ -230,6 +272,21 @@ void ChainedCollector::EmitBatch(MessageBatch* batch) {
   if (!st.ok()) *chain_status_ = st.WithContext(next_->name());
 }
 
+void ChainedCollector::EmitColumnar(std::unique_ptr<ColumnarBatch> block) {
+  if (!chain_status_->ok() || block == nullptr || block->rows() == 0) return;
+  *handed_over_ += static_cast<int64_t>(block->rows());
+  if (invariants_ != nullptr) {
+    for (size_t i = 0; i < block->rows(); ++i) {
+      invariants_->OnPhysicalTuple(node_, subtask_, subtask_,
+                                   block->RowTuple(i));
+    }
+  }
+  // A row-major next operator scatters through its base-class
+  // ProcessColumnar shim; a columnar-capable one filters in place.
+  Status st = next_->ProcessColumnar(port_, std::move(block), downstream_);
+  if (!st.ok()) *chain_status_ = st.WithContext(next_->name());
+}
+
 // ---------------------------------------------------------------------------
 // SourceTask
 
@@ -238,7 +295,7 @@ SourceTask::SourceTask(const TaskContext* ctx, NodeId node, Source* source)
       source_(source),
       label_("src:" + source->name()),
       router_(ctx->graph, node, /*subtask=*/0, ctx->layout, ctx->channels,
-              ctx->batch_size, /*cooperative=*/true),
+              ctx->batch_size, /*cooperative=*/true, ctx->enable_columnar),
       cur_batch_(std::max<size_t>(1, ctx->batch_size)) {
   staged_.reserve(cur_batch_);
 }
@@ -310,7 +367,30 @@ Quantum SourceTask::RunQuantum() {
       }
       ctx_->tuples_ingested->fetch_add(static_cast<int64_t>(staged_.size()),
                                        std::memory_order_relaxed);
-      for (Tuple& t : staged_) router_.Emit(std::move(t));
+      bool gathered = false;
+      if (router_.columnar_eligible()) {
+        // SoA gather point: the staged rows become one column block and
+        // travel as a single channel envelope. Blocks are shaped per
+        // arity; a mixed-arity batch (never produced by the bundled
+        // sources) keeps the row-major path.
+        bool uniform = true;
+        for (const Tuple& t : staged_) {
+          if (t.size() != 1) {
+            uniform = false;
+            break;
+          }
+        }
+        if (uniform) {
+          auto block = std::make_unique<ColumnarBatch>(1);
+          block->Reserve(staged_.size());
+          for (const Tuple& t : staged_) block->AppendTuple(t);
+          router_.EmitColumnar(std::move(block));
+          gathered = true;
+        }
+      }
+      if (!gathered) {
+        for (Tuple& t : staged_) router_.Emit(std::move(t));
+      }
       since_watermark_ += static_cast<int>(staged_.size());
       if (since_watermark_ >= ctx_->watermark_interval) {
         since_watermark_ = 0;
@@ -357,7 +437,8 @@ ChainTask::ChainTask(const TaskContext* ctx,
       subtask_(subtask),
       ops_(std::move(ops)),
       router_(ctx->graph, chain_nodes->back(), subtask, ctx->layout,
-              ctx->channels, ctx->batch_size, /*cooperative=*/true),
+              ctx->channels, ctx->batch_size, /*cooperative=*/true,
+              ctx->enable_columnar),
       aligner_(
           ctx->layout->num_slots[static_cast<size_t>(chain_nodes->front())]),
       cur_batch_(std::max<size_t>(1, ctx->batch_size)) {
@@ -489,6 +570,27 @@ void ChainTask::ProcessBatch(MessageBatch* batch) {
           } else {
             router_.EmitControl(MessageKind::kWatermark, aligned);
           }
+        }
+        break;
+      }
+      case MessageKind::kColumnar: {
+        if (ctx_->invariants != nullptr) {
+          for (size_t i = 0; i < msg.columnar->rows(); ++i) {
+            ctx_->invariants->OnPhysicalTuple(head, subtask_, msg.slot,
+                                              msg.columnar->RowTuple(i));
+          }
+        }
+        Status st = ops_.front()->ProcessColumnar(
+            msg.port, std::move(msg.columnar), collectors_.front());
+        if (!st.ok()) {
+          st = st.WithContext(ops_.front()->name());
+        } else if (!chain_status_.ok()) {
+          st = chain_status_;
+        }
+        if (!st.ok()) {
+          ctx_->record_error(st);
+          aligner_.ForceDone();
+          phase_ = Phase::kDone;
         }
         break;
       }

@@ -69,18 +69,33 @@ struct PhysicalLayout {
 /// flushing, never by re-appending.
 class RoutingCollector : public Collector {
  public:
+  /// `enable_columnar` turns on SoA transfer negotiation: when the node
+  /// has exactly one out-edge, forward-partitioned, into a columnar-capable
+  /// consumer, EmitColumnar ships whole column blocks as single envelopes.
   RoutingCollector(const JobGraph* graph, NodeId node, int subtask,
                    const PhysicalLayout* layout,
                    std::vector<NodeChannels>* channels, size_t batch_size,
-                   bool cooperative);
+                   bool cooperative, bool enable_columnar = false);
 
   void Emit(Tuple tuple) override;
 
   /// Batch fast path: a single-forward-edge producer (the common chained
-  /// tail) splices the whole batch into the target's pending buffer —
-  /// restamp port/slot, move, one flush check — instead of a per-tuple
-  /// Route/Append. Other shapes fall back to per-tuple Emit.
+  /// tail) splices the whole batch into the target's pending buffer — one
+  /// move per message, port/slot deduplicated into the buffer's batch
+  /// header (the channel stamps at the push boundary) — instead of a
+  /// per-tuple Route/Append. Other shapes fall back to per-tuple Emit.
   void EmitBatch(MessageBatch* batch) override;
+
+  /// Columnar fast path: when the edge negotiated columnar transfer (see
+  /// ctor), the block travels as one kColumnar envelope — fixed target, or
+  /// per-block round-robin under forward rebalance. Ineligible shapes
+  /// (hash/broadcast edges, row-major consumers) scatter row by row via
+  /// the base-class shim.
+  void EmitColumnar(std::unique_ptr<ColumnarBatch> block) override;
+
+  /// True when EmitColumnar ships blocks whole instead of scattering;
+  /// producers consult this before paying the gather.
+  bool columnar_eligible() const { return columnar_ok_; }
 
   /// Blocking mode: pushes every pending buffer. Cooperative mode: best
   /// effort (TryFlushAll); the task checks stuck() afterwards.
@@ -135,6 +150,7 @@ class RoutingCollector : public Collector {
   const size_t batch_size_;
   size_t cur_batch_;
   const bool cooperative_;
+  bool columnar_ok_ = false;
   int stuck_targets_ = 0;
   std::vector<Target> targets_;
   std::vector<OutEdge> edges_;
@@ -169,6 +185,10 @@ class ChainedCollector : public Collector {
   /// rest of the chain without re-splitting into per-tuple hops.
   void EmitBatch(MessageBatch* batch) override;
 
+  /// Hands a column block to the next operator's ProcessColumnar in one
+  /// virtual call; a row-major next scatters through its base-class shim.
+  void EmitColumnar(std::unique_ptr<ColumnarBatch> block) override;
+
   void Flush() override { downstream_->Flush(); }
 
  private:
@@ -194,6 +214,8 @@ struct TaskContext {
   size_t batch_size = 64;
   int quantum_batches = 8;
   int watermark_interval = 256;
+  /// Negotiate SoA (columnar) transfer on eligible edges.
+  bool enable_columnar = false;
   Clock* clock = nullptr;
   InvariantChecker* invariants = nullptr;  // null outside debug wiring
   std::function<void(const Status&)> record_error;

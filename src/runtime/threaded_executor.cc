@@ -154,6 +154,7 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
     ctx.invariants = invariants;
     ctx.record_error = record_error;
     ctx.tuples_ingested = &tuples_ingested;
+    ctx.enable_columnar = options_.enable_columnar;
 
     std::vector<std::unique_ptr<Task>> tasks;
     // Producing task(s) of every node: sources have one task, operator
@@ -252,7 +253,8 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
       threads.emplace_back([&, id, source] {
         RoutingCollector collector(graph_, id, /*subtask=*/0, &layout,
                                    &channels, batch_size,
-                                   /*cooperative=*/false);
+                                   /*cooperative=*/false,
+                                   options_.enable_columnar);
         std::vector<Tuple> staged;
         staged.reserve(batch_size);
         int since_watermark = 0;
@@ -289,7 +291,28 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
           }
           tuples_ingested.fetch_add(static_cast<int64_t>(staged.size()),
                                     std::memory_order_relaxed);
-          for (Tuple& t : staged) collector.Emit(std::move(t));
+          bool gathered = false;
+          if (collector.columnar_eligible()) {
+            // SoA gather point (mirrors SourceTask): ship the staged rows
+            // as one column block when the arity is uniform.
+            bool uniform = true;
+            for (const Tuple& t : staged) {
+              if (t.size() != 1) {
+                uniform = false;
+                break;
+              }
+            }
+            if (uniform) {
+              auto block = std::make_unique<ColumnarBatch>(1);
+              block->Reserve(staged.size());
+              for (const Tuple& t : staged) block->AppendTuple(t);
+              collector.EmitColumnar(std::move(block));
+              gathered = true;
+            }
+          }
+          if (!gathered) {
+            for (Tuple& t : staged) collector.Emit(std::move(t));
+          }
           since_watermark += static_cast<int>(staged.size());
           if (since_watermark >= options_.watermark_interval) {
             since_watermark = 0;
@@ -319,7 +342,8 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
           const std::vector<NodeId>& chain_nodes =
               chain_layout.chains[static_cast<size_t>(c)];
           RoutingCollector tail(graph_, chain_nodes.back(), subtask, &layout,
-                                &channels, batch_size, /*cooperative=*/false);
+                                &channels, batch_size, /*cooperative=*/false,
+                                options_.enable_columnar);
           // Collector per chain position, built tail-first: the tail
           // batches into real channels, every link hands to the next
           // operator in-thread. `links` never reallocates (reserved), so
@@ -453,6 +477,26 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
                     } else {
                       tail.EmitControl(MessageKind::kWatermark, aligned);
                     }
+                  }
+                  break;
+                }
+                case MessageKind::kColumnar: {
+                  if (invariants != nullptr) {
+                    for (size_t i = 0; i < msg.columnar->rows(); ++i) {
+                      invariants->OnPhysicalTuple(head, subtask, msg.slot,
+                                                  msg.columnar->RowTuple(i));
+                    }
+                  }
+                  Status st = ops.front()->ProcessColumnar(
+                      msg.port, std::move(msg.columnar), collectors.front());
+                  if (!st.ok()) {
+                    st = st.WithContext(ops.front()->name());
+                  } else if (!chain_status.ok()) {
+                    st = chain_status;
+                  }
+                  if (!st.ok()) {
+                    record_error(st);
+                    aligner.ForceDone();
                   }
                   break;
                 }

@@ -65,6 +65,15 @@ struct ThreadedExecutorOptions {
   /// smaller quanta interleave co-scheduled tasks more finely.
   int quantum_batches = 8;
 
+  /// Negotiate columnar (SoA) transfer per edge: producers with a single
+  /// forward-mode edge into a columnar-capable consumer gather staged rows
+  /// into ColumnarBatch blocks that travel as one channel envelope and run
+  /// the consumer's compiled predicate column-at-a-time; every other edge
+  /// — and every row-major operator, via transparent gather/scatter shims
+  /// — behaves exactly as before. Off restores the pure row-major paths
+  /// for A/B runs.
+  bool enable_columnar = true;
+
   Clock* clock = nullptr;
 };
 

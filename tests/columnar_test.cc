@@ -1,0 +1,324 @@
+// Columnar (SoA) execution tests: RunColumnar over a ColumnarBatch must be
+// observationally identical to the row-major RunBatch path for every fused
+// program over every input — including NaN / ±inf attribute values, all six
+// comparators, and key-assigning programs — and the gather/scatter shims
+// must reproduce rows bit-for-bit. The SIMD kernels (when CEP2ASP_SIMD is
+// on) and the scalar fallback share these tests: the mask is the contract.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "asp/compiled_stateless.h"
+#include "event/expr_program.h"
+#include "event/expr_verifier.h"
+#include "event/predicate.h"
+#include "runtime/columnar_batch.h"
+#include "runtime/operator.h"
+
+namespace cep2asp {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double RandomMeasure(std::mt19937_64& rng, bool allow_non_finite) {
+  static const double kFinite[] = {0.0,  -0.0, 0.5,    -1.25, 3.0,
+                                   42.0, 59.9, 60.0,   100.0, -273.15,
+                                   1e6,  1e-9, -1e300, 7.25,  13.0};
+  static const double kSpecial[] = {kNaN, kInf, -kInf};
+  if (allow_non_finite && rng() % 8 == 0) return kSpecial[rng() % 3];
+  return kFinite[rng() % (sizeof(kFinite) / sizeof(kFinite[0]))];
+}
+
+SimpleEvent RandomEvent(std::mt19937_64& rng, bool allow_non_finite) {
+  SimpleEvent e;
+  e.type = static_cast<EventTypeId>(1 + rng() % 3);
+  e.id = static_cast<int64_t>(rng() % 8);
+  e.ts = static_cast<Timestamp>(rng() % 10000);
+  e.aux_ts = static_cast<Timestamp>(rng() % 10000);
+  e.create_ts = static_cast<Timestamp>(rng() % 10000);
+  e.value = RandomMeasure(rng, allow_non_finite);
+  e.lat = RandomMeasure(rng, allow_non_finite);
+  e.lon = RandomMeasure(rng, allow_non_finite);
+  return e;
+}
+
+Attribute RandomAttr(std::mt19937_64& rng) {
+  static const Attribute kAttrs[] = {Attribute::kValue, Attribute::kLat,
+                                     Attribute::kLon,   Attribute::kTs,
+                                     Attribute::kId,    Attribute::kAuxTs};
+  return kAttrs[rng() % 6];
+}
+
+CmpOp RandomCmpOp(std::mt19937_64& rng) {
+  static const CmpOp kOps[] = {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                               CmpOp::kGe, CmpOp::kEq, CmpOp::kNe};
+  return kOps[rng() % 6];
+}
+
+Predicate RandomPredicate(std::mt19937_64& rng, int arity) {
+  Predicate pred;
+  const int terms = static_cast<int>(rng() % 6);
+  for (int i = 0; i < terms; ++i) {
+    const AttrRef lhs{static_cast<int>(rng() % static_cast<unsigned>(arity)),
+                      RandomAttr(rng)};
+    const CmpOp op = RandomCmpOp(rng);
+    if (rng() % 2 == 0) {
+      const AttrRef rhs{static_cast<int>(rng() % static_cast<unsigned>(arity)),
+                        RandomAttr(rng)};
+      static const double kOffsets[] = {0.0, 0.0, 0.5, -17.0, 1000.0};
+      pred.Add(Comparison::AttrAttr(lhs, op, rhs, kOffsets[rng() % 5]));
+    } else {
+      pred.Add(Comparison::AttrConst(lhs, op,
+                                     RandomMeasure(rng, /*non_finite=*/true)));
+    }
+  }
+  return pred;
+}
+
+Tuple RandomTuple(std::mt19937_64& rng, int arity, bool allow_non_finite) {
+  Tuple t;
+  for (int i = 0; i < arity; ++i) {
+    t.AppendEvent(RandomEvent(rng, allow_non_finite));
+  }
+  t.set_event_time(static_cast<Timestamp>(rng() % 10000));
+  t.set_key(static_cast<int64_t>(rng() % 100));
+  return t;
+}
+
+/// Bitwise-aware double equality: NaN == NaN, -0.0 != +0.0 is fine here
+/// because the gather writes the same bit pattern it read.
+bool SameDouble(double a, double b) {
+  return (std::isnan(a) && std::isnan(b)) || a == b;
+}
+
+void ExpectSameTuple(const Tuple& a, const Tuple& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.key(), b.key());
+  EXPECT_EQ(a.event_time(), b.event_time());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const SimpleEvent& ea = a.event(i);
+    const SimpleEvent& eb = b.event(i);
+    EXPECT_EQ(ea.type, eb.type);
+    EXPECT_EQ(ea.id, eb.id);
+    EXPECT_EQ(ea.ts, eb.ts);
+    EXPECT_EQ(ea.create_ts, eb.create_ts);
+    EXPECT_EQ(ea.aux_ts, eb.aux_ts);
+    EXPECT_TRUE(SameDouble(ea.value, eb.value));
+    EXPECT_TRUE(SameDouble(ea.lat, eb.lat));
+    EXPECT_TRUE(SameDouble(ea.lon, eb.lon));
+  }
+}
+
+class VectorCollector : public Collector {
+ public:
+  void Emit(Tuple tuple) override { tuples.push_back(std::move(tuple)); }
+  std::vector<Tuple> tuples;
+};
+
+std::map<std::string, int> Multiset(const std::vector<Tuple>& tuples) {
+  std::map<std::string, int> ms;
+  for (const Tuple& t : tuples) {
+    ++ms[MatchKey(t) + "#" + std::to_string(t.key())];
+  }
+  return ms;
+}
+
+// RunColumnar's mask must equal RunBatch's mask for every fused program
+// over every input pattern, all six comparators and the IEEE specials
+// included — the differential property gating the whole SoA path.
+TEST(ColumnarTest, RunColumnarMatchesRowMajorRunBatch) {
+  std::mt19937_64 rng(0xc01c0001);
+  for (int iter = 0; iter < 300; ++iter) {
+    const int arity = 1 + static_cast<int>(rng() % 4);
+    const Predicate pred = RandomPredicate(rng, arity);
+    const ExprProgram program =
+        ExprProgram::Filter(pred, ExprProgram::VarMode::kPositional);
+    ASSERT_TRUE(program.ok()) << pred.ToString();
+    ASSERT_TRUE(program.IsColumnarExecutable()) << program.ToString();
+
+    const size_t n = rng() % 70;
+    std::vector<Tuple> tuples;
+    ColumnarBatch batch(static_cast<size_t>(arity));
+    batch.Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      tuples.push_back(RandomTuple(rng, arity, /*non_finite=*/true));
+      batch.AppendTuple(tuples.back());
+    }
+
+    std::vector<uint8_t> row_mask(n == 0 ? 1 : n, 0);
+    program.RunBatch(tuples.data(), sizeof(Tuple), n, row_mask.data());
+
+    ASSERT_TRUE(program.RunColumnar(batch.View())) << program.ToString();
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(batch.mask()[i] != 0, row_mask[i] != 0)
+          << "row " << i << "\n" << pred.ToString() << "\n"
+          << program.ToString();
+    }
+  }
+}
+
+// Key-assigning programs must write the same keys column-wise that Run
+// writes tuple-wise, and constant keys stay exact int64.
+TEST(ColumnarTest, ColumnarKeyStoresMatchRowMajor) {
+  std::mt19937_64 rng(0xc01c0002);
+  static const Attribute kKeyAttrs[] = {Attribute::kId, Attribute::kTs,
+                                        Attribute::kAuxTs};
+  for (int iter = 0; iter < 100; ++iter) {
+    const Predicate pred = RandomPredicate(rng, 1);
+    ExprProgram fused;
+    int64_t const_key = 0;
+    const bool constant = rng() % 4 == 0;
+    if (constant) {
+      const_key = static_cast<int64_t>(rng()) | (int64_t{1} << 62);
+      fused = ExprProgram::Fuse(
+          ExprProgram::Filter(pred, ExprProgram::VarMode::kBroadcast),
+          ExprProgram::KeyByConstant(const_key));
+    } else {
+      fused = ExprProgram::Fuse(
+          ExprProgram::Filter(pred, ExprProgram::VarMode::kBroadcast),
+          ExprProgram::KeyByAttribute(0, kKeyAttrs[rng() % 3]));
+    }
+    ASSERT_TRUE(fused.ok());
+    ASSERT_TRUE(fused.assigns_key());
+
+    const size_t n = 1 + rng() % 50;
+    std::vector<Tuple> tuples;
+    ColumnarBatch batch(1);
+    for (size_t i = 0; i < n; ++i) {
+      // Measurements may be non-finite; key attributes are integral.
+      tuples.push_back(RandomTuple(rng, 1, /*non_finite=*/true));
+      batch.AppendTuple(tuples.back());
+    }
+    ASSERT_TRUE(fused.RunColumnar(batch.View()));
+    for (size_t i = 0; i < n; ++i) {
+      Tuple row = tuples[i];
+      const bool pass = fused.Run(&row);
+      ASSERT_EQ(batch.mask()[i] != 0, pass);
+      if (pass) {
+        EXPECT_EQ(batch.keys()[i], row.key());
+        if (constant) {
+          EXPECT_EQ(batch.keys()[i], const_key);
+        }
+      }
+    }
+  }
+}
+
+// Stack-form programs are row-major only: IsColumnarExecutable is false,
+// RunColumnar refuses without touching the mask, VerifyColumnar reports
+// the offending instruction while plain Verify still accepts.
+TEST(ColumnarTest, StackFormProgramsAreRejected) {
+  Predicate pred;
+  pred.Add(Comparison::AttrConst({0, Attribute::kValue}, CmpOp::kLt, 10.0));
+  const ExprProgram stack_form = ExprProgram::Filter(
+      pred, ExprProgram::VarMode::kBroadcast, /*fuse_terms=*/false);
+  ASSERT_TRUE(stack_form.ok());
+  EXPECT_FALSE(stack_form.IsColumnarExecutable());
+  EXPECT_TRUE(ExprVerifier::Verify(stack_form, 1).ok());
+  EXPECT_FALSE(ExprVerifier::VerifyColumnar(stack_form, 1).ok());
+
+  ColumnarBatch batch(1);
+  batch.AppendTuple(Tuple(SimpleEvent{}));
+  batch.mask()[0] = 0;  // must stay untouched by the refusal
+  EXPECT_FALSE(stack_form.RunColumnar(batch.View()));
+  EXPECT_EQ(batch.mask()[0], 0);
+
+  const ExprProgram fused =
+      ExprProgram::Filter(pred, ExprProgram::VarMode::kBroadcast);
+  EXPECT_TRUE(fused.IsColumnarExecutable());
+  EXPECT_TRUE(ExprVerifier::VerifyColumnar(fused, 1).ok());
+}
+
+// Gather -> scatter must reproduce every row bit-for-bit (types, ids,
+// timestamps, keys, event times, and non-finite measurements included).
+TEST(ColumnarTest, GatherScatterRoundTripIsExact) {
+  std::mt19937_64 rng(0xc01c0003);
+  for (int arity = 1; arity <= 3; ++arity) {
+    ColumnarBatch batch(static_cast<size_t>(arity));
+    std::vector<Tuple> tuples;
+    for (int i = 0; i < 40; ++i) {
+      tuples.push_back(RandomTuple(rng, arity, /*non_finite=*/true));
+      batch.AppendTuple(tuples.back());
+    }
+    ASSERT_EQ(batch.rows(), tuples.size());
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      ExpectSameTuple(batch.RowTuple(i), tuples[i]);
+    }
+  }
+}
+
+// Compact drops unselected rows in place, keeps survivor order, and
+// re-selects the survivors.
+TEST(ColumnarTest, CompactKeepsSurvivorsInOrder) {
+  std::mt19937_64 rng(0xc01c0004);
+  ColumnarBatch batch(1);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 64; ++i) {
+    tuples.push_back(RandomTuple(rng, 1, /*non_finite=*/false));
+    batch.AppendTuple(tuples.back());
+  }
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (rng() % 3 != 0) {
+      keep.push_back(i);
+    } else {
+      batch.mask()[i] = 0;
+    }
+  }
+  ASSERT_EQ(batch.Compact(), keep.size());
+  ASSERT_EQ(batch.rows(), keep.size());
+  for (size_t i = 0; i < keep.size(); ++i) {
+    EXPECT_EQ(batch.mask()[i], 1);
+    ExpectSameTuple(batch.RowTuple(i), tuples[keep[i]]);
+  }
+  // Reset keeps capacity but drops rows.
+  batch.Reset(2);
+  EXPECT_EQ(batch.rows(), 0u);
+  EXPECT_EQ(batch.num_slots(), 2u);
+}
+
+// The compiled operator's columnar path must emit the same multiset the
+// row-major batch path emits, through the default scatter shim.
+TEST(ColumnarTest, ProcessColumnarMatchesProcessBatch) {
+  std::mt19937_64 rng(0xc01c0005);
+  static const Attribute kKeyAttrs[] = {Attribute::kId, Attribute::kTs,
+                                        Attribute::kAuxTs};
+  for (int iter = 0; iter < 100; ++iter) {
+    const Predicate pred = RandomPredicate(rng, 1);
+    ExprProgram fused = ExprProgram::Fuse(
+        ExprProgram::Filter(pred, ExprProgram::VarMode::kBroadcast),
+        ExprProgram::KeyByAttribute(0, kKeyAttrs[rng() % 3]));
+    ASSERT_TRUE(fused.ok());
+    CompiledStatelessOperator compiled(std::move(fused), "filter+key");
+    ASSERT_TRUE(compiled.Traits().columnar_capable);
+
+    const size_t n = rng() % 65;
+    std::vector<Tuple> inputs;
+    MessageBatch rows;
+    auto block = std::make_unique<ColumnarBatch>(1);
+    for (size_t i = 0; i < n; ++i) {
+      inputs.push_back(RandomTuple(rng, 1, /*non_finite=*/true));
+      rows.push_back(Message::Data(0, inputs.back()));
+      block->AppendTuple(inputs.back());
+    }
+
+    VectorCollector row_out;
+    ASSERT_TRUE(compiled.ProcessBatch(0, &rows, &row_out).ok());
+    VectorCollector col_out;
+    ASSERT_TRUE(compiled.ProcessColumnar(0, std::move(block), &col_out).ok());
+    EXPECT_EQ(Multiset(col_out.tuples), Multiset(row_out.tuples))
+        << pred.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace cep2asp
