@@ -976,17 +976,182 @@ void RunSoaChannelOnce(bool columnar, const std::vector<SimpleEvent>& events,
   side->tps.push_back(static_cast<double>(events.size()) / elapsed.count());
 }
 
-/// Runs the row-major vs columnar A/B (compiled stage + channel transfer)
-/// and writes bench_results/BENCH_soa.json. Paired, order-alternating
-/// repetitions with one untimed warm-up, exactly like the expr A/B. Exit
-/// status gates CI: the columnar stage must reach 1.5x row-major.
+/// Hash-edge A/B: what a hash-partitioned exchange edge costs per row with
+/// and without block shipping. Columnar side: split each gathered block
+/// into per-subtask sub-blocks (ColumnarBatch::PartitionByKey — batched
+/// splitmix64 over the contiguous key column, then one pre-sized scatter
+/// per column) and push each sub-block as one kColumnar envelope. Row
+/// side: per row, a scalar KeyToSubtask plus one Message copy into the
+/// target's staging batch, flushed at the executor's batch size — exactly
+/// the RoutingCollector::Append path. Keys are spread pseudo-randomly so
+/// neither side benefits from runs; the consumer folds (subtask+1)-weighted
+/// row counts so any routing divergence fails the run.
+void RunHashPartitionOnce(bool columnar, const std::vector<SimpleEvent>& events,
+                          SchedAbSide* side) {
+  constexpr size_t kBlockRows = 256;  // one partition call per gathered block
+  constexpr int kParallelism = 4;
+  constexpr size_t kStageFlush = 64;  // row staging batch, as in the executor
+
+  // Payloads pre-built untimed, identically keyed on both sides.
+  std::vector<std::unique_ptr<ColumnarBatch>> blocks;
+  std::vector<Tuple> tuples;
+  if (columnar) {
+    for (size_t i = 0; i < events.size(); i += kBlockRows) {
+      auto block = std::make_unique<ColumnarBatch>(1);
+      const size_t end = std::min(events.size(), i + kBlockRows);
+      block->Reserve(end - i);
+      for (size_t j = i; j < end; ++j) {
+        Tuple t(events[j]);
+        t.set_key(static_cast<int64_t>(j * 7919) % 1024);
+        block->AppendTuple(t);
+      }
+      blocks.push_back(std::move(block));
+    }
+  } else {
+    tuples.reserve(events.size());
+    for (size_t j = 0; j < events.size(); ++j) {
+      Tuple t(events[j]);
+      t.set_key(static_cast<int64_t>(j * 7919) % 1024);
+      tuples.push_back(std::move(t));
+    }
+  }
+
+  SpscChannel channel(4096);
+  int64_t checksum = 0;
+  const auto start = std::chrono::steady_clock::now();
+  std::thread consumer([&channel, &checksum] {
+    MessageBatch popped;
+    while (channel.PopBatch(&popped, 64)) {
+      for (Message& msg : popped) {
+        if (msg.kind == MessageKind::kTuple) {
+          checksum += msg.slot + 1;
+        } else if (msg.kind == MessageKind::kColumnar) {
+          checksum += (msg.slot + 1) * msg.columnar_rows;
+        }
+      }
+    }
+  });
+  if (columnar) {
+    for (auto& block : blocks) {
+      std::vector<std::unique_ptr<ColumnarBatch>> parts =
+          block->PartitionByKey(kParallelism);
+      block.reset();
+      for (int s = 0; s < kParallelism; ++s) {
+        if (parts[static_cast<size_t>(s)] == nullptr) continue;
+        MessageBatch envelope;
+        envelope.push_back(
+            Message::Columnar(0, std::move(parts[static_cast<size_t>(s)]), s));
+        CEP2ASP_CHECK(channel.PushBatch(&envelope));
+      }
+    }
+  } else {
+    MessageBatch staging[kParallelism];
+    for (const Tuple& t : tuples) {
+      const int s = KeyToSubtask(t.key(), kParallelism);
+      staging[s].push_back(Message::Data(0, t, s));
+      if (staging[s].size() >= kStageFlush) {
+        CEP2ASP_CHECK(channel.PushBatch(&staging[s]));
+        staging[s].clear();
+      }
+    }
+    for (int s = 0; s < kParallelism; ++s) {
+      CEP2ASP_CHECK(channel.PushBatch(&staging[s]));
+    }
+  }
+  channel.Close();
+  consumer.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  side->matches = checksum;
+  side->tps.push_back(static_cast<double>(events.size()) / elapsed.count());
+}
+
+/// Join-ingest A/B: SlidingWindowJoinOperator::ProcessColumnar (column-wise
+/// append into the per-(key, side) SoA window buffers, one key lookup per
+/// run of equal keys) vs the base-class scatter shim the join paid before
+/// it was columnar-capable (explicitly `Operator::ProcessColumnar`: a
+/// RowTuple gather plus per-tuple Process per row). Keys arrive in 16-row
+/// bursts — the shape per-sensor sources and hash-partitioned sub-blocks
+/// produce — and the right side receives 1/64 of the blocks with a
+/// never-true condition, so firing and probing stay a small, identical
+/// cost on both sides and the measured path is the ingest itself.
+void RunJoinIngestOnce(bool columnar, const std::vector<SimpleEvent>& events,
+                       SchedAbSide* side) {
+  constexpr size_t kBlockRows = 256;
+  constexpr int kWatermarkEveryBlocks = 16;
+
+  Predicate never;  // values are 0..99: evaluated per pair, never true
+  never.Add(Comparison::AttrConst({0, Attribute::kValue}, CmpOp::kLt, -1.0));
+  SlidingWindowJoinOperator op(SlidingWindowSpec{5120, 5120}, never,
+                               TimestampMode::kMax, "bench-join");
+  CEP2ASP_CHECK(op.Open().ok());
+  CEP2ASP_CHECK(op.Traits().columnar_capable);
+  SoaAbSink sink;
+
+  // Payloads pre-built untimed, identically for both sides.
+  std::vector<std::unique_ptr<ColumnarBatch>> blocks;
+  for (size_t i = 0; i < events.size(); i += kBlockRows) {
+    auto block = std::make_unique<ColumnarBatch>(1);
+    const size_t end = std::min(events.size(), i + kBlockRows);
+    block->Reserve(end - i);
+    for (size_t j = i; j < end; ++j) {
+      Tuple t(events[j]);
+      t.set_key(static_cast<int64_t>(j / 16) % 256);  // 16-row key bursts
+      block->AppendTuple(t);
+    }
+    blocks.push_back(std::move(block));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  Timestamp max_ts = 0;
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const size_t rows = blocks[b]->rows();
+    if (rows > 0) {
+      max_ts = std::max(max_ts, blocks[b]->event_time(rows - 1));
+    }
+    const int input = (b % 64 == 63) ? 1 : 0;
+    if (columnar) {
+      CEP2ASP_CHECK(op.ProcessColumnar(input, std::move(blocks[b]), &sink).ok());
+    } else {
+      CEP2ASP_CHECK(
+          op.Operator::ProcessColumnar(input, std::move(blocks[b]), &sink).ok());
+    }
+    if (b % kWatermarkEveryBlocks == kWatermarkEveryBlocks - 1) {
+      CEP2ASP_CHECK(op.OnWatermark(max_ts, &sink).ok());
+    }
+  }
+  CEP2ASP_CHECK(op.OnWatermark(max_ts + 2 * 5120, &sink).ok());
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  // Any divergence in buffered state, probe work, or emissions fails the
+  // run: both ingest paths must be observationally identical.
+  side->matches = sink.count() +
+                  static_cast<int64_t>(sink.key_sum() % 1000003) +
+                  op.pairs_evaluated() +
+                  static_cast<int64_t>(op.StateBytes() % 1000003);
+  side->tps.push_back(static_cast<double>(events.size()) / elapsed.count());
+}
+
+/// Runs the row-major vs columnar A/B (compiled stage + channel transfer
+/// + hash partition + join ingest) and writes
+/// bench_results/BENCH_soa.json. Paired, order-alternating repetitions
+/// with one untimed warm-up, exactly like the expr A/B. Exit status gates
+/// CI: the columnar stage must reach 1.5x row-major, block
+/// hash-partitioning 1.3x the per-row scatter, and the join's columnar
+/// ingest 1.2x the row-major shim.
 int RunSoaAb(bool quick) {
   const int n = quick ? 300000 : 2000000;
   const int channel_rows = quick ? 1 << 16 : 1 << 17;
+  const int partition_rows = quick ? 1 << 16 : 1 << 19;
+  const int join_rows = quick ? 1 << 16 : 1 << 19;
   const int repetitions = quick ? 5 : 9;
   std::vector<SimpleEvent> events = MakeEvents(TypeA(), n, 10);
   std::vector<SimpleEvent> channel_events =
       MakeEvents(TypeA(), channel_rows, 10);
+  std::vector<SimpleEvent> partition_events =
+      MakeEvents(TypeA(), partition_rows, 10);
+  std::vector<SimpleEvent> join_events = MakeEvents(TypeA(), join_rows, 10);
 
   SchedAbSide col, row;
   {
@@ -1026,10 +1191,60 @@ int RunSoaAb(bool quick) {
     return 1;
   }
 
+  SchedAbSide part_col, part_row;
+  {
+    SchedAbSide warmup;
+    RunHashPartitionOnce(/*columnar=*/true, partition_events, &warmup);
+    RunHashPartitionOnce(/*columnar=*/false, partition_events, &warmup);
+  }
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const bool col_first = (rep % 2) == 0;
+    RunHashPartitionOnce(col_first, partition_events,
+                         col_first ? &part_col : &part_row);
+    RunHashPartitionOnce(!col_first, partition_events,
+                         col_first ? &part_row : &part_col);
+  }
+  if (part_col.matches != part_row.matches) {
+    std::fprintf(stderr,
+                 "soa A/B: hash-partition checksums diverged (columnar %lld "
+                 "vs row-major %lld)\n",
+                 static_cast<long long>(part_col.matches),
+                 static_cast<long long>(part_row.matches));
+    return 1;
+  }
+
+  SchedAbSide join_col, join_row;
+  {
+    SchedAbSide warmup;
+    RunJoinIngestOnce(/*columnar=*/true, join_events, &warmup);
+    RunJoinIngestOnce(/*columnar=*/false, join_events, &warmup);
+  }
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const bool col_first = (rep % 2) == 0;
+    RunJoinIngestOnce(col_first, join_events,
+                      col_first ? &join_col : &join_row);
+    RunJoinIngestOnce(!col_first, join_events,
+                      col_first ? &join_row : &join_col);
+  }
+  if (join_col.matches != join_row.matches) {
+    std::fprintf(stderr,
+                 "soa A/B: join-ingest checksums diverged (columnar %lld vs "
+                 "row-major %lld)\n",
+                 static_cast<long long>(join_col.matches),
+                 static_cast<long long>(join_row.matches));
+    return 1;
+  }
+
   const double stage_speedup = MedianPairedRatio(col, row);
   const double channel_speedup = MedianPairedRatio(chan_col, chan_row);
+  const double partition_speedup = MedianPairedRatio(part_col, part_row);
+  const double join_speedup = MedianPairedRatio(join_col, join_row);
   constexpr double kGate = 1.5;
-  const bool gate_passed = stage_speedup >= kGate;
+  constexpr double kPartitionGate = 1.3;
+  constexpr double kJoinGate = 1.2;
+  const bool gate_passed = stage_speedup >= kGate &&
+                           partition_speedup >= kPartitionGate &&
+                           join_speedup >= kJoinGate;
 
   char buf[256];
   std::string json = "{\n";
@@ -1056,6 +1271,20 @@ int RunSoaAb(bool quick) {
                 channel_speedup);
   json += buf;
   std::snprintf(buf, sizeof(buf),
+                "  \"hash_partition_ab\": {\"rows\": %d, \"parallelism\": 4, "
+                "\"columnar_tps\": %.0f, \"row_tps\": %.0f, "
+                "\"speedup\": %.2f, \"gate_min_speedup\": %.2f},\n",
+                partition_rows, Median(part_col.tps), Median(part_row.tps),
+                partition_speedup, kPartitionGate);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"join_ingest_ab\": {\"rows\": %d, "
+                "\"columnar_tps\": %.0f, \"row_tps\": %.0f, "
+                "\"speedup\": %.2f, \"gate_min_speedup\": %.2f},\n",
+                join_rows, Median(join_col.tps), Median(join_row.tps),
+                join_speedup, kJoinGate);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
                 "  \"gate_min_stage_speedup\": %.2f,\n  \"gate_passed\": %s\n",
                 kGate, gate_passed ? "true" : "false");
   json += buf;
@@ -1075,9 +1304,11 @@ int RunSoaAb(bool quick) {
   std::printf("wrote %s\n", path);
   if (!gate_passed) {
     std::fprintf(stderr,
-                 "soa A/B gate FAILED: columnar %.2fx row-major "
+                 "soa A/B gate FAILED: stage %.2fx (floor %.2f), "
+                 "hash-partition %.2fx (floor %.2f), join ingest %.2fx "
                  "(floor %.2f)\n",
-                 stage_speedup, kGate);
+                 stage_speedup, kGate, partition_speedup, kPartitionGate,
+                 join_speedup, kJoinGate);
     return 1;
   }
   return 0;

@@ -75,22 +75,40 @@ DiagnosticReport AnalyzeColumnarLayout(const JobGraph& graph) {
         }
         continue;
       }
-      // Channel edge: mirror RoutingCollector's negotiation.
+      // Channel edge: mirror RoutingCollector's per-edge negotiation.
+      // Forward and hash edges into columnar-capable consumers carry
+      // blocks (hash via PartitionByKey); broadcast edges and row-major
+      // consumers cannot. Blocks travel only when EVERY out-edge of the
+      // producer is eligible — one ineligible sibling makes the whole
+      // fan-out scatter once.
       std::string reason;
-      if (node.outputs.size() != 1) {
-        reason = "producer fan-out";
-      } else if (edge.partition == PartitionMode::kHash) {
-        reason = "hash partitioning routes rows individually";
-      } else if (edge.partition == PartitionMode::kBroadcast) {
+      if (edge.partition == PartitionMode::kBroadcast) {
         reason = "broadcast would deep-copy blocks";
       } else if (!consumer_columnar) {
         reason = "consumer is row-major";
       }
-      if (reason.empty()) {
+      bool all_eligible = reason.empty();
+      if (all_eligible) {
+        for (const JobGraph::Edge& sibling : node.outputs) {
+          const JobGraph::Node& sib_consumer = graph.node(sibling.to);
+          const bool sib_columnar =
+              sib_consumer.op != nullptr &&
+              sib_consumer.op->Traits().columnar_capable;
+          if (sibling.partition == PartitionMode::kBroadcast ||
+              !sib_columnar) {
+            all_eligible = false;
+            reason = "sibling edge cannot carry blocks";
+            break;
+          }
+        }
+      }
+      if (all_eligible) {
         report.Add(DiagnosticCode::kGraphColumnarStatus,
                    NodeLabel(graph, from),
                    "edge to " + to_label +
-                       ": columnar (ships column blocks whole)");
+                       (edge.partition == PartitionMode::kHash
+                            ? ": columnar (hash-partitions blocks per subtask)"
+                            : ": columnar (ships column blocks whole)"));
       } else if (producer_columnar) {
         report.Add(DiagnosticCode::kGraphColumnarStatus,
                    NodeLabel(graph, from),

@@ -9,16 +9,17 @@ namespace cep2asp {
 
 namespace {
 
-bool TupleTsLess(const Tuple& a, const Tuple& b) {
-  return a.event_time() < b.event_time();
+/// Index of the first element of ts[lo, hi) not below `v` (the columns are
+/// sorted ranges once SortIfNeeded ran).
+size_t LowerBoundTs(const Timestamp* ts, size_t lo, size_t hi, Timestamp v) {
+  return static_cast<size_t>(std::lower_bound(ts + lo, ts + hi, v) - ts);
 }
 
 }  // namespace
 
 void SlidingWindowJoinOperator::SortIfNeeded(SideBuffer* side) {
   if (!side->sorted) {
-    std::stable_sort(side->tuples.begin() + static_cast<ptrdiff_t>(side->head),
-                     side->tuples.end(), TupleTsLess);
+    side->rows.StableSortByEventTime(side->head);
     side->sorted = true;
   }
 }
@@ -56,13 +57,67 @@ Status SlidingWindowJoinOperator::Process(int input, Tuple tuple, Collector*) {
   CEP2ASP_DCHECK(input == 0 || input == 1);
   KeyState& key_state = StateForKey(tuple.key());
   SideBuffer& side = key_state.sides[input];
-  state_bytes_ += tuple.MemoryBytes();
-  if (!side.empty() && tuple.event_time() < side.tuples.back().event_time()) {
+  if (side.rows.rows() == 0 && side.rows.num_slots() != tuple.size()) {
+    side.rows.Reset(tuple.size());  // shape the SoA store on first append
+  }
+  state_bytes_ += RowBytes(tuple.size());
+  if (!side.empty() &&
+      tuple.event_time() < side.rows.event_time(side.rows.rows() - 1)) {
     side.sorted = false;
   }
   side.min_ts = std::min(side.min_ts, tuple.event_time());
   min_buffered_ts_ = std::min(min_buffered_ts_, tuple.event_time());
-  side.tuples.push_back(std::move(tuple));
+  side.rows.AppendTuple(tuple);
+  return Status::OK();
+}
+
+void SlidingWindowJoinOperator::AppendRun(SideBuffer* side,
+                                          const ColumnarBatch& block,
+                                          size_t begin, size_t end) {
+  if (side->rows.rows() == 0 && side->rows.num_slots() != block.num_slots()) {
+    side->rows.Reset(block.num_slots());
+  }
+  CEP2ASP_DCHECK(side->rows.num_slots() == block.num_slots())
+      << "block shape " << block.num_slots() << " vs side "
+      << side->rows.num_slots();
+  const Timestamp* ets = block.event_times();
+  Timestamp prev = side->empty()
+                       ? kMinTimestamp
+                       : side->rows.event_time(side->rows.rows() - 1);
+  Timestamp run_min = kMaxTimestamp;
+  for (size_t r = begin; r < end; ++r) {
+    if (ets[r] < prev) side->sorted = false;
+    prev = ets[r];
+    run_min = std::min(run_min, ets[r]);
+  }
+  side->min_ts = std::min(side->min_ts, run_min);
+  min_buffered_ts_ = std::min(min_buffered_ts_, run_min);
+  side->rows.AppendRows(block, begin, end);
+  state_bytes_ += (end - begin) * RowBytes(block.num_slots());
+}
+
+Status SlidingWindowJoinOperator::ProcessColumnar(
+    int input, std::unique_ptr<ColumnarBatch> block, Collector*) {
+  CEP2ASP_DCHECK(input == 0 || input == 1);
+  const size_t n = block->rows();
+  const int64_t* keys = block->keys();
+  const uint8_t* mask = block->mask();
+  // Ingest runs of equal keys with one key lookup and one column-wise
+  // append each: hash-partitioned sub-blocks and constant-key (cartesian)
+  // inputs arrive as few long runs, per-key-interleaved inputs degrade to
+  // per-row appends that still skip the RowTuple gather.
+  size_t i = 0;
+  while (i < n) {
+    if (!mask[i]) {
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < n && mask[j] && keys[j] == keys[i]) ++j;
+    KeyState& key_state = StateForKey(keys[i]);
+    AppendRun(&key_state.sides[input], *block, i, j);
+    i = j;
+  }
   return Status::OK();
 }
 
@@ -125,35 +180,60 @@ void SlidingWindowJoinOperator::FireWindow(int64_t k, Collector* out) {
     SortIfNeeded(&left);
     SortIfNeeded(&right);
 
-    auto range = [begin, end](SideBuffer& side) {
-      const auto live_begin =
-          side.tuples.begin() + static_cast<ptrdiff_t>(side.head);
-      auto lo = std::lower_bound(live_begin, side.tuples.end(), begin,
-                                 [](const Tuple& t, Timestamp ts) {
-                                   return t.event_time() < ts;
-                                 });
-      auto hi = std::lower_bound(lo, side.tuples.end(), end,
-                                 [](const Tuple& t, Timestamp ts) {
-                                   return t.event_time() < ts;
-                                 });
-      return std::pair(lo, hi);
-    };
-    auto [l_lo, l_hi] = range(left);
-    auto [r_lo, r_hi] = range(right);
-    for (auto l = l_lo; l != l_hi; ++l) {
-      for (auto r = r_lo; r != r_hi; ++r) {
+    // Range binary searches walk the contiguous event-time columns.
+    const Timestamp* lts = left.rows.event_times();
+    const Timestamp* rts = right.rows.event_times();
+    const size_t l_lo = LowerBoundTs(lts, left.head, left.rows.rows(), begin);
+    const size_t l_hi = LowerBoundTs(lts, l_lo, left.rows.rows(), end);
+    if (l_lo == l_hi) continue;
+    const size_t r_lo = LowerBoundTs(rts, right.head, right.rows.rows(), begin);
+    const size_t r_hi = LowerBoundTs(rts, r_lo, right.rows.rows(), end);
+    if (r_lo == r_hi) continue;
+
+    const size_t ln = left.rows.num_slots();
+    const size_t rn = right.rows.num_slots();
+    const size_t r_cnt = r_hi - r_lo;
+    // Pre-gather the right range once per (key, window): every (l, r)
+    // pair then reuses it with one contiguous copy, where the row-major
+    // probe concatenated two Tuples per evaluated pair.
+    right_scratch_.resize(r_cnt * rn);
+    for (size_t r = 0; r < r_cnt; ++r) {
+      for (size_t s = 0; s < rn; ++s) {
+        right_scratch_[r * rn + s] = right.rows.RowEvent(s, r_lo + r);
+      }
+    }
+    scratch_.resize(ln + rn);
+    for (size_t l = l_lo; l != l_hi; ++l) {
+      for (size_t s = 0; s < ln; ++s) scratch_[s] = left.rows.RowEvent(s, l);
+      const int64_t l_first = dedup_pairs_ ? window_.FirstWindow(lts[l]) : 0;
+      for (size_t r = 0; r < r_cnt; ++r) {
         ++pairs_evaluated_;
         if (dedup_pairs_) {
           // First window containing both sides; skip re-emissions from
           // later overlapping windows.
-          int64_t first_common = std::max(window_.FirstWindow(l->event_time()),
-                                          window_.FirstWindow(r->event_time()));
+          const int64_t first_common =
+              std::max(l_first, window_.FirstWindow(rts[r_lo + r]));
           if (first_common != k) continue;
         }
-        Tuple joined = Tuple::Concat(*l, *r);
-        if (!condition_.IsTrue() && !condition_.EvalOnTuple(joined)) continue;
-        joined.set_event_time(ts_mode_ == TimestampMode::kMax ? joined.tse()
-                                                              : joined.tsb());
+        std::copy(right_scratch_.begin() + static_cast<ptrdiff_t>(r * rn),
+                  right_scratch_.begin() + static_cast<ptrdiff_t>((r + 1) * rn),
+                  scratch_.begin() + static_cast<ptrdiff_t>(ln));
+        if (!condition_.IsTrue() &&
+            !condition_.EvalOnEvents(scratch_.data(), ln + rn)) {
+          continue;
+        }
+        // Materialize the output tuple only for matches: concatenated
+        // events, the left side's key, event time redefined per §4.2.2.
+        Tuple joined;
+        Timestamp tsb = scratch_[0].ts;
+        Timestamp tse = scratch_[0].ts;
+        for (const SimpleEvent& e : scratch_) {
+          joined.AppendEvent(e);
+          tsb = std::min(tsb, e.ts);
+          tse = std::max(tse, e.ts);
+        }
+        joined.set_key(entry.key);
+        joined.set_event_time(ts_mode_ == TimestampMode::kMax ? tse : tsb);
         out->Emit(std::move(joined));
       }
     }
@@ -178,28 +258,23 @@ void SlidingWindowJoinOperator::EvictBefore(Timestamp min_keep_ts) {
     bool all_empty = true;
     for (SideBuffer& side : key_state.sides) {
       SortIfNeeded(&side);
-      const auto live_begin =
-          side.tuples.begin() + static_cast<ptrdiff_t>(side.head);
-      auto keep_from = std::lower_bound(
-          live_begin, side.tuples.end(), min_keep_ts,
-          [](const Tuple& t, Timestamp ts) { return t.event_time() < ts; });
-      for (auto e = live_begin; e != keep_from; ++e) {
-        state_bytes_ -= e->MemoryBytes();
-      }
-      side.head = static_cast<size_t>(keep_from - side.tuples.begin());
+      const Timestamp* ts = side.rows.event_times();
+      const size_t keep_from =
+          LowerBoundTs(ts, side.head, side.rows.rows(), min_keep_ts);
+      state_bytes_ -=
+          (keep_from - side.head) * RowBytes(side.rows.num_slots());
+      side.head = keep_from;
       // Reclaim the dead prefix only once it outweighs the live suffix;
       // each survivor is then moved at most once per doubling of evicted
-      // tuples, keeping eviction amortized O(1) per tuple.
-      const size_t live = side.tuples.size() - side.head;
+      // rows, keeping eviction amortized O(1) per row.
+      const size_t live = side.rows.rows() - side.head;
       if (side.head >= live) {
-        side.tuples.erase(
-            side.tuples.begin(),
-            side.tuples.begin() + static_cast<ptrdiff_t>(side.head));
+        side.rows.ErasePrefix(side.head);
         side.head = 0;
       }
       // Sides are sorted here, so the surviving front is the new minimum.
       side.min_ts =
-          side.empty() ? kMaxTimestamp : side.tuples[side.head].event_time();
+          side.empty() ? kMaxTimestamp : side.rows.event_time(side.head);
       if (!side.empty()) all_empty = false;
     }
     if (all_empty) {
@@ -215,8 +290,8 @@ void SlidingWindowJoinOperator::EvictBefore(Timestamp min_keep_ts) {
 }
 
 Timestamp SlidingWindowJoinOperator::MinBufferedTs() const {
-  // Exact: Process folds arrivals in, EvictBefore re-derives after
-  // removals, and those are the only mutations of the buffers.
+  // Exact: Process/ProcessColumnar fold arrivals in, EvictBefore
+  // re-derives after removals, and those are the only buffer mutations.
   return min_buffered_ts_;
 }
 

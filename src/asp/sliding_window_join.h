@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "asp/window.h"
 #include "event/predicate.h"
+#include "runtime/columnar_batch.h"
 #include "runtime/operator.h"
 
 namespace cep2asp {
@@ -65,6 +67,10 @@ class SlidingWindowJoinOperator : public Operator {
     traits.drains_on_final_watermark = true;
     traits.predicate = &condition_;  // positional over the joined tuple
     traits.selectivity_bound = selectivity_bound_;
+    // Window buffers are SoA (per-side ColumnarBatch): arriving column
+    // blocks append column-wise via ProcessColumnar, so upstream edges —
+    // including hash edges, via PartitionByKey — may carry blocks whole.
+    traits.columnar_capable = true;
     return traits;
   }
 
@@ -74,6 +80,15 @@ class SlidingWindowJoinOperator : public Operator {
 
   Status Open() override;
   Status Process(int input, Tuple tuple, Collector* out) override;
+
+  /// Columnar ingest: appends the block's rows column-wise into the
+  /// per-(key, side) SoA window buffers — one StateForKey lookup and one
+  /// contiguous per-column insert per run of equal keys, instead of a
+  /// RowTuple gather + per-tuple Process per row. Hash-partitioned and
+  /// constant-key (cartesian) inputs arrive as long runs.
+  Status ProcessColumnar(int input, std::unique_ptr<ColumnarBatch> block,
+                         Collector* out) override;
+
   Status OnWatermark(Timestamp watermark, Collector* out) override;
   size_t StateBytes() const override { return state_bytes_; }
 
@@ -93,23 +108,30 @@ class SlidingWindowJoinOperator : public Operator {
   int64_t pairs_evaluated() const { return pairs_evaluated_; }
 
  private:
+  /// Per-(key, side) window store, struct-of-arrays: rows live in a
+  /// ColumnarBatch (one contiguous column per event attribute plus exact
+  /// key/event-time columns), shaped to the side's tuple arity on first
+  /// append. The probe walks the contiguous event-time column for its
+  /// range binary searches and gathers events only for pairs that reach
+  /// condition evaluation — instead of lower_bound over ~280-byte-strided
+  /// row-major Tuples.
   struct SideBuffer {
-    std::vector<Tuple> tuples;
-    // Index of the first live tuple: [head, size) are buffered, [0, head)
+    ColumnarBatch rows;
+    // Index of the first live row: [head, rows) are buffered, [0, head)
     // are evicted-but-not-yet-reclaimed. Eviction advances `head` and
-    // compacts only once the dead prefix reaches the live size, so each
-    // tuple is moved O(1) amortized times over its lifetime — a plain
-    // erase-from-front would instead move every survivor on every evict,
-    // a cost that balloons when batched execution lets the buffers run
-    // deep ahead of the watermark.
+    // compacts (ErasePrefix) only once the dead prefix reaches the live
+    // size, so each row is moved O(1) amortized times over its lifetime —
+    // a plain erase-from-front would instead move every survivor on every
+    // evict, a cost that balloons when batched execution lets the buffers
+    // run deep ahead of the watermark.
     size_t head = 0;
     bool sorted = true;
-    // Smallest buffered event time, maintained incrementally by Process
+    // Smallest buffered event time, maintained incrementally on append
     // and re-derived from the sorted front on eviction, so the watermark
-    // path (MinBufferedTs) is O(keys) instead of rescanning every tuple.
+    // path (MinBufferedTs) is O(keys) instead of rescanning every row.
     Timestamp min_ts = kMaxTimestamp;
 
-    bool empty() const { return head >= tuples.size(); }
+    bool empty() const { return head >= rows.rows(); }
   };
 
   struct KeyState {
@@ -129,6 +151,17 @@ class SlidingWindowJoinOperator : public Operator {
 
   KeyState& StateForKey(int64_t key);
   static void SortIfNeeded(SideBuffer* side);
+
+  /// Per-row state accounting, matching the row-major Tuple footprint so
+  /// figure-5 style byte timelines stay comparable across layouts.
+  static size_t RowBytes(size_t arity) {
+    return sizeof(Tuple) + (arity > 4 ? arity * sizeof(SimpleEvent) : 0);
+  }
+
+  /// Appends rows [begin, end) of `block` (all one key) to `side`,
+  /// maintaining the sorted flag and the min-ts caches.
+  void AppendRun(SideBuffer* side, const ColumnarBatch& block, size_t begin,
+                 size_t end);
 
   void FireWindows(Timestamp watermark, Collector* out);
   void FireWindow(int64_t k, Collector* out);
@@ -156,6 +189,14 @@ class SlidingWindowJoinOperator : public Operator {
   bool have_window_cursor_ = false;
   size_t state_bytes_ = 0;
   int64_t pairs_evaluated_ = 0;
+
+  /// Probe scratch, reused across windows: `scratch_` holds the events of
+  /// the current (left, right) pair for positional condition evaluation
+  /// without materializing a Tuple; `right_scratch_` pre-gathers the right
+  /// range once per (key, window) so every pair reuses it via one
+  /// contiguous copy.
+  std::vector<SimpleEvent> scratch_;
+  std::vector<SimpleEvent> right_scratch_;
 };
 
 }  // namespace cep2asp

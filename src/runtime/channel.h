@@ -54,6 +54,8 @@ class Channel {
     const size_t fill = batch->size();
     const bool stamp = batch->hdr_valid;
     int64_t data = 0;
+    int64_t blocks = 0;
+    int64_t block_rows = 0;
     for (Message& msg : *batch) {
       if (stamp) {
         msg.port = batch->hdr_port;
@@ -63,6 +65,8 @@ class Channel {
         ++data;
       } else if (msg.kind == MessageKind::kColumnar) {
         data += msg.columnar_rows;  // a block counts its rows as tuples
+        ++blocks;
+        block_rows += msg.columnar_rows;
       }
     }
     int64_t blocked = 0;
@@ -70,6 +74,10 @@ class Channel {
     batches_.fetch_add(1, std::memory_order_relaxed);
     messages_.fetch_add(static_cast<int64_t>(fill), std::memory_order_relaxed);
     if (data > 0) tuples_.fetch_add(data, std::memory_order_relaxed);
+    if (blocks > 0) {
+      columnar_blocks_.fetch_add(blocks, std::memory_order_relaxed);
+      columnar_rows_.fetch_add(block_rows, std::memory_order_relaxed);
+    }
     fill_hist_[ChannelStats::FillBucket(fill)].fetch_add(
         1, std::memory_order_relaxed);
     if (blocked > 0) {
@@ -109,17 +117,25 @@ class Channel {
       // Scalar members survive the element move, so the moved prefix is
       // still countable before we erase it.
       int64_t data = 0;
+      int64_t blocks = 0;
+      int64_t block_rows = 0;
       for (size_t i = 0; i < moved; ++i) {
         const Message& msg = (*batch)[i];
         if (msg.kind == MessageKind::kTuple) {
           ++data;
         } else if (msg.kind == MessageKind::kColumnar) {
           data += msg.columnar_rows;
+          ++blocks;
+          block_rows += msg.columnar_rows;
         }
       }
       messages_.fetch_add(static_cast<int64_t>(moved),
                           std::memory_order_relaxed);
       if (data > 0) tuples_.fetch_add(data, std::memory_order_relaxed);
+      if (blocks > 0) {
+        columnar_blocks_.fetch_add(blocks, std::memory_order_relaxed);
+        columnar_rows_.fetch_add(block_rows, std::memory_order_relaxed);
+      }
       batch->erase(batch->begin(), batch->begin() + moved);
       if (on_push_) on_push_();
     }
@@ -183,6 +199,9 @@ class Channel {
     stats.batches = batches_.load(std::memory_order_relaxed);
     stats.messages = messages_.load(std::memory_order_relaxed);
     stats.tuples = tuples_.load(std::memory_order_relaxed);
+    stats.columnar_blocks = columnar_blocks_.load(std::memory_order_relaxed);
+    stats.columnar_rows = columnar_rows_.load(std::memory_order_relaxed);
+    stats.scattered_rows = scattered_rows_.load(std::memory_order_relaxed);
     stats.blocked_push_nanos = blocked_push_nanos_.load(std::memory_order_relaxed);
     for (int i = 0; i < ChannelStats::kFillBuckets; ++i) {
       stats.fill_hist[i] = fill_hist_[i].load(std::memory_order_relaxed);
@@ -202,10 +221,21 @@ class Channel {
   virtual size_t DoTryPopBatch(MessageBatch* out, size_t max_messages,
                                bool* end_of_stream) = 0;
 
+ public:
+  /// Producer-side attribution of rows a columnar producer had to scatter
+  /// into per-tuple messages because this channel's edge could not carry
+  /// blocks (see RoutingCollector::EmitColumnar). Subset of `tuples`.
+  void AddScatteredRows(int64_t n) {
+    scattered_rows_.fetch_add(n, std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> messages_{0};
   std::atomic<int64_t> tuples_{0};
+  std::atomic<int64_t> columnar_blocks_{0};
+  std::atomic<int64_t> columnar_rows_{0};
+  std::atomic<int64_t> scattered_rows_{0};
   std::atomic<int64_t> blocked_push_nanos_{0};
   std::atomic<int64_t> fill_hist_[ChannelStats::kFillBuckets] = {};
   std::function<void()> on_push_;

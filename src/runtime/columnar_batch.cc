@@ -1,6 +1,10 @@
 #include "runtime/columnar_batch.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "common/logging.h"
+#include "runtime/job_graph.h"
 
 namespace cep2asp {
 
@@ -68,6 +72,182 @@ Tuple ColumnarBatch::RowTuple(size_t i) const {
   out.set_event_time(event_times_[i]);
   out.set_key(keys_[i]);
   return out;
+}
+
+SimpleEvent ColumnarBatch::RowEvent(size_t slot, size_t i) const {
+  CEP2ASP_DCHECK(slot < num_slots_ && i < rows_);
+  const std::vector<double>* cols = &attr_cols_[slot * kNumEventAttrs];
+  SimpleEvent e;
+  e.value = cols[0][i];
+  e.lat = cols[1][i];
+  e.lon = cols[2][i];
+  e.ts = static_cast<Timestamp>(cols[3][i]);
+  e.id = static_cast<int64_t>(cols[4][i]);
+  e.aux_ts = static_cast<Timestamp>(cols[5][i]);
+  e.type = type_cols_[slot][i];
+  e.create_ts = create_ts_cols_[slot][i];
+  return e;
+}
+
+void ColumnarBatch::AppendRows(const ColumnarBatch& src, size_t begin,
+                               size_t end) {
+  CEP2ASP_DCHECK(src.num_slots_ == num_slots_)
+      << "source shape " << src.num_slots_ << " vs " << num_slots_;
+  CEP2ASP_DCHECK(begin <= end && end <= src.rows_);
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  for (size_t c = 0; c < attr_cols_.size(); ++c) {
+    attr_cols_[c].insert(attr_cols_[c].end(),
+                         src.attr_cols_[c].begin() + static_cast<ptrdiff_t>(begin),
+                         src.attr_cols_[c].begin() + static_cast<ptrdiff_t>(end));
+  }
+  for (size_t s = 0; s < num_slots_; ++s) {
+    type_cols_[s].insert(type_cols_[s].end(),
+                         src.type_cols_[s].begin() + static_cast<ptrdiff_t>(begin),
+                         src.type_cols_[s].begin() + static_cast<ptrdiff_t>(end));
+    create_ts_cols_[s].insert(
+        create_ts_cols_[s].end(),
+        src.create_ts_cols_[s].begin() + static_cast<ptrdiff_t>(begin),
+        src.create_ts_cols_[s].begin() + static_cast<ptrdiff_t>(end));
+  }
+  keys_.insert(keys_.end(), src.keys_.begin() + static_cast<ptrdiff_t>(begin),
+               src.keys_.begin() + static_cast<ptrdiff_t>(end));
+  event_times_.insert(event_times_.end(),
+                      src.event_times_.begin() + static_cast<ptrdiff_t>(begin),
+                      src.event_times_.begin() + static_cast<ptrdiff_t>(end));
+  mask_.insert(mask_.end(), n, static_cast<uint8_t>(1));
+  rows_ += n;
+}
+
+void ColumnarBatch::ErasePrefix(size_t n) {
+  if (n == 0) return;
+  CEP2ASP_DCHECK(n <= rows_);
+  const ptrdiff_t d = static_cast<ptrdiff_t>(n);
+  for (std::vector<double>& col : attr_cols_) {
+    col.erase(col.begin(), col.begin() + d);
+  }
+  for (std::vector<EventTypeId>& col : type_cols_) {
+    col.erase(col.begin(), col.begin() + d);
+  }
+  for (std::vector<Timestamp>& col : create_ts_cols_) {
+    col.erase(col.begin(), col.begin() + d);
+  }
+  keys_.erase(keys_.begin(), keys_.begin() + d);
+  event_times_.erase(event_times_.begin(), event_times_.begin() + d);
+  mask_.erase(mask_.begin(), mask_.begin() + d);
+  rows_ -= n;
+}
+
+namespace {
+
+template <typename T>
+void ApplyPermutation(std::vector<T>* col, size_t from,
+                      const std::vector<uint32_t>& perm) {
+  std::vector<T> tmp(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    tmp[i] = (*col)[from + perm[i]];
+  }
+  std::copy(tmp.begin(), tmp.end(), col->begin() + static_cast<ptrdiff_t>(from));
+}
+
+}  // namespace
+
+void ColumnarBatch::StableSortByEventTime(size_t from) {
+  if (from >= rows_) return;
+  const size_t n = rows_ - from;
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  const Timestamp* ts = event_times_.data() + from;
+  std::stable_sort(perm.begin(), perm.end(),
+                   [ts](uint32_t a, uint32_t b) { return ts[a] < ts[b]; });
+  bool identity = true;
+  for (size_t i = 0; i < n; ++i) {
+    if (perm[i] != i) {
+      identity = false;
+      break;
+    }
+  }
+  if (identity) return;
+  for (std::vector<double>& col : attr_cols_) ApplyPermutation(&col, from, perm);
+  for (std::vector<EventTypeId>& col : type_cols_) {
+    ApplyPermutation(&col, from, perm);
+  }
+  for (std::vector<Timestamp>& col : create_ts_cols_) {
+    ApplyPermutation(&col, from, perm);
+  }
+  ApplyPermutation(&keys_, from, perm);
+  ApplyPermutation(&event_times_, from, perm);
+  ApplyPermutation(&mask_, from, perm);
+}
+
+std::vector<std::unique_ptr<ColumnarBatch>> ColumnarBatch::PartitionByKey(
+    int parallelism) const {
+  const size_t p = static_cast<size_t>(parallelism < 1 ? 1 : parallelism);
+  std::vector<std::unique_ptr<ColumnarBatch>> parts(p);
+  if (rows_ == 0) return parts;
+  // Route the whole key column batch-wise (the SIMD splitmix64 kernel),
+  // then gather column by column: each bucket receives its rows in stream
+  // order, so per-subtask sequences match the row-at-a-time scatter
+  // exactly.
+  std::vector<int32_t> target(rows_);
+  KeyToSubtaskBatch(keys_.data(), rows_, static_cast<int>(p), target.data());
+  // Per-row destination slot within its bucket, so every column pass is a
+  // branch-light scatter into pre-sized destination columns — no
+  // per-element capacity checks or size bookkeeping.
+  std::vector<uint32_t> pos(rows_);
+  std::vector<size_t> counts(p, 0);
+  for (size_t i = 0; i < rows_; ++i) {
+    if (mask_[i]) {
+      pos[i] =
+          static_cast<uint32_t>(counts[static_cast<size_t>(target[i])]++);
+    }
+  }
+  for (size_t s = 0; s < p; ++s) {
+    if (counts[s] == 0) continue;
+    parts[s] = std::make_unique<ColumnarBatch>(num_slots_);
+    for (std::vector<double>& col : parts[s]->attr_cols_) col.resize(counts[s]);
+    for (std::vector<EventTypeId>& col : parts[s]->type_cols_) {
+      col.resize(counts[s]);
+    }
+    for (std::vector<Timestamp>& col : parts[s]->create_ts_cols_) {
+      col.resize(counts[s]);
+    }
+    parts[s]->keys_.resize(counts[s]);
+    parts[s]->event_times_.resize(counts[s]);
+    parts[s]->mask_.assign(counts[s], 1);
+    parts[s]->rows_ = counts[s];
+  }
+  std::vector<void*> dst(p);
+  auto scatter = [&](auto dst_col_of, const auto& src_col) {
+    using T = typename std::decay_t<decltype(src_col)>::value_type;
+    for (size_t s = 0; s < p; ++s) {
+      dst[s] = parts[s] ? dst_col_of(*parts[s]).data() : nullptr;
+    }
+    for (size_t i = 0; i < rows_; ++i) {
+      if (!mask_[i]) continue;
+      static_cast<T*>(dst[static_cast<size_t>(target[i])])[pos[i]] =
+          src_col[i];
+    }
+  };
+  for (size_t c = 0; c < attr_cols_.size(); ++c) {
+    scatter([c](ColumnarBatch& b) -> std::vector<double>& {
+      return b.attr_cols_[c];
+    }, attr_cols_[c]);
+  }
+  for (size_t s = 0; s < num_slots_; ++s) {
+    scatter([s](ColumnarBatch& b) -> std::vector<EventTypeId>& {
+      return b.type_cols_[s];
+    }, type_cols_[s]);
+    scatter([s](ColumnarBatch& b) -> std::vector<Timestamp>& {
+      return b.create_ts_cols_[s];
+    }, create_ts_cols_[s]);
+  }
+  scatter([](ColumnarBatch& b) -> std::vector<int64_t>& { return b.keys_; },
+          keys_);
+  scatter([](ColumnarBatch& b) -> std::vector<Timestamp>& {
+    return b.event_times_;
+  }, event_times_);
+  return parts;
 }
 
 size_t ColumnarBatch::Compact() {

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "event/event.h"
@@ -55,6 +56,33 @@ class ColumnarBatch {
   /// columnar -> row-major boundary).
   Tuple RowTuple(size_t i) const;
 
+  /// Scatters the event at (slot, row) without building a Tuple — the
+  /// cheap gather the join probe uses to fill its scratch pair.
+  SimpleEvent RowEvent(size_t slot, size_t i) const;
+
+  /// Column-wise append of rows [begin, end) of `src` (same num_slots),
+  /// ignoring src's mask; appended rows start selected. One contiguous
+  /// insert per column — the SoA ingest path of stateful consumers.
+  void AppendRows(const ColumnarBatch& src, size_t begin, size_t end);
+
+  /// Drops the first `n` rows from every column (dead-prefix reclaim of
+  /// SoA window buffers).
+  void ErasePrefix(size_t n);
+
+  /// Stable-sorts rows [from, rows) by event time, applying one
+  /// permutation across all columns. Used by window stores when parallel
+  /// producers interleaved their (per-producer ordered) streams.
+  void StableSortByEventTime(size_t from);
+
+  /// Splits the selected rows into `parallelism` sub-blocks by the routing
+  /// of the exact int64 key column — bucket s receives, in order, every
+  /// row with KeyToSubtask(key, parallelism) == s (computed batch-wise,
+  /// SIMD under CEP2ASP_SIMD). Empty buckets stay null. This is how a hash
+  /// edge ships P whole blocks instead of scattering rows one message at a
+  /// time.
+  std::vector<std::unique_ptr<ColumnarBatch>> PartitionByKey(
+      int parallelism) const;
+
   /// Drops every row whose mask byte is 0, keeping the survivors' order,
   /// and re-selects them. Returns the surviving row count.
   size_t Compact();
@@ -67,6 +95,8 @@ class ColumnarBatch {
   const uint8_t* mask() const { return mask_.data(); }
   int64_t* keys() { return keys_.data(); }
   const int64_t* keys() const { return keys_.data(); }
+  const Timestamp* event_times() const { return event_times_.data(); }
+  Timestamp event_time(size_t i) const { return event_times_[i]; }
 
   const double* col(size_t slot, Attribute attr) const {
     return attr_cols_[slot * kNumEventAttrs + static_cast<size_t>(attr)]

@@ -38,6 +38,14 @@ const char* PartitionModeToString(PartitionMode mode);
 /// not all land on neighbouring subtasks modulo small parallelism.
 int KeyToSubtask(int64_t key, int parallelism);
 
+/// Batch form over a contiguous key column, bit-identical to calling
+/// KeyToSubtask per key: the splitmix64 finalizer runs as a SIMD kernel
+/// under CEP2ASP_SIMD (SSE2 baseline, runtime-dispatched AVX2) and the
+/// modulo stays scalar either way. This is the routing step of
+/// ColumnarBatch::PartitionByKey, where one block splits into P blocks.
+void KeyToSubtaskBatch(const int64_t* keys, size_t count, int parallelism,
+                       int32_t* out);
+
 /// \brief Directed acyclic dataflow graph: sources -> operators -> sinks
 /// (paper §2.3: ASPSs use directed graphs as processing model).
 ///

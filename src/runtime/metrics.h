@@ -45,7 +45,17 @@ struct ChannelStats {
   bool fused = false;
   int64_t batches = 0;
   int64_t messages = 0;  // all messages, including watermarks/end markers
-  int64_t tuples = 0;    // data messages only: the partition's tuple load
+  /// Data rows: per-tuple messages count 1, columnar envelopes count their
+  /// rows — so this is the partition's row load regardless of transfer
+  /// layout (PartitionSkew divides it, keeping skew honest on hash edges
+  /// that ship whole blocks).
+  int64_t tuples = 0;
+  /// SoA transfer breakdown: kColumnar envelopes pushed, rows they
+  /// carried, and rows a columnar producer scattered into per-tuple
+  /// messages because this edge could not carry blocks.
+  int64_t columnar_blocks = 0;
+  int64_t columnar_rows = 0;
+  int64_t scattered_rows = 0;
   int64_t blocked_push_nanos = 0;
 
   /// fill_hist[b] counts pushed batches by fill level: bucket 0 holds

@@ -42,7 +42,7 @@ RoutingCollector::RoutingCollector(const JobGraph* graph, NodeId node,
                                    int subtask, const PhysicalLayout* layout,
                                    std::vector<NodeChannels>* channels,
                                    size_t batch_size, bool cooperative,
-                                   bool enable_columnar)
+                                   bool enable_columnar, bool columnar_hash)
     : batch_size_(std::max<size_t>(1, batch_size)),
       cur_batch_(std::max<size_t>(1, batch_size)),
       cooperative_(cooperative) {
@@ -63,6 +63,27 @@ RoutingCollector::RoutingCollector(const JobGraph* graph, NodeId node,
       }
       // else: round-robin rebalance via rr_cursor.
     }
+    // SoA negotiation, per edge: a forward edge into a columnar-capable
+    // consumer carries blocks whole; a hash edge into one splits each
+    // block into per-subtask sub-blocks along the key column (a
+    // parallelism-1 hash consumer degenerates to whole-block forward).
+    // Broadcast edges and row-major consumers keep the row-major path.
+    if (enable_columnar &&
+        layout->edge_slot_base[static_cast<size_t>(node)][i] >= 0) {
+      const JobGraph::Node& consumer = graph->node(edge.to);
+      if (consumer.op != nullptr && consumer.op->Traits().columnar_capable) {
+        if (edge.partition == PartitionMode::kForward) {
+          out.columnar = ColumnarMode::kWhole;
+        } else if (edge.partition == PartitionMode::kHash) {
+          if (out.consumer_parallelism == 1) {
+            out.columnar = ColumnarMode::kWhole;
+            out.fixed_target = 0;
+          } else if (columnar_hash) {
+            out.columnar = ColumnarMode::kPartition;
+          }
+        }
+      }
+    }
     out.first_target = static_cast<int>(targets_.size());
     for (int s = 0; s < out.consumer_parallelism; ++s) {
       Target target;
@@ -81,18 +102,12 @@ RoutingCollector::RoutingCollector(const JobGraph* graph, NodeId node,
     }
     edges_.push_back(out);
   }
-  // SoA negotiation: blocks ship whole only over a single forward-mode
-  // unfused out-edge whose consuming chain head declares itself columnar-
-  // capable. Hash edges route rows individually and broadcast edges would
-  // deep-copy blocks, so both keep the row-major path.
-  if (enable_columnar && producer.outputs.size() == 1) {
-    const JobGraph::Edge& edge = producer.outputs[0];
-    const JobGraph::Node& consumer = graph->node(edge.to);
-    if (edge.partition == PartitionMode::kForward &&
-        layout->edge_slot_base[static_cast<size_t>(node)][0] >= 0 &&
-        consumer.op != nullptr && consumer.op->Traits().columnar_capable) {
-      columnar_ok_ = true;
-    }
+  // Blocks travel only when EVERY out-edge can carry them: a fan-out with
+  // one row-major edge scatters once instead of paying both a block copy
+  // and a scatter for the same rows.
+  columnar_ok_ = !edges_.empty();
+  for (const OutEdge& e : edges_) {
+    if (e.columnar == ColumnarMode::kScatter) columnar_ok_ = false;
   }
 }
 
@@ -160,14 +175,24 @@ void RoutingCollector::EmitBatch(MessageBatch* batch) {
   batch->clear();
 }
 
-void RoutingCollector::EmitColumnar(std::unique_ptr<ColumnarBatch> block) {
-  if (block == nullptr || block->rows() == 0) return;
-  if (!columnar_ok_) {
-    // Scatter shim: the edge did not negotiate columnar transfer.
-    Collector::EmitColumnar(std::move(block));
+void RoutingCollector::RouteBlock(OutEdge& e,
+                                  std::unique_ptr<ColumnarBatch> block) {
+  if (e.columnar == ColumnarMode::kPartition) {
+    // Hash edge: split along the key column and ship one sub-block per
+    // non-empty bucket — P envelopes instead of rows() messages, with
+    // per-subtask row order identical to the row-at-a-time scatter.
+    std::vector<std::unique_ptr<ColumnarBatch>> parts =
+        block->PartitionByKey(e.consumer_parallelism);
+    for (size_t s = 0; s < parts.size(); ++s) {
+      if (parts[s] == nullptr) continue;
+      const int t = e.first_target + static_cast<int>(s);
+      Target& target = targets_[static_cast<size_t>(t)];
+      target.pending.push_back(
+          Message::Columnar(e.port, std::move(parts[s]), e.slot));
+      if (!target.stuck) FlushTarget(t);
+    }
     return;
   }
-  OutEdge& e = edges_[0];
   const int sub =
       e.fixed_target >= 0
           ? e.fixed_target
@@ -181,8 +206,30 @@ void RoutingCollector::EmitColumnar(std::unique_ptr<ColumnarBatch> block) {
   if (!target.stuck) FlushTarget(t);
 }
 
+void RoutingCollector::EmitColumnar(std::unique_ptr<ColumnarBatch> block) {
+  if (block == nullptr || block->rows() == 0) return;
+  if (!columnar_ok_) {
+    // Scatter shim: some out-edge did not negotiate columnar transfer.
+    // Rows are attributed to the receiving channels' scattered_rows so
+    // the layout report's residual scatter stays measurable.
+    in_scatter_ = true;
+    Collector::EmitColumnar(std::move(block));
+    in_scatter_ = false;
+    return;
+  }
+  // Fan-out mirrors the row-major semantics: copy the block for every
+  // edge but the last, move into the last (single-edge producers never
+  // deep-copy).
+  const size_t last = edges_.size() - 1;
+  for (size_t i = 0; i < last; ++i) {
+    RouteBlock(edges_[i], std::make_unique<ColumnarBatch>(*block));
+  }
+  RouteBlock(edges_[last], std::move(block));
+}
+
 void RoutingCollector::Append(int t, Message msg) {
   Target& target = targets_[static_cast<size_t>(t)];
+  if (in_scatter_) target.channel->AddScatteredRows(1);
   target.pending.push_back(std::move(msg));
   // A stuck target buffers elastically until the task's next flush retry;
   // offering the channel again per append would only thrash.
@@ -295,7 +342,8 @@ SourceTask::SourceTask(const TaskContext* ctx, NodeId node, Source* source)
       source_(source),
       label_("src:" + source->name()),
       router_(ctx->graph, node, /*subtask=*/0, ctx->layout, ctx->channels,
-              ctx->batch_size, /*cooperative=*/true, ctx->enable_columnar),
+              ctx->batch_size, /*cooperative=*/true, ctx->enable_columnar,
+              ctx->columnar_hash),
       cur_batch_(std::max<size_t>(1, ctx->batch_size)) {
   staged_.reserve(cur_batch_);
 }
@@ -438,7 +486,7 @@ ChainTask::ChainTask(const TaskContext* ctx,
       ops_(std::move(ops)),
       router_(ctx->graph, chain_nodes->back(), subtask, ctx->layout,
               ctx->channels, ctx->batch_size, /*cooperative=*/true,
-              ctx->enable_columnar),
+              ctx->enable_columnar, ctx->columnar_hash),
       aligner_(
           ctx->layout->num_slots[static_cast<size_t>(chain_nodes->front())]),
       cur_batch_(std::max<size_t>(1, ctx->batch_size)) {

@@ -155,6 +155,7 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
     ctx.record_error = record_error;
     ctx.tuples_ingested = &tuples_ingested;
     ctx.enable_columnar = options_.enable_columnar;
+    ctx.columnar_hash = options_.columnar_hash_partition;
 
     std::vector<std::unique_ptr<Task>> tasks;
     // Producing task(s) of every node: sources have one task, operator
@@ -254,7 +255,8 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
         RoutingCollector collector(graph_, id, /*subtask=*/0, &layout,
                                    &channels, batch_size,
                                    /*cooperative=*/false,
-                                   options_.enable_columnar);
+                                   options_.enable_columnar,
+                                   options_.columnar_hash_partition);
         std::vector<Tuple> staged;
         staged.reserve(batch_size);
         int since_watermark = 0;
@@ -343,7 +345,8 @@ ExecutionResult ThreadedExecutor::Run(const CollectSink* sink) {
               chain_layout.chains[static_cast<size_t>(c)];
           RoutingCollector tail(graph_, chain_nodes.back(), subtask, &layout,
                                 &channels, batch_size, /*cooperative=*/false,
-                                options_.enable_columnar);
+                                options_.enable_columnar,
+                                options_.columnar_hash_partition);
           // Collector per chain position, built tail-first: the tail
           // batches into real channels, every link hands to the next
           // operator in-thread. `links` never reallocates (reserved), so

@@ -74,6 +74,12 @@ struct ThreadedExecutorOptions {
   /// for A/B runs.
   bool enable_columnar = true;
 
+  /// With enable_columnar: allow hash edges into columnar-capable
+  /// consumers to carry blocks, split per subtask along the key column
+  /// (ColumnarBatch::PartitionByKey). Off makes hash edges scatter rows
+  /// individually as before PR 10 — the columnar-hash A/B axis.
+  bool columnar_hash_partition = true;
+
   Clock* clock = nullptr;
 };
 

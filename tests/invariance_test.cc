@@ -310,11 +310,14 @@ TEST_F(InvarianceTest, ColumnarTransferPreservesMatchMultisets) {
   // semantics: with compiled expressions the source gathers tuples into
   // ColumnarBatch blocks, the compiled stateless prefix filters them
   // column-wise (SIMD kernels when built with CEP2ASP_SIMD), and the
-  // blocks scatter back to rows at the first row-major consumer. Match
+  // blocks either scatter back to rows at the first row-major consumer or
+  // — on hash edges into the SoA join — hash-partition into per-subtask
+  // sub-blocks (PartitionByKey) that the join ingests column-wise. Match
   // multisets must be identical with the path forced off, for every
-  // pattern shape, parallelism, chaining choice, and both executor
-  // backends (the task scheduler and the legacy thread-per-subtask path
-  // have separate gather/forward wiring).
+  // pattern shape, parallelism, chaining choice, both executor backends
+  // (the task scheduler and the legacy thread-per-subtask path have
+  // separate gather/forward wiring), and with block hash-partitioning
+  // forced off (per-row scatter on hash edges).
   struct Case {
     const char* name;
     Pattern pattern;
@@ -346,24 +349,31 @@ TEST_F(InvarianceTest, ColumnarTransferPreservesMatchMultisets) {
       for (bool chaining : {true, false}) {
         for (bool task_scheduler : {true, false}) {
           for (bool columnar : {true, false}) {
-            TranslatorOptions opt = o3;
-            opt.parallelism = parallelism;
-            auto compiled =
-                TranslatePattern(c.pattern, opt, workload_.MakeSourceFactory());
-            ASSERT_TRUE(compiled.ok()) << compiled.status();
-            ThreadedExecutorOptions options;
-            options.watermark_interval = kEndOfStreamOnly;
-            options.enable_chaining = chaining;
-            options.use_task_scheduler = task_scheduler;
-            options.enable_columnar = columnar;
-            ThreadedExecutor executor(&compiled->graph, options);
-            ExecutionResult result = executor.Run(compiled->sink);
-            ASSERT_TRUE(result.ok) << c.name << ": " << result.error;
-            EXPECT_EQ(test::MatchMultiset(compiled->sink->tuples()), reference)
-                << c.name << " parallelism=" << parallelism
-                << " chaining=" << chaining
-                << " task_scheduler=" << task_scheduler
-                << " columnar=" << columnar;
+            for (bool columnar_hash : {true, false}) {
+              // The hash-partition knob only matters when blocks flow.
+              if (!columnar && !columnar_hash) continue;
+              TranslatorOptions opt = o3;
+              opt.parallelism = parallelism;
+              auto compiled = TranslatePattern(c.pattern, opt,
+                                               workload_.MakeSourceFactory());
+              ASSERT_TRUE(compiled.ok()) << compiled.status();
+              ThreadedExecutorOptions options;
+              options.watermark_interval = kEndOfStreamOnly;
+              options.enable_chaining = chaining;
+              options.use_task_scheduler = task_scheduler;
+              options.enable_columnar = columnar;
+              options.columnar_hash_partition = columnar_hash;
+              ThreadedExecutor executor(&compiled->graph, options);
+              ExecutionResult result = executor.Run(compiled->sink);
+              ASSERT_TRUE(result.ok) << c.name << ": " << result.error;
+              EXPECT_EQ(test::MatchMultiset(compiled->sink->tuples()),
+                        reference)
+                  << c.name << " parallelism=" << parallelism
+                  << " chaining=" << chaining
+                  << " task_scheduler=" << task_scheduler
+                  << " columnar=" << columnar
+                  << " columnar_hash=" << columnar_hash;
+            }
           }
         }
       }

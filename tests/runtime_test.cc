@@ -3,7 +3,10 @@
 #include <atomic>
 #include <thread>
 
+#include "asp/compiled_stateless.h"
+#include "asp/sliding_window_join.h"
 #include "asp/stateless.h"
+#include "event/expr_program.h"
 #include "runtime/bounded_queue.h"
 #include "runtime/channel.h"
 #include "runtime/executor.h"
@@ -924,6 +927,85 @@ TEST(ThreadedExecutorTest, PartitionSkewAccountsEveryTuple) {
   EXPECT_GE(skew.imbalance(), 1.0);
   EXPECT_EQ(skew.max_tuples,
             std::max(skew.tuples_per_subtask[0], skew.tuples_per_subtask[1]));
+}
+
+TEST(ThreadedExecutorTest, ColumnarHashEdgeCountsBlocksRowsAndSkew) {
+  // source -> compiled(filter + key-by-id) -> hash -> join(P=2) -> sink,
+  // per join side. With block hash-partitioning on, the compiled prefix
+  // ships column blocks that PartitionByKey splits per subtask: the join's
+  // input channels must report the block envelopes and the rows inside
+  // them, and PartitionSkew must count those rows. With it off the same
+  // block-producing operator scatters rows individually through the shim:
+  // scattered_rows accounts for every row and the skew totals are
+  // unchanged — accounting is layout-independent.
+  auto make_program = [] {
+    Predicate pass;  // empty filter: every row survives to the key stage
+    return ExprProgram::Fuse(
+        ExprProgram::Filter(pass, ExprProgram::VarMode::kBroadcast),
+        ExprProgram::KeyByAttribute(0, Attribute::kId));
+  };
+  auto run = [&](bool hash_partition) {
+    JobGraph graph;
+    NodeId l = graph.AddSource(
+        std::make_unique<VectorSource>("l", MakeEvents(0, 60)));
+    NodeId r = graph.AddSource(
+        std::make_unique<VectorSource>("r", MakeEvents(1, 60)));
+    NodeId kl = graph.AddOperatorAfter(
+        l, std::make_unique<CompiledStatelessOperator>(make_program(), "key-l"));
+    NodeId kr = graph.AddOperatorAfter(
+        r, std::make_unique<CompiledStatelessOperator>(make_program(), "key-r"));
+    NodeId j = graph.AddOperator(std::make_unique<SlidingWindowJoinOperator>(
+        SlidingWindowSpec{4000, 1000}, Predicate(), TimestampMode::kMax,
+        "join"));
+    EXPECT_TRUE(graph.Connect(kl, j, 0, PartitionMode::kHash).ok());
+    EXPECT_TRUE(graph.Connect(kr, j, 1, PartitionMode::kHash).ok());
+    EXPECT_TRUE(graph.SetParallelism(j, 2).ok());
+    auto sink_op = std::make_unique<CollectSink>(/*store_tuples=*/false);
+    CollectSink* sink = sink_op.get();
+    graph.AddOperatorAfter(j, std::move(sink_op));
+    ThreadedExecutorOptions options;
+    options.enable_columnar = true;
+    options.columnar_hash_partition = hash_partition;
+    ThreadedExecutor executor(&graph, options);
+    ExecutionResult result = executor.Run(sink);
+    EXPECT_TRUE(result.ok) << result.error;
+    return result;
+  };
+
+  for (bool hash_partition : {true, false}) {
+    ExecutionResult result = run(hash_partition);
+    int64_t join_rows = 0, join_blocks = 0, join_block_rows = 0,
+            join_scattered = 0;
+    for (const ChannelStats& stats : result.channel_stats) {
+      if (stats.consumer.rfind("join", 0) != 0) continue;
+      join_rows += stats.tuples;
+      join_blocks += stats.columnar_blocks;
+      join_block_rows += stats.columnar_rows;
+      join_scattered += stats.scattered_rows;
+    }
+    // 60 rows per side reach the join regardless of transfer layout.
+    EXPECT_EQ(join_rows, 120) << "hash_partition=" << hash_partition;
+    if (hash_partition) {
+      EXPECT_GE(join_blocks, 2) << "blocks must ship on the hash edges";
+      EXPECT_EQ(join_block_rows, 120);
+      EXPECT_EQ(join_scattered, 0);
+    } else {
+      EXPECT_EQ(join_blocks, 0);
+      EXPECT_EQ(join_block_rows, 0);
+      EXPECT_EQ(join_scattered, 120)
+          << "the scatter shim must account for every row";
+    }
+    bool saw_skew = false;
+    for (const PartitionSkew& skew : result.partition_skew) {
+      if (skew.op.rfind("join", 0) != 0) continue;
+      saw_skew = true;
+      EXPECT_EQ(skew.parallelism, 2);
+      int64_t total = 0;
+      for (int64_t n : skew.tuples_per_subtask) total += n;
+      EXPECT_EQ(total, 120) << "skew must count rows inside column blocks";
+    }
+    EXPECT_TRUE(saw_skew) << "hash_partition=" << hash_partition;
+  }
 }
 
 }  // namespace
